@@ -1,0 +1,38 @@
+"""Shared fixtures for the evaluation benchmarks.
+
+Every figure benchmark consumes the same :class:`EvaluationSuite`, so the
+expensive (workload x configuration) simulations run at most once per pytest
+session.  The problem-size scale is selected with the ``REPRO_SCALE``
+environment variable (``tiny``, ``small`` — the default — or ``default``).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import EvaluationSuite, scale_from_env
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers", "figure(name): marks a benchmark as reproducing one paper figure/table")
+
+
+@pytest.fixture(scope="session")
+def suite() -> EvaluationSuite:
+    """The shared evaluation suite (runs are cached across figure benchmarks)."""
+    return EvaluationSuite(scale_from_env("small"))
+
+
+@pytest.fixture(scope="session")
+def report_sink():
+    """Collects rendered figure text so the session prints one joint report."""
+    sections = []
+    yield sections
+    if sections:
+        print("\n\n" + ("\n" + "=" * 78 + "\n").join(sections))
+
+
+def run_once(benchmark, func):
+    """Run ``func`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(func, rounds=1, iterations=1, warmup_rounds=0)

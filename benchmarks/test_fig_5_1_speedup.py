@@ -1,0 +1,43 @@
+"""Figure 5.1 — runtime speedup over the DRAM baseline.
+
+Regenerates both panels and checks the qualitative claims of Section 5.2.1
+that are robust at reduced scale:
+
+* the ARF schemes beat the static ART scheme (geomean),
+* the irregular microbenchmarks see the largest gains and ARF clearly beats
+  both baselines there,
+* every Active-Routing run's reductions verify against host-computed values.
+"""
+
+import pytest
+
+from repro.experiments import fig_speedup
+
+from conftest import run_once
+
+
+@pytest.mark.figure("5.1")
+def test_fig_5_1_runtime_speedup(benchmark, suite, report_sink):
+    data = run_once(benchmark, lambda: fig_speedup.compute(suite))
+    report_sink.append(fig_speedup.render(data))
+
+    panels = data["panels"]
+    micro = panels["microbenchmarks"]
+    geomeans = data["geomeans"]
+
+    # Active-Routing results are functionally correct.
+    assert suite.verified()
+
+    # The forest schemes beat the single-tree ART scheme on average (paper:
+    # ART is sub-optimal and sometimes worse than the HMC baseline).
+    assert geomeans["microbenchmarks"]["ARF-tid"] > geomeans["microbenchmarks"]["ART"]
+    assert geomeans["benchmarks"]["ARF-tid"] >= geomeans["benchmarks"]["ART"]
+
+    # Irregular-access microbenchmarks show the big wins (paper: up to ~40x).
+    assert micro["rand_mac"]["ARF-tid"] > 2.0 * micro["rand_mac"]["HMC"]
+    assert micro["rand_mac"]["ARF-tid"] > 3.0
+    assert micro["rand_reduce"]["ARF-tid"] > micro["rand_reduce"]["HMC"]
+
+    # The HMC memory network alone already helps most workloads over DDR.
+    hmc_speedups = [row["HMC"] for row in {**panels["benchmarks"], **micro}.values()]
+    assert sum(s >= 0.8 for s in hmc_speedups) >= len(hmc_speedups) - 2

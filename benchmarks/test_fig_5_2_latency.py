@@ -1,0 +1,37 @@
+"""Figure 5.2 — Update offloading round-trip latency breakdown.
+
+The paper's key observation: the static ART scheme funnels every Update
+through one port, so its request (and often stall) latency is far larger than
+either ARF scheme's.
+"""
+
+import pytest
+
+from repro.experiments import fig_latency
+
+from conftest import run_once
+
+
+@pytest.mark.figure("5.2")
+def test_fig_5_2_update_roundtrip_latency(benchmark, suite, report_sink):
+    data = run_once(benchmark, lambda: fig_latency.compute(suite))
+    report_sink.append(fig_latency.render(data))
+
+    all_rows = {**data["benchmarks"], **data["microbenchmarks"]}
+    assert all_rows, "latency data must not be empty"
+
+    art_wins = 0
+    comparisons = 0
+    for workload, row in all_rows.items():
+        # Latencies are decomposed into the three paper components.
+        for config in ("ART", "ARF-tid", "ARF-addr"):
+            total = row[f"{config}.total"]
+            parts = sum(row[f"{config}.{c}"] for c in ("request", "stall", "response"))
+            assert total == pytest.approx(parts, rel=1e-6, abs=1e-6)
+            assert total > 0
+        comparisons += 1
+        if row["ART.total"] > row["ARF-tid.total"]:
+            art_wins += 1
+
+    # The hot-spotted ART scheme has the longest round trips almost everywhere.
+    assert art_wins >= comparisons - 1

@@ -1,0 +1,34 @@
+"""Figure 5.3 — LUD operand-buffer stalls and Update/operand distribution heat maps.
+
+Qualitative claim reproduced: ARF-tid spreads Updates over the tree roots more
+evenly than ARF-addr (whose address-based port choice can imbalance the load).
+"""
+
+import pytest
+
+from repro.experiments import fig_lud_heatmap
+
+from conftest import run_once
+
+
+@pytest.mark.figure("5.3")
+def test_fig_5_3_lud_stalls_and_distribution(benchmark, suite, report_sink):
+    data = run_once(benchmark, lambda: fig_lud_heatmap.compute(suite))
+    report_sink.append(fig_lud_heatmap.render(data))
+
+    tid = data["ARF-tid"]
+    addr = data["ARF-addr"]
+
+    # Both schemes computed the same total amount of offloaded work.
+    assert tid["summary"]["updates_received"]["total"] == pytest.approx(
+        addr["summary"]["updates_received"]["total"])
+    assert tid["summary"]["updates_received"]["total"] > 0
+
+    # Updates and operands touch several cubes, not just one.
+    busy_cubes_tid = sum(1 for v in tid["updates_received"].values() if v > 0)
+    assert busy_cubes_tid >= 2
+
+    # The thread-interleaved forest is at least as balanced as the
+    # address-based forest (max/mean imbalance; paper Section 5.2.2).
+    assert (tid["summary"]["updates_received"]["imbalance"]
+            <= addr["summary"]["updates_received"]["imbalance"] * 1.10)

@@ -1,0 +1,41 @@
+"""Figure 5.4 — on/off-chip data movement normalized to the HMC baseline.
+
+Qualitative claims reproduced at reduced scale:
+
+* the Active-Routing schemes replace normal response traffic (block fetches of
+  source operands) with active request traffic (Update command packets);
+* for the irregular microbenchmarks the total off-chip movement drops well
+  below the HMC baseline;
+* for the regular benchmarks the fine-grained offload traffic can exceed the
+  baseline (the paper makes the same observation for its benchmarks).
+"""
+
+import pytest
+
+from repro.experiments import fig_data_movement
+
+from conftest import run_once
+
+
+@pytest.mark.figure("5.4")
+def test_fig_5_4_data_movement(benchmark, suite, report_sink):
+    data = run_once(benchmark, lambda: fig_data_movement.compute(suite))
+    report_sink.append(fig_data_movement.render(data))
+
+    micro = data["microbenchmarks"]
+    benchmarks = data["benchmarks"]
+
+    for rows in (micro, benchmarks):
+        for workload, row in rows.items():
+            # The HMC baseline is the normalization reference and has no
+            # active traffic at all.
+            assert row["HMC.total"] == pytest.approx(1.0)
+            assert row["HMC.active_req"] == 0.0
+            for config in ("ART", "ARF-tid", "ARF-addr"):
+                assert row[f"{config}.active_req"] > 0.0
+                # Offloading removes most of the normal read-response traffic.
+                assert row[f"{config}.norm_resp"] < row["HMC.norm_resp"]
+
+    # Irregular microbenchmarks show the large off-chip traffic reduction.
+    assert micro["rand_mac"]["ARF-tid.total"] < 0.6
+    assert micro["rand_reduce"]["ARF-tid.total"] < 0.9

@@ -1,0 +1,39 @@
+"""Figure 5.5 — power consumption breakdown normalized to the DRAM baseline.
+
+The paper observes that Active-Routing *raises* power: the cores issue Updates
+aggressively and the memory network processes operations at high density, so
+memory + network power grows even though runtime shrinks.
+"""
+
+import pytest
+
+from repro.experiments import fig_power_energy
+
+from conftest import run_once
+
+
+@pytest.mark.figure("5.5")
+def test_fig_5_5_power_breakdown(benchmark, suite, report_sink):
+    data = run_once(benchmark, lambda: fig_power_energy.compute_power(suite))
+    report_sink.append(fig_power_energy.render_power(data))
+
+    all_rows = {**data["benchmarks"], **data["microbenchmarks"]}
+    assert all_rows
+
+    higher_power = 0
+    for workload, row in all_rows.items():
+        assert row["DRAM.total"] == pytest.approx(1.0)
+        for config in ("DRAM", "HMC", "ART", "ARF-tid", "ARF-addr"):
+            components = [row[f"{config}.cache"], row[f"{config}.memory"],
+                          row[f"{config}.network"]]
+            assert all(c >= 0 for c in components)
+            assert row[f"{config}.total"] == pytest.approx(sum(components), rel=1e-6)
+        # Network power only exists once the memory network is in place.
+        assert row["DRAM.network"] == 0.0
+        assert row["ARF-tid.network"] > 0.0
+        if row["ARF-tid.total"] > row["HMC.total"]:
+            higher_power += 1
+
+    # In most workloads Active-Routing consumes more power than the HMC
+    # baseline (it trades power for runtime).
+    assert higher_power >= len(all_rows) // 2

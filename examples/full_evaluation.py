@@ -1,0 +1,39 @@
+#!/usr/bin/env python3
+"""Regenerate the paper's full evaluation (every table and figure) as text.
+
+This drives the same :class:`~repro.experiments.EvaluationSuite` the pytest
+benchmarks use and writes the complete report to ``evaluation_report.txt``.
+Use the ``REPRO_SCALE`` environment variable to pick the problem-size scale
+(``tiny`` for a fast smoke run, ``small`` — the default — or ``default`` for
+the sizes documented in EXPERIMENTS.md).
+
+Run with:  REPRO_SCALE=tiny python examples/full_evaluation.py
+"""
+
+from __future__ import annotations
+
+import pathlib
+import time
+
+from repro.experiments import EvaluationSuite, full_report, scale_from_env
+
+
+def main() -> None:
+    scale = scale_from_env("small")
+    print(f"running the full evaluation at scale {scale.name!r} "
+          f"({len(scale.workload_params) or 'default'} workload overrides) ...")
+    started = time.time()
+    suite = EvaluationSuite(scale)
+    report = full_report(suite)
+    elapsed = time.time() - started
+
+    out_path = pathlib.Path("evaluation_report.txt")
+    out_path.write_text(report)
+    print(report)
+    print()
+    print(f"finished in {elapsed:.0f} s; report written to {out_path.resolve()}")
+    print("reductions verified:", suite.verified())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+"""repro — a reproduction of "Active-Routing: Compute on the Way for Near-Data Processing".
+
+The package is organised as a stack of substrates with the paper's contribution
+(`repro.core`) on top:
+
+* :mod:`repro.sim` — discrete-event simulation kernel.
+* :mod:`repro.mem`, :mod:`repro.dram`, :mod:`repro.hmc`, :mod:`repro.network` —
+  memory substrates: DDR baseline, HMC cubes, and the cube memory network.
+* :mod:`repro.cpu`, :mod:`repro.isa` — the host CMP and the Update/Gather ISA
+  extension it offloads through.
+* :mod:`repro.core` — Active-Routing: flow table, operand buffers, engines,
+  tree-construction schemes, host offload logic.
+* :mod:`repro.workloads` — the paper's benchmarks and microbenchmarks as trace
+  generators.
+* :mod:`repro.system`, :mod:`repro.experiments`, :mod:`repro.analysis`,
+  :mod:`repro.power` — machine assembly, the per-figure evaluation harness and
+  the metric/energy models.
+
+Quickstart::
+
+    from repro import run_workload
+    result = run_workload("ARF-tid", "mac", array_elements=4096)
+    print(result.cycles, result.flows_verified)
+"""
+
+from .core import ActiveRoutingEngine, ActiveRoutingHost, Scheme
+from .system import (
+    RunResult,
+    SystemConfig,
+    SystemKind,
+    build_system,
+    make_system_config,
+    run_suite,
+    run_workload,
+)
+from .workloads import ALL_WORKLOADS, BENCHMARKS, MICROBENCHMARKS, make_workload
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ActiveRoutingEngine",
+    "ActiveRoutingHost",
+    "Scheme",
+    "RunResult",
+    "SystemConfig",
+    "SystemKind",
+    "build_system",
+    "make_system_config",
+    "run_suite",
+    "run_workload",
+    "ALL_WORKLOADS",
+    "BENCHMARKS",
+    "MICROBENCHMARKS",
+    "make_workload",
+    "__version__",
+]

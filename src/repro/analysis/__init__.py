@@ -1,0 +1,28 @@
+"""Analysis helpers: metrics, per-cube heat maps, text tables and bar charts."""
+
+from .heatmap import heatmap_summary, normalize_counts, render_heatmap
+from .metrics import (
+    crossover_index,
+    geomean_speedup,
+    imbalance,
+    normalize,
+    percent_improvement,
+    speedup,
+    windowed_rates,
+)
+from .tables import format_grouped_bars, format_table
+
+__all__ = [
+    "heatmap_summary",
+    "normalize_counts",
+    "render_heatmap",
+    "crossover_index",
+    "geomean_speedup",
+    "imbalance",
+    "normalize",
+    "percent_improvement",
+    "speedup",
+    "windowed_rates",
+    "format_grouped_bars",
+    "format_table",
+]

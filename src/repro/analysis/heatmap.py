@@ -1,0 +1,69 @@
+"""Text rendering of per-cube heat maps (Figure 5.3).
+
+The paper shows the memory network as a grid of cubes shaded by event counts
+(operand-buffer stalls, Update distribution, operand distribution).  Here the
+same data is rendered as an ASCII grid plus an imbalance summary, which is what
+the Figure 5.3 benchmark prints and what the tests assert on.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Mapping, Sequence
+
+#: Shades from cold to hot.
+_SHADES = " .:-=+*#%@"
+
+
+def _grid_shape(num_cubes: int) -> tuple:
+    side = int(round(math.sqrt(num_cubes)))
+    if side * side == num_cubes:
+        return side, side
+    return 1, num_cubes
+
+
+def normalize_counts(counts: Mapping[int, float]) -> Dict[int, float]:
+    """Scale counts into [0, 1] by the maximum (all zeros stay zero)."""
+    if not counts:
+        return {}
+    peak = max(counts.values())
+    if peak <= 0:
+        return {cube: 0.0 for cube in counts}
+    return {cube: value / peak for cube, value in counts.items()}
+
+
+def render_heatmap(counts: Mapping[int, float], num_cubes: int = 16,
+                   title: str = "") -> str:
+    """Render a per-cube metric as an ASCII heat map grid."""
+    rows, cols = _grid_shape(num_cubes)
+    normalized = normalize_counts({cube: counts.get(cube, 0.0) for cube in range(num_cubes)})
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    for r in range(rows):
+        cells = []
+        for c in range(cols):
+            cube = r * cols + c
+            level = normalized.get(cube, 0.0)
+            shade = _SHADES[min(len(_SHADES) - 1, int(level * (len(_SHADES) - 1)))]
+            cells.append(f"[{shade}{shade} {counts.get(cube, 0.0):9.0f}]")
+        lines.append(" ".join(cells))
+    return "\n".join(lines)
+
+
+def heatmap_summary(counts: Mapping[int, float]) -> Dict[str, float]:
+    """Summary statistics of a per-cube distribution (total, max/mean imbalance, CV)."""
+    values: Sequence[float] = list(counts.values())
+    if not values:
+        return {"total": 0.0, "mean": 0.0, "max": 0.0, "imbalance": 0.0, "cv": 0.0}
+    total = float(sum(values))
+    mean = total / len(values)
+    peak = max(values)
+    if mean > 0:
+        variance = sum((v - mean) ** 2 for v in values) / len(values)
+        cv = math.sqrt(variance) / mean
+        imbalance = peak / mean
+    else:
+        cv = 0.0
+        imbalance = 0.0
+    return {"total": total, "mean": mean, "max": peak, "imbalance": imbalance, "cv": cv}

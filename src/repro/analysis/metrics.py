@@ -1,0 +1,73 @@
+"""Metric helpers shared by the experiment harness: speedups, normalization, geomeans."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from ..sim.stats import geometric_mean
+
+
+def speedup(baseline_cycles: float, cycles: float) -> float:
+    """Runtime speedup of ``cycles`` relative to ``baseline_cycles``."""
+    if cycles <= 0:
+        return 0.0
+    return baseline_cycles / cycles
+
+
+def normalize(values: Mapping[str, float], baseline_key: str) -> Dict[str, float]:
+    """Normalize every value in ``values`` to the entry named ``baseline_key``."""
+    base = values.get(baseline_key)
+    if base is None or base == 0:
+        raise ValueError(f"baseline {baseline_key!r} missing or zero")
+    return {key: value / base for key, value in values.items()}
+
+
+def geomean_speedup(speedups: Iterable[float]) -> float:
+    """Geometric-mean speedup (ignores non-positive entries defensively)."""
+    positive = [s for s in speedups if s > 0]
+    if not positive:
+        return 0.0
+    return geometric_mean(positive)
+
+
+def percent_improvement(speedup_value: float) -> float:
+    """Express a speedup as a percentage improvement (1.75x -> 75%)."""
+    return (speedup_value - 1.0) * 100.0
+
+
+def crossover_index(series_a: Sequence[float], series_b: Sequence[float]) -> Optional[int]:
+    """First index where ``series_a`` overtakes ``series_b`` (used by Fig. 5.8)."""
+    for index, (a, b) in enumerate(zip(series_a, series_b)):
+        if a > b:
+            return index
+    return None
+
+
+def windowed_rates(samples: Sequence[Tuple[float, int]], window: int = 1) -> List[Tuple[float, float]]:
+    """Convert cumulative (cycle, count) samples into per-window rates.
+
+    Returns a list of ``(cycle, rate)`` where rate is counts per cycle over the
+    preceding window of samples.  Used to derive IPC-over-time curves.
+    """
+    if window < 1:
+        raise ValueError("window must be at least 1")
+    rates: List[Tuple[float, float]] = []
+    for i in range(window, len(samples)):
+        cycle0, count0 = samples[i - window]
+        cycle1, count1 = samples[i]
+        delta_cycles = cycle1 - cycle0
+        if delta_cycles <= 0:
+            continue
+        rates.append((cycle1, (count1 - count0) / delta_cycles))
+    return rates
+
+
+def imbalance(values: Iterable[float]) -> float:
+    """Load-imbalance factor: max / mean (1.0 means perfectly balanced)."""
+    values = [v for v in values]
+    if not values:
+        return 0.0
+    mean = sum(values) / len(values)
+    if mean == 0:
+        return 0.0
+    return max(values) / mean

@@ -1,0 +1,51 @@
+"""Plain-text table rendering used by the experiment reports."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]],
+                 float_format: str = "{:.3f}") -> str:
+    """Render a simple aligned table (no external dependencies)."""
+    rendered_rows: List[List[str]] = []
+    for row in rows:
+        rendered: List[str] = []
+        for cell in row:
+            if isinstance(cell, float):
+                rendered.append(float_format.format(cell))
+            else:
+                rendered.append(str(cell))
+        rendered_rows.append(rendered)
+    widths = [len(h) for h in headers]
+    for row in rendered_rows:
+        for i, cell in enumerate(row):
+            if i < len(widths):
+                widths[i] = max(widths[i], len(cell))
+            else:
+                widths.append(len(cell))
+    def _line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.rjust(widths[i]) for i, cell in enumerate(cells))
+    lines = [_line(list(headers)), _line(["-" * w for w in widths])]
+    lines.extend(_line(row) for row in rendered_rows)
+    return "\n".join(lines)
+
+
+def format_grouped_bars(groups: Sequence[str], series: Sequence[str],
+                        values, width: int = 40,
+                        value_format: str = "{:.2f}") -> str:
+    """ASCII grouped bar chart: one group per workload, one bar per configuration.
+
+    ``values`` is a mapping ``(group, series) -> float``.
+    """
+    peak = max((values.get((g, s), 0.0) for g in groups for s in series), default=0.0)
+    scale = (width / peak) if peak > 0 else 0.0
+    lines: List[str] = []
+    label_width = max((len(s) for s in series), default=8)
+    for group in groups:
+        lines.append(f"{group}:")
+        for s in series:
+            value = values.get((group, s), 0.0)
+            bar = "#" * max(0, int(round(value * scale)))
+            lines.append(f"  {s.ljust(label_width)} |{bar} {value_format.format(value)}")
+    return "\n".join(lines)

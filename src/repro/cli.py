@@ -1,0 +1,109 @@
+"""Command-line interface.
+
+Two subcommands cover the common entry points::
+
+    python -m repro run --config ARF-tid --workload mac --threads 4
+    python -m repro report --scale tiny --output report.txt
+
+``run`` simulates one (configuration, workload) pair and prints the headline
+metrics; ``report`` regenerates the full evaluation (every table and figure).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from .analysis import format_table
+from .experiments import SCALES, EvaluationSuite, full_report
+from .system import CONFIG_ORDER, run_workload
+from .workloads import ALL_WORKLOADS
+
+
+def _parse_workload_params(pairs: Sequence[str]) -> dict:
+    """Parse ``key=value`` workload overrides (integers where possible)."""
+    params = {}
+    for pair in pairs:
+        if "=" not in pair:
+            raise SystemExit(f"workload parameter {pair!r} is not of the form key=value")
+        key, value = pair.split("=", 1)
+        try:
+            params[key] = int(value)
+        except ValueError:
+            try:
+                params[key] = float(value)
+            except ValueError:
+                params[key] = value
+    return params
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Active-Routing reproduction: run workloads or regenerate the evaluation.")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_p = sub.add_parser("run", help="simulate one workload on one configuration")
+    run_p.add_argument("--config", default="ARF-tid",
+                       choices=[k.value for k in CONFIG_ORDER],
+                       help="system configuration (Section 5.1 scheme)")
+    run_p.add_argument("--workload", default="mac", choices=sorted(ALL_WORKLOADS),
+                       help="benchmark or microbenchmark to run")
+    run_p.add_argument("--threads", type=int, default=4, help="number of worker threads")
+    run_p.add_argument("--param", action="append", default=[], metavar="KEY=VALUE",
+                       help="workload size override (repeatable), e.g. array_elements=4096")
+
+    report_p = sub.add_parser("report", help="regenerate every evaluation table and figure")
+    report_p.add_argument("--scale", default="small", choices=sorted(SCALES),
+                          help="problem-size scale")
+    report_p.add_argument("--output", default=None,
+                          help="optional path to also write the report to")
+    report_p.add_argument("--skip-dynamic-offload", action="store_true",
+                          help="skip the Figure 5.8 case study (extra simulations)")
+    return parser
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    params = _parse_workload_params(args.param)
+    result = run_workload(args.config, args.workload, num_threads=args.threads, **params)
+    rows = [
+        ["cycles", f"{result.cycles:,.0f}"],
+        ["instructions", f"{result.instructions:,d}"],
+        ["IPC", f"{result.ipc:.3f}"],
+        ["off-chip traffic", f"{result.total_data_bytes / 1024:.1f} KiB"],
+        ["energy", f"{result.energy.total_j * 1e6:.2f} uJ"],
+        ["power", f"{result.energy.power_w:.3f} W"],
+        ["EDP", f"{result.energy.edp:.3e} J*s"],
+    ]
+    if result.mode == "active":
+        rows.append(["update round-trip", f"{result.update_roundtrip:.0f} cycles"])
+        checked, mismatched = result.flow_checks
+        rows.append(["flows verified", f"{checked - mismatched}/{checked}"])
+    print(f"{args.workload} on {args.config} ({args.threads} threads)")
+    print(format_table(["metric", "value"], rows))
+    return 0 if result.flows_verified else 1
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    suite = EvaluationSuite(args.scale)
+    report = full_report(suite, include_dynamic_offload=not args.skip_dynamic_offload)
+    print(report)
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(report)
+    return 0 if suite.verified() else 1
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "report":
+        return _cmd_report(args)
+    raise SystemExit(f"unknown command {args.command!r}")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

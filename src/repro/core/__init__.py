@@ -1,0 +1,34 @@
+"""Active-Routing: the paper's primary contribution.
+
+Flow table, operand buffers, ALU opcodes, the per-cube Active-Routing Engine,
+the host-side offload logic and the ART/ARF port-selection schemes.
+"""
+
+from .alu import ALU, OPCODES, OpClass, OpcodeSpec, is_reduce_opcode, opcode_spec
+from .config import AREConfig
+from .engine import ActiveRoutingEngine
+from .flow_table import FlowKey, FlowTable, FlowTableEntry
+from .host import ActiveRoutingHost
+from .offload import DynamicOffloadPolicy
+from .operand_buffer import OperandBufferEntry, OperandBufferPool
+from .schemes import PortSelector, Scheme
+
+__all__ = [
+    "ALU",
+    "OPCODES",
+    "OpClass",
+    "OpcodeSpec",
+    "is_reduce_opcode",
+    "opcode_spec",
+    "AREConfig",
+    "ActiveRoutingEngine",
+    "FlowKey",
+    "FlowTable",
+    "FlowTableEntry",
+    "ActiveRoutingHost",
+    "DynamicOffloadPolicy",
+    "OperandBufferEntry",
+    "OperandBufferPool",
+    "PortSelector",
+    "Scheme",
+]

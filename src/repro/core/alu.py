@@ -1,0 +1,94 @@
+"""Opcode semantics and the per-engine ALU.
+
+Update opcodes fall into two classes:
+
+* **reduce** opcodes accumulate a value into the flow's partial result, which
+  is later aggregated along the ARTree by the Gather phase
+  (``sum += A[i] * B[i]`` style);
+* **store** opcodes write a value to the target memory location and need no
+  flow bookkeeping (the ``mov``/``const_assign`` Updates of the PageRank
+  pseudocode in Figure 3.2).
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional
+
+from ..sim import Component, Simulator
+
+
+class OpClass(enum.Enum):
+    REDUCE = "reduce"
+    STORE = "store"
+
+
+@dataclass(frozen=True)
+class OpcodeSpec:
+    """Semantics of one Update opcode."""
+
+    name: str
+    op_class: OpClass
+    num_operands: int
+    #: Combine the (up to two) source operands into the value to accumulate/store.
+    combine: Callable[[float, float], float]
+    #: Merge a combined value (or a child's partial result) into an accumulator.
+    accumulate: Callable[[float, float], float]
+    #: Identity element of ``accumulate``.
+    identity: float
+
+
+def _first(a: float, _b: float) -> float:
+    return a
+
+
+OPCODES: Dict[str, OpcodeSpec] = {
+    "add": OpcodeSpec("add", OpClass.REDUCE, 1, _first, lambda acc, v: acc + v, 0.0),
+    "mac": OpcodeSpec("mac", OpClass.REDUCE, 2, lambda a, b: a * b,
+                      lambda acc, v: acc + v, 0.0),
+    "mult": OpcodeSpec("mult", OpClass.REDUCE, 2, lambda a, b: a * b,
+                       lambda acc, v: acc + v, 0.0),
+    "abs_diff": OpcodeSpec("abs_diff", OpClass.REDUCE, 2, lambda a, b: abs(a - b),
+                           lambda acc, v: acc + v, 0.0),
+    "min": OpcodeSpec("min", OpClass.REDUCE, 1, _first, min, math.inf),
+    "max": OpcodeSpec("max", OpClass.REDUCE, 1, _first, max, -math.inf),
+    "mov": OpcodeSpec("mov", OpClass.STORE, 1, _first, _first, 0.0),
+    "const_assign": OpcodeSpec("const_assign", OpClass.STORE, 0, _first, _first, 0.0),
+}
+
+
+def opcode_spec(name: str) -> OpcodeSpec:
+    """Look up an opcode; raises ``ValueError`` for unknown names."""
+    try:
+        return OPCODES[name]
+    except KeyError:
+        raise ValueError(f"unknown Update opcode {name!r}; known: {sorted(OPCODES)}")
+
+
+def is_reduce_opcode(name: str) -> bool:
+    return opcode_spec(name).op_class is OpClass.REDUCE
+
+
+class ALU(Component):
+    """The arithmetic unit of one Active-Routing engine."""
+
+    def __init__(self, sim: Simulator, name: str, latency: float = 2.0) -> None:
+        super().__init__(sim, name)
+        self.latency = latency
+
+    def combine(self, opcode: str, a: float, b: float = 0.0) -> float:
+        """Execute the data-processing part of an Update (e.g. the multiply of a MAC)."""
+        spec = opcode_spec(opcode)
+        self.count("ops")
+        self.count(f"ops.{opcode}")
+        return spec.combine(a, b)
+
+    def accumulate(self, opcode: str, accumulator: Optional[float], value: float) -> float:
+        """Fold ``value`` into ``accumulator`` using the opcode's reduction."""
+        spec = opcode_spec(opcode)
+        if accumulator is None:
+            accumulator = spec.identity
+        self.count("reductions")
+        return spec.accumulate(accumulator, value)

@@ -1,0 +1,29 @@
+"""Active-Routing engine configuration knobs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class AREConfig:
+    """Per-cube Active-Routing Engine parameters (Figure 3.3).
+
+    The operand-buffer pool size bounds how many two-operand Updates can be in
+    flight at one engine; exhaustion stalls incoming Updates and is reported as
+    the *stall* component of the round-trip latency breakdown (Figure 5.2) and
+    as the per-cube stall heat map (Figure 5.3).
+    """
+
+    #: Number of operand-buffer entries in the pool.
+    operand_buffer_slots: int = 128
+    #: Maximum concurrent flows a Flow Table can track.
+    flow_table_slots: int = 1024
+    #: Packet-decoder latency per active packet, in CPU cycles.
+    decode_latency: float = 1.0
+    #: ALU latency per operation, in CPU cycles.
+    alu_latency: float = 2.0
+    #: Bytes read from the vault for one operand (fine-grained word access).
+    operand_read_bytes: int = 8
+    #: Bytes written to the vault for a store-class Update (mov/const_assign).
+    store_write_bytes: int = 8

@@ -1,0 +1,347 @@
+"""The Active-Routing Engine (ARE) that lives on every cube's logic layer.
+
+The engine implements the three-phase protocol of Section 3.3:
+
+1. **Tree construction** — every Update packet that crosses the cube registers
+   (or refreshes) a flow-table entry, recording the incoming link as the tree
+   parent and the outgoing link as a child, so the ARTree materializes as a
+   side effect of routing.
+2. **Near-data processing (Update phase)** — Updates whose compute point is
+   this cube reserve an operand buffer (two-operand operations), fetch their
+   operands from the local vaults or from remote cubes, execute in the ALU and
+   commit into the flow entry's partial result.
+3. **Active-Routing reduction (Gather phase)** — Gather requests sweep down
+   the recorded children; once a subtree's committed-update count matches the
+   number of Updates that passed through, the partial result is sent to the
+   parent and the entry is released.
+
+Packet handling follows the flow charts of Figure 3.4.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional, Tuple, TYPE_CHECKING
+
+from ..network.packet import (
+    GatherRequestPacket,
+    GatherResponsePacket,
+    OperandRequestPacket,
+    OperandResponsePacket,
+    Packet,
+    PacketType,
+    UpdatePacket,
+)
+from ..sim import Component, Simulator
+from .alu import ALU, OpClass, opcode_spec
+from .config import AREConfig
+from .flow_table import FlowTable, FlowTableEntry
+from .operand_buffer import OperandBufferEntry, OperandBufferPool
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..hmc.cube import HMCCube
+    from ..network.network import MemoryNetwork
+    from .host import ActiveRoutingHost
+
+
+class ActiveRoutingEngine(Component):
+    """Per-cube engine: packet decoder + flow table + operand buffers + ALU."""
+
+    def __init__(self, sim: Simulator, cube: "HMCCube", network: "MemoryNetwork",
+                 host: "ActiveRoutingHost", config: Optional[AREConfig] = None) -> None:
+        super().__init__(sim, f"are{cube.node_id}")
+        self.cube = cube
+        self.network = network
+        self.host = host
+        self.config = config or AREConfig()
+        self.node_id = cube.node_id
+        self.mapping = cube.mapping
+        self.flow_table = FlowTable(sim, f"{self.name}.flowtable",
+                                    capacity=self.config.flow_table_slots)
+        self.operand_buffers = OperandBufferPool(sim, f"{self.name}.opbuf",
+                                                 capacity=self.config.operand_buffer_slots)
+        self.alu = ALU(sim, f"{self.name}.alu", latency=self.config.alu_latency)
+        self._stalled_updates: Deque[Tuple[UpdatePacket, float]] = deque()
+
+    # ------------------------------------------------------------------ dispatch
+    def handle_packet(self, packet: Packet, from_node: int) -> None:
+        """Entry point called by the cube for every active packet that arrives."""
+        self.count("active_packets")
+        if packet.ptype == PacketType.UPDATE:
+            self._handle_update(packet, from_node)  # type: ignore[arg-type]
+        elif packet.ptype == PacketType.OPERAND_REQ:
+            self._handle_operand_request(packet, from_node)  # type: ignore[arg-type]
+        elif packet.ptype == PacketType.OPERAND_RESP:
+            self._handle_operand_response(packet, from_node)  # type: ignore[arg-type]
+        elif packet.ptype == PacketType.GATHER_REQ:
+            self._handle_gather_request(packet, from_node)  # type: ignore[arg-type]
+        elif packet.ptype == PacketType.GATHER_RESP:
+            self._handle_gather_response(packet, from_node)  # type: ignore[arg-type]
+        else:
+            raise RuntimeError(f"{self.name} cannot handle packet type {packet.ptype}")
+
+    # ---------------------------------------------------------------- update phase
+    def _handle_update(self, packet: UpdatePacket, from_node: int) -> None:
+        spec = opcode_spec(packet.opcode)
+        if spec.op_class is OpClass.REDUCE:
+            entry = self.flow_table.get_or_create(packet.flow_id, packet.root_node,
+                                                  packet.opcode, parent=from_node)
+            entry.req_counter += 1
+            self.count("updates_seen")
+            if packet.dst != self.node_id:
+                next_hop = self.network.next_hop(self.node_id, packet.dst)
+                entry.record_child(next_hop)
+                self.count("updates_forwarded")
+                self.network.forward(packet, self.node_id)
+                return
+            self.count("updates_received")
+            self._start_update_processing(packet, arrival=self.now)
+            return
+
+        # Store-class Updates (mov / const_assign): no flow bookkeeping needed.
+        if packet.dst != self.node_id:
+            self.count("stores_forwarded")
+            self.network.forward(packet, self.node_id)
+            return
+        self.count("stores_received")
+        self._start_store_processing(packet, arrival=self.now)
+
+    def _start_update_processing(self, packet: UpdatePacket, arrival: float) -> None:
+        spec = opcode_spec(packet.opcode)
+        if spec.num_operands <= 1:
+            self._process_single_operand(packet, arrival)
+            return
+        entry = self.operand_buffers.reserve(packet.flow_id, packet.root_node,
+                                             packet.opcode, packet, arrival,
+                                             num_operands=2)
+        if entry is None:
+            self.count("operand_buffer_stalls")
+            self._stalled_updates.append((packet, arrival))
+            return
+        self._issue_operand_fetches(entry)
+
+    def _start_store_processing(self, packet: UpdatePacket, arrival: float) -> None:
+        spec = opcode_spec(packet.opcode)
+        if spec.num_operands == 0:
+            # const_assign: write the immediate to the (local) target.
+            finish = self.cube.local_access(packet.target_addr,
+                                            self.config.store_write_bytes, is_write=True)
+            self.count("store_writes")
+            self.sim.schedule_at(finish, lambda: self._commit_store(packet, arrival),
+                                 label=f"{self.name}.store")
+            return
+        # mov: fetch the source operand, then write the target locally.
+        entry = self.operand_buffers.reserve(packet.flow_id, packet.root_node,
+                                             packet.opcode, packet, arrival,
+                                             num_operands=1)
+        if entry is None:
+            self.count("operand_buffer_stalls")
+            self._stalled_updates.append((packet, arrival))
+            return
+        entry.extra["is_store"] = 1.0
+        self._issue_operand_fetches(entry)
+
+    def _process_single_operand(self, packet: UpdatePacket, arrival: float) -> None:
+        """Single-operand reductions bypass the operand buffers (Section 3.2.3)."""
+        addr = packet.src1_addr
+        if addr is None:
+            value = self.alu.combine(packet.opcode, packet.imm_value)
+            self._commit_reduce(packet, arrival, arrival, value)
+            return
+        if self.mapping.cube_of(addr) != self.node_id:
+            # The host always targets the operand's cube, but stay safe and use
+            # the buffered remote-fetch path if a mapping mismatch ever occurs.
+            entry = self.operand_buffers.reserve(packet.flow_id, packet.root_node,
+                                                 packet.opcode, packet, arrival,
+                                                 num_operands=1)
+            if entry is None:
+                self.count("operand_buffer_stalls")
+                self._stalled_updates.append((packet, arrival))
+                return
+            self._issue_operand_fetches(entry)
+            return
+        finish = self.cube.local_access(addr, self.config.operand_read_bytes, is_write=False)
+        self.count("local_operand_reads")
+        value = self.alu.combine(packet.opcode, packet.src1_value)
+        commit_time = finish + self.config.alu_latency
+        self.sim.schedule_at(commit_time,
+                             lambda: self._commit_reduce(packet, arrival, arrival, value),
+                             label=f"{self.name}.commit1op")
+
+    def _issue_operand_fetches(self, entry: OperandBufferEntry) -> None:
+        entry.operand_issue_time = self.now
+        packet = entry.update
+        operands = [(0, packet.src1_addr, packet.src1_value)]
+        if entry.num_operands == 2:
+            operands.append((1, packet.src2_addr, packet.src2_value))
+        for index, addr, value in operands:
+            if addr is None:
+                entry.set_operand(index, value)
+                continue
+            owner = self.mapping.cube_of(addr)
+            if owner == self.node_id:
+                finish = self.cube.local_access(addr, self.config.operand_read_bytes,
+                                                is_write=False)
+                self.count("local_operand_reads")
+                self.count("operand_reads_served")
+                slot, op_index, op_value = entry.slot, index, value
+                self.sim.schedule_at(
+                    finish,
+                    lambda s=slot, i=op_index, v=op_value: self._operand_arrived(s, i, v),
+                    label=f"{self.name}.local_operand")
+            else:
+                request = OperandRequestPacket(src=self.node_id, dst=owner, addr=addr,
+                                               buffer_slot=entry.slot, operand_index=index,
+                                               compute_node=self.node_id, value=value,
+                                               flow_id=packet.flow_id)
+                self.count("remote_operand_requests")
+                self.network.inject(request, self.node_id)
+        if entry.ready:
+            self._commit_buffered(entry)
+
+    # -------------------------------------------------------- operand traffic handling
+    def _handle_operand_request(self, packet: OperandRequestPacket, from_node: int) -> None:
+        if packet.dst != self.node_id:
+            self.network.forward(packet, self.node_id)
+            return
+        finish = self.cube.local_access(packet.addr, self.config.operand_read_bytes,
+                                        is_write=False)
+        self.count("operand_reads_served")
+
+        def _respond() -> None:
+            response = OperandResponsePacket(src=self.node_id, dst=packet.compute_node,
+                                             addr=packet.addr, buffer_slot=packet.buffer_slot,
+                                             operand_index=packet.operand_index,
+                                             value=packet.value, flow_id=packet.flow_id)
+            self.network.inject(response, self.node_id)
+
+        self.sim.schedule_at(finish, _respond, label=f"{self.name}.operand_resp")
+
+    def _handle_operand_response(self, packet: OperandResponsePacket, from_node: int) -> None:
+        if packet.dst != self.node_id:
+            self.network.forward(packet, self.node_id)
+            return
+        self._operand_arrived(packet.buffer_slot, packet.operand_index, packet.value)
+
+    def _operand_arrived(self, slot: int, index: int, value: float) -> None:
+        entry = self.operand_buffers.get(slot)
+        entry.set_operand(index, value)
+        self.count("operands_arrived")
+        if entry.ready:
+            self._commit_buffered(entry)
+
+    # ----------------------------------------------------------------- commit paths
+    def _commit_buffered(self, entry: OperandBufferEntry) -> None:
+        packet = entry.update
+        self.operand_buffers.release(entry.slot)
+        if entry.extra.get("is_store"):
+            finish = self.cube.local_access(packet.target_addr,
+                                            self.config.store_write_bytes, is_write=True)
+            self.count("store_writes")
+            self.sim.schedule_at(finish,
+                                 lambda: self._commit_store(packet, entry.arrival_time),
+                                 label=f"{self.name}.store")
+        else:
+            value = self.alu.combine(packet.opcode, entry.op_value1, entry.op_value2)
+            self._commit_reduce(packet, entry.arrival_time, entry.operand_issue_time, value)
+        self._drain_stalled()
+
+    def _drain_stalled(self) -> None:
+        while self._stalled_updates and self.operand_buffers.free_slots > 0:
+            packet, arrival = self._stalled_updates.popleft()
+            spec = opcode_spec(packet.opcode)
+            if spec.op_class is OpClass.REDUCE:
+                self._start_update_processing(packet, arrival)
+            else:
+                self._start_store_processing(packet, arrival)
+
+    def _commit_reduce(self, packet: UpdatePacket, arrival: float,
+                       operand_issue: float, value: float) -> None:
+        entry = self.flow_table.lookup(packet.flow_id, packet.root_node)
+        if entry is None:
+            raise RuntimeError(
+                f"{self.name}: commit for flow 0x{packet.flow_id:x} (root {packet.root_node}) "
+                "but no flow-table entry exists; Gather must not overtake Updates"
+            )
+        entry.result = self.alu.accumulate(packet.opcode, entry.result, value)
+        entry.resp_counter += 1
+        self.count("updates_committed")
+        self._record_roundtrip(packet, arrival, operand_issue)
+        self.host.notify_update_commit(packet.update_id)
+        self._check_flow_completion(entry)
+
+    def _commit_store(self, packet: UpdatePacket, arrival: float) -> None:
+        self.count("stores_committed")
+        self._record_roundtrip(packet, arrival, arrival)
+        self.host.notify_update_commit(packet.update_id)
+
+    def _record_roundtrip(self, packet: UpdatePacket, arrival: float,
+                          operand_issue: float) -> None:
+        request_latency = max(0.0, arrival - packet.issue_time)
+        stall_latency = max(0.0, operand_issue - arrival)
+        response_latency = max(0.0, self.now + self.config.alu_latency - operand_issue)
+        self.sim.stats.observe("ar.update_latency.request", request_latency)
+        self.sim.stats.observe("ar.update_latency.stall", stall_latency)
+        self.sim.stats.observe("ar.update_latency.response", response_latency)
+        self.sim.stats.observe("ar.update_latency.total",
+                               request_latency + stall_latency + response_latency)
+
+    # ----------------------------------------------------------------- gather phase
+    def _handle_gather_request(self, packet: GatherRequestPacket, from_node: int) -> None:
+        self.count("gathers_received")
+        entry = self.flow_table.lookup(packet.flow_id, packet.root_node)
+        if entry is None:
+            # No Update of this flow ever crossed this cube through this tree:
+            # answer immediately with an empty partial result.
+            response = GatherResponsePacket(src=self.node_id, dst=from_node,
+                                            target_addr=packet.target_addr,
+                                            partial_result=0.0, completed_updates=0,
+                                            root_node=packet.root_node,
+                                            flow_id=packet.flow_id)
+            self.network.inject(response, self.node_id)
+            return
+        entry.gflag = True
+        if entry.parent is None:
+            entry.parent = from_node
+        if entry.children:
+            entry.pending_children = set(entry.children)
+            for child in sorted(entry.children):
+                request = GatherRequestPacket(src=self.node_id, dst=child,
+                                              target_addr=packet.target_addr,
+                                              num_threads=packet.num_threads,
+                                              root_node=packet.root_node,
+                                              flow_id=packet.flow_id)
+                self.count("gathers_replicated")
+                self.network.inject(request, self.node_id)
+            entry.children.clear()
+        self._check_flow_completion(entry)
+
+    def _handle_gather_response(self, packet: GatherResponsePacket, from_node: int) -> None:
+        if packet.dst != self.node_id:
+            self.network.forward(packet, self.node_id)
+            return
+        entry = self.flow_table.lookup(packet.flow_id, packet.root_node)
+        if entry is None:
+            raise RuntimeError(
+                f"{self.name}: Gather response for unknown flow 0x{packet.flow_id:x} "
+                f"(root {packet.root_node})"
+            )
+        entry.resp_counter += packet.completed_updates
+        entry.result = self.alu.accumulate(entry.opcode, entry.result, packet.partial_result)
+        entry.pending_children.discard(from_node)
+        self.count("gather_responses_merged")
+        self._check_flow_completion(entry)
+
+    def _check_flow_completion(self, entry: FlowTableEntry) -> None:
+        if not entry.complete:
+            return
+        if entry.parent is None:
+            raise RuntimeError(f"{self.name}: completed flow entry has no parent")
+        response = GatherResponsePacket(src=self.node_id, dst=entry.parent,
+                                        target_addr=entry.flow_id,
+                                        partial_result=entry.result,
+                                        completed_updates=entry.resp_counter,
+                                        root_node=entry.root, flow_id=entry.flow_id)
+        self.count("gather_responses_sent")
+        self.flow_table.release(entry.key)
+        self.network.inject(response, self.node_id)

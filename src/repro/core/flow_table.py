@@ -1,0 +1,99 @@
+"""The Active Flow Table (Section 3.2.2, Table 3.1).
+
+Each entry tracks one Active-Routing *tree*: the flow it belongs to (identified
+by the reduction target address) and the tree root it entered the network
+through.  Keying on ``(flow_id, root)`` lets the ARF schemes keep up to four
+independent trees per flow without their counters interfering.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Set, Tuple
+
+from ..sim import Component, Simulator
+from .alu import opcode_spec
+
+FlowKey = Tuple[int, int]  # (flow_id, root_node)
+
+
+@dataclass
+class FlowTableEntry:
+    """One flow-table entry; field names follow Table 3.1."""
+
+    flow_id: int
+    root: int
+    opcode: str
+    result: float
+    req_counter: int = 0
+    resp_counter: int = 0
+    parent: Optional[int] = None
+    children: Set[int] = field(default_factory=set)
+    gflag: bool = False
+    pending_children: Set[int] = field(default_factory=set)
+    created_at: float = 0.0
+
+    @property
+    def key(self) -> FlowKey:
+        return (self.flow_id, self.root)
+
+    @property
+    def complete(self) -> bool:
+        """All locally-known work for the subtree rooted here has committed."""
+        return (self.gflag and not self.pending_children
+                and self.req_counter == self.resp_counter)
+
+    def record_child(self, child: int) -> None:
+        self.children.add(child)
+
+    def record_parent(self, parent: int) -> None:
+        if self.parent is None:
+            self.parent = parent
+
+
+class FlowTable(Component):
+    """Per-engine table of the flows (trees) currently traversing this cube."""
+
+    def __init__(self, sim: Simulator, name: str, capacity: int = 1024) -> None:
+        super().__init__(sim, name)
+        if capacity < 1:
+            raise ValueError("flow table capacity must be positive")
+        self.capacity = capacity
+        self.entries: Dict[FlowKey, FlowTableEntry] = {}
+        self._peak = 0
+
+    def lookup(self, flow_id: int, root: int) -> Optional[FlowTableEntry]:
+        return self.entries.get((flow_id, root))
+
+    def get_or_create(self, flow_id: int, root: int, opcode: str,
+                      parent: Optional[int]) -> FlowTableEntry:
+        """Return the entry for ``(flow_id, root)``, registering it if new."""
+        key = (flow_id, root)
+        entry = self.entries.get(key)
+        if entry is None:
+            if len(self.entries) >= self.capacity:
+                self.count("overflows")
+            entry = FlowTableEntry(flow_id=flow_id, root=root, opcode=opcode,
+                                   result=opcode_spec(opcode).identity,
+                                   parent=parent, created_at=self.now)
+            self.entries[key] = entry
+            self.count("registered")
+            self._peak = max(self._peak, len(self.entries))
+            self.gauge("peak_occupancy", self._peak)
+        else:
+            entry.record_parent(parent) if parent is not None else None
+        return entry
+
+    def release(self, key: FlowKey) -> None:
+        """Free the entry once its Gather response has been sent to the parent."""
+        if key in self.entries:
+            del self.entries[key]
+            self.count("released")
+
+    @property
+    def occupancy(self) -> int:
+        return len(self.entries)
+
+    @property
+    def peak_occupancy(self) -> int:
+        return self._peak

@@ -1,0 +1,196 @@
+"""Host-side Active-Routing logic.
+
+The :class:`ActiveRoutingHost` is the offload backend behind every core's
+Message Interface.  It owns the global view of flows:
+
+* for each ``Update`` it picks a port (per the configured scheme), computes the
+  compute point (operand cube or split point) and injects the Update packet
+  through the corresponding HMC controller;
+* for each flow it remembers which ports were used, collects the per-thread
+  ``Gather`` calls (the implicit barrier of Section 3.1.1), then launches one
+  Gather per tree root and combines the per-tree partial results into the final
+  value returned to the blocked threads.
+
+It also installs an Active-Routing engine on every cube and registers itself
+as the Gather-response listener of every controller.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Set
+
+from ..hmc.hmc_controller import HMCController
+from ..hmc.hmc_memory import HMCMemorySystem
+from ..isa import GatherOp, UpdateOp
+from ..network.packet import GatherRequestPacket, GatherResponsePacket, UpdatePacket
+from ..sim import Component, Simulator
+from .alu import OpClass, opcode_spec
+from .config import AREConfig
+from .engine import ActiveRoutingEngine
+from .schemes import PortSelector, Scheme
+
+
+@dataclass
+class _FlowState:
+    """Host-side bookkeeping for one reduction flow."""
+
+    flow_id: int
+    opcode: Optional[str] = None
+    ports_used: Set[int] = field(default_factory=set)
+    gather_waiters: List[Callable[[float], None]] = field(default_factory=list)
+    gathers_arrived: int = 0
+    expected_threads: int = 0
+    responses_pending: Set[int] = field(default_factory=set)
+    gathers_sent: bool = False
+    result: Optional[float] = None
+    completed_updates: int = 0
+    updates_offloaded: int = 0
+
+
+class ActiveRoutingHost(Component):
+    """Implements the OffloadBackend protocol on top of the HMC memory network."""
+
+    def __init__(self, sim: Simulator, hmc_memory: HMCMemorySystem, scheme: Scheme,
+                 are_config: Optional[AREConfig] = None, install_engines: bool = True) -> None:
+        super().__init__(sim, "arhost")
+        self.hmc = hmc_memory
+        self.scheme = scheme
+        self.are_config = are_config or AREConfig()
+        self.selector = PortSelector(scheme, hmc_memory)
+        self.engines: List[ActiveRoutingEngine] = []
+        if install_engines:
+            for cube in hmc_memory.cubes:
+                engine = ActiveRoutingEngine(sim, cube, hmc_memory.network, self,
+                                             self.are_config)
+                cube.install_engine(engine)
+                self.engines.append(engine)
+        for controller in hmc_memory.controllers:
+            controller.set_gather_listener(self._on_gather_response)
+
+        self._update_ids = itertools.count()
+        self._update_commits: Dict[int, Callable[[], None]] = {}
+        self._flows: Dict[int, _FlowState] = {}
+        #: Final reduction results, kept for functional verification.
+        self.flow_results: Dict[int, float] = {}
+        self.flow_history: Dict[int, List[float]] = {}
+
+    # -------------------------------------------------------------- Update offload
+    def offload_update(self, core_id: int, op: UpdateOp,
+                       on_commit: Callable[[], None]) -> None:
+        spec = opcode_spec(op.opcode)
+        port = self.selector.select(core_id, op)
+        controller = self.hmc.controller_for_port(port)
+        root = controller.attached_cube
+        dst = self._compute_destination(op, root, spec.op_class, spec.num_operands)
+
+        update_id = next(self._update_ids)
+        self._update_commits[update_id] = on_commit
+        if spec.op_class is OpClass.REDUCE:
+            state = self._flows.setdefault(op.target, _FlowState(flow_id=op.target))
+            state.opcode = op.opcode
+            state.ports_used.add(port)
+            state.updates_offloaded += 1
+
+        packet = UpdatePacket(src=controller.node_id, dst=dst, opcode=op.opcode,
+                              target_addr=op.target, src1_addr=op.src1, src2_addr=op.src2,
+                              src1_value=op.src1_value, src2_value=op.src2_value,
+                              imm_value=op.imm, thread_id=core_id, root_node=root,
+                              update_id=update_id, issue_time=self.now,
+                              flow_id=op.target)
+        self.count("updates_offloaded")
+        self.count(f"updates_port{port}")
+        controller.inject(packet)
+
+    def _compute_destination(self, op: UpdateOp, root: int, op_class: OpClass,
+                             num_operands: int) -> int:
+        mapping = self.hmc.mapping
+        if op_class is OpClass.STORE:
+            return mapping.cube_of(op.target)
+        if num_operands <= 1 or op.src2 is None:
+            anchor = op.src1 if op.src1 is not None else op.target
+            return mapping.cube_of(anchor)
+        cube1 = mapping.cube_of(op.src1)
+        cube2 = mapping.cube_of(op.src2)
+        return self.hmc.network.split_point(root, cube1, cube2)
+
+    def notify_update_commit(self, update_id: int) -> None:
+        """Credit return from an engine: one offloaded Update has committed."""
+        callback = self._update_commits.pop(update_id, None)
+        if callback is None:
+            raise RuntimeError(f"commit notification for unknown update {update_id}")
+        self.count("updates_committed")
+        callback()
+
+    # -------------------------------------------------------------- Gather handling
+    def offload_gather(self, core_id: int, op: GatherOp,
+                       on_result: Callable[[float], None]) -> None:
+        state = self._flows.setdefault(op.target, _FlowState(flow_id=op.target))
+        state.gather_waiters.append(on_result)
+        state.gathers_arrived += 1
+        state.expected_threads = op.num_threads
+        self.count("gathers_requested")
+        if state.gathers_arrived < op.num_threads:
+            return
+        self._launch_gather(state, op)
+
+    def _launch_gather(self, state: _FlowState, op: GatherOp) -> None:
+        state.gathers_sent = True
+        if not state.ports_used:
+            # The flow never offloaded an Update (e.g. an empty loop partition);
+            # complete immediately with the opcode identity.
+            self.sim.schedule(1.0, lambda: self._finalize_flow(state))
+            return
+        for port in sorted(state.ports_used):
+            controller = self.hmc.controller_for_port(port)
+            request = GatherRequestPacket(src=controller.node_id,
+                                          dst=controller.attached_cube,
+                                          target_addr=state.flow_id,
+                                          num_threads=op.num_threads,
+                                          root_node=controller.attached_cube,
+                                          flow_id=state.flow_id)
+            state.responses_pending.add(port)
+            self.count("gather_packets_sent")
+            controller.inject(request)
+
+    def _on_gather_response(self, packet: GatherResponsePacket,
+                            controller: HMCController) -> None:
+        state = self._flows.get(packet.flow_id)
+        if state is None or not state.gathers_sent:
+            raise RuntimeError(f"unexpected Gather response for flow 0x{packet.flow_id:x}")
+        opcode = state.opcode or "add"
+        spec = opcode_spec(opcode)
+        if state.result is None:
+            state.result = spec.identity
+        state.result = spec.accumulate(state.result, packet.partial_result)
+        state.completed_updates += packet.completed_updates
+        state.responses_pending.discard(controller.port_id)
+        self.count("gather_responses_received")
+        if not state.responses_pending:
+            self._finalize_flow(state)
+
+    def _finalize_flow(self, state: _FlowState) -> None:
+        opcode = state.opcode or "add"
+        result = state.result if state.result is not None else opcode_spec(opcode).identity
+        if state.completed_updates != state.updates_offloaded:
+            raise RuntimeError(
+                f"flow 0x{state.flow_id:x} completed {state.completed_updates} updates "
+                f"but {state.updates_offloaded} were offloaded"
+            )
+        self.flow_results[state.flow_id] = result
+        self.flow_history.setdefault(state.flow_id, []).append(result)
+        self.count("flows_completed")
+        waiters = list(state.gather_waiters)
+        del self._flows[state.flow_id]
+        for callback in waiters:
+            callback(result)
+
+    # -------------------------------------------------------------- introspection
+    @property
+    def outstanding_updates(self) -> int:
+        return len(self._update_commits)
+
+    @property
+    def active_flows(self) -> int:
+        return len(self._flows)

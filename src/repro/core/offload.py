@@ -1,0 +1,45 @@
+"""Dynamic-offloading policy for the Section 5.4 case study.
+
+The paper enhances Active-Routing with a runtime knob that keeps execution on
+the host while the working set still fits in the caches and switches to
+offloading once the access pattern breaks locality.  The decision rule used in
+the LUD case study enables offloading when the number of Updates per flow
+exceeds ``CACHE_BLK_SIZE/stride1 + CACHE_BLK_SIZE/stride2``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class DynamicOffloadPolicy:
+    """Decides, per program phase, whether to offload Updates or run on the host."""
+
+    cache_block_size: int = 64
+    element_size: int = 8
+    #: Optional additional criterion: offload only once the phase's working set
+    #: no longer fits in this many bytes of cache (0 disables the check).
+    cache_capacity_bytes: int = 0
+
+    def updates_threshold(self, stride1_bytes: int, stride2_bytes: Optional[int] = None) -> float:
+        """The paper's threshold: blocks-per-stride summed over both operand streams."""
+        if stride1_bytes <= 0:
+            raise ValueError("stride1_bytes must be positive")
+        threshold = self.cache_block_size / stride1_bytes
+        if stride2_bytes:
+            if stride2_bytes <= 0:
+                raise ValueError("stride2_bytes must be positive")
+            threshold += self.cache_block_size / stride2_bytes
+        return threshold
+
+    def should_offload(self, updates_per_flow: float, stride1_bytes: int,
+                       stride2_bytes: Optional[int] = None,
+                       working_set_bytes: Optional[int] = None) -> bool:
+        """True when the phase should run as Active-Routing offloads."""
+        if updates_per_flow < self.updates_threshold(stride1_bytes, stride2_bytes):
+            return False
+        if self.cache_capacity_bytes and working_set_bytes is not None:
+            return working_set_bytes > self.cache_capacity_bytes
+        return True

@@ -1,0 +1,101 @@
+"""Operand buffers (Section 3.2.3, Figure 3.3c).
+
+A two-operand Update reserves one buffer entry at its compute cube while its
+operand requests are outstanding; single-operand reductions bypass the pool.
+The pool is finite: when it is exhausted, newly arriving Updates queue at the
+engine and the wait is charged to the *stall* component of the round-trip
+latency (Figures 5.2/5.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..network.packet import UpdatePacket
+from ..sim import Component, Simulator
+
+
+@dataclass
+class OperandBufferEntry:
+    """One reserved operand-buffer slot and the Update it belongs to."""
+
+    slot: int
+    flow_id: int
+    root: int
+    opcode: str
+    update: UpdatePacket
+    arrival_time: float
+    operand_issue_time: float = 0.0
+    op_value1: float = 0.0
+    op_ready1: bool = False
+    op_value2: float = 0.0
+    op_ready2: bool = False
+    num_operands: int = 2
+    stall_cycles: float = 0.0
+    extra: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def ready(self) -> bool:
+        if self.num_operands == 0:
+            return True
+        if self.num_operands == 1:
+            return self.op_ready1
+        return self.op_ready1 and self.op_ready2
+
+    def set_operand(self, index: int, value: float) -> None:
+        if index == 0:
+            self.op_value1 = value
+            self.op_ready1 = True
+        elif index == 1:
+            self.op_value2 = value
+            self.op_ready2 = True
+        else:
+            raise ValueError(f"operand index must be 0 or 1, got {index}")
+
+
+class OperandBufferPool(Component):
+    """The finite pool of operand buffers of one Active-Routing engine."""
+
+    def __init__(self, sim: Simulator, name: str, capacity: int = 32) -> None:
+        super().__init__(sim, name)
+        if capacity < 1:
+            raise ValueError("operand buffer capacity must be positive")
+        self.capacity = capacity
+        self._free: List[int] = list(range(capacity))
+        self.entries: Dict[int, OperandBufferEntry] = {}
+        self._peak_used = 0
+
+    @property
+    def free_slots(self) -> int:
+        return len(self._free)
+
+    @property
+    def in_use(self) -> int:
+        return self.capacity - len(self._free)
+
+    def reserve(self, flow_id: int, root: int, opcode: str, update: UpdatePacket,
+                arrival_time: float, num_operands: int) -> Optional[OperandBufferEntry]:
+        """Allocate a slot, or return ``None`` when the pool is exhausted."""
+        if not self._free:
+            self.count("reserve_failures")
+            return None
+        slot = self._free.pop()
+        entry = OperandBufferEntry(slot=slot, flow_id=flow_id, root=root, opcode=opcode,
+                                   update=update, arrival_time=arrival_time,
+                                   num_operands=num_operands)
+        self.entries[slot] = entry
+        self.count("reservations")
+        self._peak_used = max(self._peak_used, self.in_use)
+        self.gauge("peak_used", self._peak_used)
+        return entry
+
+    def get(self, slot: int) -> OperandBufferEntry:
+        return self.entries[slot]
+
+    def release(self, slot: int) -> None:
+        if slot not in self.entries:
+            raise KeyError(f"operand buffer slot {slot} is not in use")
+        del self.entries[slot]
+        self._free.append(slot)
+        self.count("releases")

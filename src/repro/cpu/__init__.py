@@ -1,0 +1,26 @@
+"""Host CMP substrate: cores, caches, coherence directory, NoC, Message Interface."""
+
+from .cache import Cache, CacheHierarchy, Directory
+from .cmp import ChipMultiprocessor
+from .config import CacheConfig, CMPConfig, CoreConfig, paper_cmp_config, scaled_cmp_config
+from .core import Core
+from .message_interface import MessageInterface, OffloadBackend
+from .noc import MeshNoC
+from .sync import BarrierManager
+
+__all__ = [
+    "Cache",
+    "CacheHierarchy",
+    "Directory",
+    "ChipMultiprocessor",
+    "CacheConfig",
+    "CMPConfig",
+    "CoreConfig",
+    "paper_cmp_config",
+    "scaled_cmp_config",
+    "Core",
+    "MessageInterface",
+    "OffloadBackend",
+    "MeshNoC",
+    "BarrierManager",
+]

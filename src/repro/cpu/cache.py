@@ -1,0 +1,320 @@
+"""Two-level cache hierarchy with a directory for invalidation-based coherence.
+
+The hierarchy is the host-side substrate of every configuration: private L1s
+per core, a shared S-NUCA L2 whose banks sit on mesh tiles, and a directory
+that tracks which L1s hold a block so writes to shared data pay an
+invalidation penalty (the coherence overhead Active-Routing eliminates for
+offloaded regions).
+
+Misses below the L2 are handed to the configured memory system (DDR baseline
+or the HMC memory network) as :class:`~repro.mem.MemoryRequest` objects; MSHRs
+merge concurrent misses to the same block.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+from ..mem import AccessType, MemoryRequest
+from ..sim import Component, SharedResource, Simulator
+from .config import CacheConfig, CMPConfig
+from .noc import MeshNoC
+
+#: Signature of the completion callback handed to :meth:`CacheHierarchy.access`.
+MissCallback = Callable[[float], None]
+
+
+class Cache:
+    """A set-associative, write-back, LRU cache (tag store only)."""
+
+    def __init__(self, size_bytes: int, assoc: int, block_size: int) -> None:
+        if size_bytes % (assoc * block_size) != 0:
+            raise ValueError("cache size must be a multiple of assoc * block_size")
+        self.block_size = block_size
+        self.assoc = assoc
+        self.num_sets = size_bytes // (assoc * block_size)
+        if self.num_sets < 1:
+            raise ValueError("cache must have at least one set")
+        # Per set: tag -> [lru_stamp, dirty]
+        self._sets: List[Dict[int, List]] = [dict() for _ in range(self.num_sets)]
+        self._clock = 0
+        self.hits = 0
+        self.misses = 0
+
+    def _locate(self, block: int) -> Tuple[int, int]:
+        return block % self.num_sets, block // self.num_sets
+
+    def lookup(self, block: int, mark_dirty: bool = False) -> bool:
+        """Probe for ``block``; updates LRU and the dirty bit on a hit."""
+        set_idx, tag = self._locate(block)
+        entry = self._sets[set_idx].get(tag)
+        self._clock += 1
+        if entry is None:
+            self.misses += 1
+            return False
+        entry[0] = self._clock
+        if mark_dirty:
+            entry[1] = True
+        self.hits += 1
+        return True
+
+    def fill(self, block: int, dirty: bool = False) -> Optional[Tuple[int, bool]]:
+        """Insert ``block``; returns ``(evicted_block, was_dirty)`` if a victim was chosen."""
+        set_idx, tag = self._locate(block)
+        cache_set = self._sets[set_idx]
+        self._clock += 1
+        if tag in cache_set:
+            entry = cache_set[tag]
+            entry[0] = self._clock
+            entry[1] = entry[1] or dirty
+            return None
+        victim = None
+        if len(cache_set) >= self.assoc:
+            victim_tag = min(cache_set, key=lambda t: cache_set[t][0])
+            victim_dirty = cache_set[victim_tag][1]
+            del cache_set[victim_tag]
+            victim = (victim_tag * self.num_sets + set_idx, victim_dirty)
+        cache_set[tag] = [self._clock, dirty]
+        return victim
+
+    def invalidate(self, block: int) -> bool:
+        """Drop ``block`` if present; returns whether it was there."""
+        set_idx, tag = self._locate(block)
+        return self._sets[set_idx].pop(tag, None) is not None
+
+    def contains(self, block: int) -> bool:
+        set_idx, tag = self._locate(block)
+        return tag in self._sets[set_idx]
+
+    @property
+    def occupancy(self) -> int:
+        return sum(len(s) for s in self._sets)
+
+
+class Directory:
+    """Tracks which cores' L1s hold each block (MESI-style sharer bookkeeping)."""
+
+    def __init__(self) -> None:
+        self._sharers: Dict[int, Set[int]] = {}
+        self.invalidations = 0
+
+    def sharers(self, block: int) -> Set[int]:
+        return self._sharers.get(block, set())
+
+    def add_sharer(self, block: int, core: int) -> None:
+        self._sharers.setdefault(block, set()).add(core)
+
+    def remove_sharer(self, block: int, core: int) -> None:
+        sharers = self._sharers.get(block)
+        if sharers is not None:
+            sharers.discard(core)
+            if not sharers:
+                del self._sharers[block]
+
+    def exclusive(self, block: int, core: int) -> List[int]:
+        """Make ``core`` the sole sharer; returns the cores that must be invalidated."""
+        victims = sorted(self.sharers(block) - {core})
+        if victims:
+            self.invalidations += len(victims)
+        self._sharers[block] = {core}
+        return victims
+
+
+class CacheHierarchy(Component):
+    """Private L1s + shared banked L2 + directory, in front of a memory system."""
+
+    def __init__(self, sim: Simulator, config: CMPConfig, noc: MeshNoC, memory_system) -> None:
+        super().__init__(sim, "cache")
+        self.config = config
+        self.cache_config: CacheConfig = config.cache
+        self.noc = noc
+        self.memory = memory_system
+        cc = self.cache_config
+        self.l1s: List[Cache] = [Cache(cc.l1_size, cc.l1_assoc, cc.block_size)
+                                 for _ in range(config.num_cores)]
+        self.l2: Cache = Cache(cc.l2_size, cc.l2_assoc, cc.block_size)
+        self.directory = Directory()
+        # MSHRs: outstanding block -> list of (waiter callback, start_time, core_id)
+        self._mshrs: Dict[int, List[Tuple[MissCallback, float, int]]] = {}
+        # Per-block serializers used by atomic read-modify-writes.
+        self._atomic_locks: Dict[int, SharedResource] = {}
+
+    # -- address helpers ---------------------------------------------------------
+    def block_of(self, addr: int) -> int:
+        return addr // self.cache_config.block_size
+
+    def _bank_of(self, block: int) -> int:
+        return block % self.cache_config.l2_banks
+
+    def _l2_round_trip(self, core_id: int, block: int) -> float:
+        """NoC round trip from the core's tile to the L2 bank's tile."""
+        core_tile = self.noc.core_tile(core_id)
+        bank_tile = self.noc.bank_tile(self._bank_of(block))
+        return self.noc.round_trip(core_tile, bank_tile, 16, self.cache_config.block_size)
+
+    # -- main access path ----------------------------------------------------------
+    def access(self, core_id: int, addr: int, is_write: bool,
+               on_complete: Optional[MissCallback] = None) -> Optional[float]:
+        """Access one word.
+
+        Returns the on-chip latency when the access hits in L1 or L2.  Returns
+        ``None`` when the block must be fetched from memory, in which case
+        ``on_complete(total_latency)`` fires when the fill returns.
+        """
+        cc = self.cache_config
+        block = self.block_of(addr)
+        l1 = self.l1s[core_id]
+        self.count("accesses")
+        self.count("l1_accesses")
+        self.count("energy_pj", cc.l1_energy_pj)
+
+        coherence_penalty = 0.0
+        if is_write:
+            victims = self.directory.exclusive(block, core_id)
+            if victims:
+                coherence_penalty = cc.invalidation_latency
+                self.count("invalidations", len(victims))
+                for victim_core in victims:
+                    self.l1s[victim_core].invalidate(block)
+
+        if l1.lookup(block, mark_dirty=is_write):
+            self.count("l1_hits")
+            return cc.l1_latency + coherence_penalty
+
+        self.count("l1_misses")
+        # L2 probe (S-NUCA bank across the mesh).
+        noc_latency = self._l2_round_trip(core_id, block)
+        self.count("l2_accesses")
+        self.count("energy_pj", cc.l2_energy_pj)
+        if self.l2.lookup(block, mark_dirty=is_write):
+            self.count("l2_hits")
+            self._fill_l1(core_id, block, dirty=is_write)
+            self.directory.add_sharer(block, core_id)
+            return cc.l1_latency + cc.l2_latency + noc_latency + coherence_penalty
+
+        self.count("l2_misses")
+        on_chip = cc.l1_latency + cc.l2_latency + noc_latency + coherence_penalty
+        self._miss_to_memory(core_id, block, addr, is_write, on_chip, on_complete)
+        if cc.prefetch_degree > 0:
+            self._issue_prefetches(block)
+        return None
+
+    def _fill_l1(self, core_id: int, block: int, dirty: bool) -> None:
+        victim = self.l1s[core_id].fill(block, dirty=dirty)
+        self.directory.add_sharer(block, core_id)
+        if victim is not None:
+            victim_block, was_dirty = victim
+            self.directory.remove_sharer(victim_block, core_id)
+            if was_dirty:
+                # Write back into the L2 (on-chip traffic only).
+                self.count("l1_writebacks")
+                self.l2.fill(victim_block, dirty=True)
+
+    def _fill_l2(self, block: int, dirty: bool) -> None:
+        victim = self.l2.fill(block, dirty=dirty)
+        if victim is not None:
+            victim_block, was_dirty = victim
+            if was_dirty:
+                self.count("l2_writebacks")
+                self._write_back_to_memory(victim_block)
+
+    def _write_back_to_memory(self, block: int) -> None:
+        cc = self.cache_config
+        request = MemoryRequest(addr=block * cc.block_size, size=cc.block_size,
+                                access_type=AccessType.NORMAL_WRITE,
+                                requester=self.name, issue_time=self.now)
+        self.memory.access(request)
+
+    def _miss_to_memory(self, core_id: int, block: int, addr: int, is_write: bool,
+                        on_chip_latency: float,
+                        on_complete: Optional[MissCallback]) -> None:
+        cc = self.cache_config
+        waiter = (on_complete or (lambda latency: None), self.now, core_id)
+        waiters = self._mshrs.get(block)
+        if waiters is not None:
+            # Merge with the fetch of the same block that is already in flight.
+            waiters.append(waiter)
+            self.count("mshr_merges")
+            return
+        self._mshrs[block] = [waiter]
+
+        def _fill_done(request: MemoryRequest) -> None:
+            self._fill_l2(block, dirty=is_write)
+            pending = self._mshrs.pop(block, [])
+            filled_cores = set()
+            for _callback, _start, waiter_core in pending:
+                if waiter_core not in filled_cores:
+                    self._fill_l1(waiter_core, block, dirty=is_write and waiter_core == core_id)
+                    filled_cores.add(waiter_core)
+            for callback, start, _waiter_core in pending:
+                callback(self.now - start + on_chip_latency)
+
+        request = MemoryRequest(addr=block * cc.block_size, size=cc.block_size,
+                                access_type=AccessType.NORMAL_READ,
+                                requester=self.name, core_id=core_id,
+                                issue_time=self.now, on_complete=_fill_done)
+        self.memory.access(request)
+
+    def _issue_prefetches(self, block: int) -> None:
+        """Next-line stream prefetcher: on a demand L2 miss, fetch the following blocks.
+
+        Prefetches fill the L2 only, have no waiters, and do not occupy a core's
+        miss window — they model the hardware stream prefetcher that keeps
+        sequential baselines bandwidth-bound rather than latency-bound.
+        """
+        cc = self.cache_config
+        for offset in range(1, cc.prefetch_degree + 1):
+            candidate = block + offset
+            if candidate in self._mshrs or self.l2.contains(candidate):
+                continue
+            self._mshrs[candidate] = []
+            self.count("prefetches")
+
+            def _prefetch_done(request: MemoryRequest, blk: int = candidate) -> None:
+                self._fill_l2(blk, dirty=False)
+                # Demand accesses may have merged onto the prefetch while it was
+                # in flight; complete them now.
+                for callback, start, _core in self._mshrs.pop(blk, []):
+                    callback(self.now - start + self.cache_config.l2_latency)
+
+            request = MemoryRequest(addr=candidate * cc.block_size, size=cc.block_size,
+                                    access_type=AccessType.NORMAL_READ,
+                                    requester=self.name, issue_time=self.now,
+                                    on_complete=_prefetch_done)
+            self.memory.access(request)
+
+    # -- atomics --------------------------------------------------------------------
+    def atomic_access(self, core_id: int, addr: int, on_complete: MissCallback,
+                      occupancy: float = 16.0) -> None:
+        """Atomic read-modify-write: serialized per block, pays coherence costs."""
+        block = self.block_of(addr)
+        lock = self._atomic_locks.get(block)
+        if lock is None:
+            lock = SharedResource(self.sim, f"{self.name}.atomic.{block}")
+            self._atomic_locks[block] = lock
+        start, _finish = lock.reserve(occupancy)
+        self.count("atomics")
+        issue_time = self.now
+
+        def _do_access() -> None:
+            latency = self.access(core_id, addr, is_write=True,
+                                  on_complete=lambda lat: on_complete(self.now - issue_time + 0.0))
+            if latency is not None:
+                self.sim.schedule(latency, lambda: on_complete(self.now - issue_time))
+
+        self.sim.schedule_at(start, _do_access, label=f"{self.name}.atomic")
+
+    # -- statistics -------------------------------------------------------------------
+    def l1_hit_rate(self) -> float:
+        hits = self.stat("l1_hits")
+        total = self.stat("l1_accesses")
+        return hits / total if total else 0.0
+
+    def l2_hit_rate(self) -> float:
+        hits = self.stat("l2_hits")
+        total = self.stat("l2_accesses")
+        return hits / total if total else 0.0
+
+    @property
+    def outstanding_misses(self) -> int:
+        return len(self._mshrs)

@@ -1,0 +1,101 @@
+"""Host CMP configuration (Table 4.1) with a scaled-down default for fast runs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class CoreConfig:
+    """Out-of-order core approximation.
+
+    The trace-driven core does not model the pipeline; instead it models what
+    matters for the paper's results: the issue rate, the number of memory
+    operations that can be in flight (memory-level parallelism, bounded by the
+    ROB), and the cost of offloading an Update through the Message Interface.
+    """
+
+    issue_width: int = 8
+    rob_size: int = 64
+    #: Maximum memory requests in flight per core (MSHR/ROB bound on MLP,
+    #: including the stream-prefetch requests an O3 core would have issued).
+    max_outstanding_mem: int = 48
+    #: Maximum Update offloads in flight per core before the MI back-pressures.
+    #: Generous by default: the paper notes cores "issue UPDATE packets
+    #: aggressively", so offload throughput is bounded by the memory network,
+    #: not by the issuing core.
+    max_outstanding_updates: int = 256
+    #: Issue cycles consumed by a load/store that hits on chip.
+    mem_issue_cycles: float = 0.25
+    #: Issue cycles consumed by an Update/Gather offload (address generation +
+    #: Message Interface register writes).
+    update_issue_cycles: float = 1.0
+    #: Cycles of issue work batched into a single simulator event.
+    issue_batch_cycles: float = 32.0
+    #: Instruction interval between IPC samples (Figure 5.8 phase analysis).
+    ipc_sample_interval: int = 2000
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Two-level cache hierarchy with a shared S-NUCA L2 (MESI directory)."""
+
+    l1_size: int = 16 * 1024
+    l1_assoc: int = 4
+    l1_latency: float = 2.0
+    l2_size: int = 16 * 1024 * 1024
+    l2_assoc: int = 16
+    l2_banks: int = 16
+    l2_latency: float = 12.0
+    block_size: int = 64
+    #: Next-line stream-prefetch depth triggered by demand L2 misses (0 disables).
+    prefetch_degree: int = 2
+    #: Extra latency charged when a write must invalidate copies in other L1s.
+    invalidation_latency: float = 24.0
+    #: Round-trip NoC latency per mesh hop (request + response).
+    noc_hop_latency: float = 2.0
+    #: Per-access energies in picojoules (CACTI-style constants).
+    l1_energy_pj: float = 25.0
+    l2_energy_pj: float = 250.0
+    noc_energy_pj_per_byte_hop: float = 0.8
+
+
+@dataclass(frozen=True)
+class CMPConfig:
+    """The host chip: cores + caches + on-chip mesh NoC."""
+
+    num_cores: int = 16
+    mesh_rows: int = 4
+    mesh_cols: int = 4
+    core: CoreConfig = field(default_factory=CoreConfig)
+    cache: CacheConfig = field(default_factory=CacheConfig)
+
+    def __post_init__(self) -> None:
+        if self.num_cores < 1:
+            raise ValueError("num_cores must be positive")
+        if self.mesh_rows * self.mesh_cols < self.num_cores:
+            raise ValueError("mesh is too small for the core count")
+
+
+def paper_cmp_config() -> CMPConfig:
+    """The full Table 4.1 host configuration (16 O3 cores, 16 MB S-NUCA L2)."""
+    return CMPConfig()
+
+
+def scaled_cmp_config(num_cores: int = 4) -> CMPConfig:
+    """Scaled-down host used by the default experiments.
+
+    The cache capacities are shrunk together with the workload footprints so
+    that the working-set-to-LLC ratio (the property that drives every result in
+    the paper) is preserved while runs stay fast in pure Python.
+    """
+    rows = 2 if num_cores <= 4 else 4
+    cols = max(2, (num_cores + rows - 1) // rows)
+    return CMPConfig(
+        num_cores=num_cores,
+        mesh_rows=rows,
+        mesh_cols=cols,
+        core=CoreConfig(),
+        cache=CacheConfig(l1_size=2 * 1024, l1_assoc=4,
+                          l2_size=32 * 1024, l2_assoc=8, l2_banks=8),
+    )

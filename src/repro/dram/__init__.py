@@ -1,0 +1,15 @@
+"""Conventional DDR DRAM baseline: banks, channels, the memory system."""
+
+from .bank import DRAMBank
+from .channel import DDRChannel
+from .dram_system import DRAMSystem
+from .timing import DDR_TIMING, HMC_VAULT_TIMING, DRAMTiming
+
+__all__ = [
+    "DRAMBank",
+    "DDRChannel",
+    "DRAMSystem",
+    "DDR_TIMING",
+    "HMC_VAULT_TIMING",
+    "DRAMTiming",
+]

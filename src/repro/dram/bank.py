@@ -1,0 +1,50 @@
+"""A DRAM bank with an open-row policy and FIFO service.
+
+The same bank model backs both the DDR baseline channels and the HMC vault
+controllers; only the timing parameters differ.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from ..sim import SharedResource, Simulator
+from .timing import DRAMTiming
+
+
+class DRAMBank(SharedResource):
+    """One bank: tracks the open row and serializes accesses."""
+
+    def __init__(self, sim: Simulator, name: str, timing: DRAMTiming) -> None:
+        super().__init__(sim, name)
+        self.timing = timing
+        self.open_row: Optional[int] = None
+
+    def access_latency(self, row: int) -> float:
+        """Service time of the next access to ``row`` given the open-row state."""
+        if self.open_row is None:
+            latency = self.timing.row_closed_cycles
+            self.count("row_closed")
+        elif self.open_row == row:
+            latency = self.timing.row_hit_cycles
+            self.count("row_hit")
+        else:
+            latency = self.timing.row_miss_cycles
+            self.count("row_miss")
+        return latency
+
+    def access(self, row: int, earliest: Optional[float] = None) -> Tuple[float, float]:
+        """Reserve the bank for an access to ``row``.
+
+        Returns ``(start, finish)`` in CPU cycles.  The row becomes (or stays)
+        open afterwards, mirroring an open-page policy.
+        """
+        latency = self.access_latency(row)
+        start, finish = self.reserve(latency, earliest=earliest)
+        self.open_row = row
+        self.count("accesses")
+        return start, finish
+
+    def precharge(self) -> None:
+        """Close the open row (used by tests and refresh modelling)."""
+        self.open_row = None

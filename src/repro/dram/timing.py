@@ -1,0 +1,47 @@
+"""DRAM timing parameters (Table 4.1) expressed in memory-controller cycles."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class DRAMTiming:
+    """Classic DDR bank timing.  Values are in memory clock cycles; the
+    ``cpu_cycles_per_mem_cycle`` ratio converts them into host cycles (the
+    simulator's single clock domain)."""
+
+    tRCD: int = 14
+    tRAS: int = 34
+    tRP: int = 14
+    tCL: int = 14
+    tBL: int = 4
+    tRR: int = 1
+    cpu_cycles_per_mem_cycle: float = 2.0
+
+    def to_cpu(self, mem_cycles: float) -> float:
+        return mem_cycles * self.cpu_cycles_per_mem_cycle
+
+    @property
+    def row_hit_cycles(self) -> float:
+        """CPU cycles for a column access to an already-open row."""
+        return self.to_cpu(self.tCL + self.tBL)
+
+    @property
+    def row_miss_cycles(self) -> float:
+        """CPU cycles when the bank has a different row open (precharge+activate)."""
+        return self.to_cpu(self.tRP + self.tRCD + self.tCL + self.tBL)
+
+    @property
+    def row_closed_cycles(self) -> float:
+        """CPU cycles when the bank is idle (activate then column access)."""
+        return self.to_cpu(self.tRCD + self.tCL + self.tBL)
+
+
+#: DDR baseline timing from Table 4.1.
+DDR_TIMING = DRAMTiming()
+
+#: HMC vault DRAM timing: TSV-attached DRAM layers are run at a faster core
+#: clock; first-order numbers from the CasHMC configuration used by the paper.
+HMC_VAULT_TIMING = DRAMTiming(tRCD=11, tRAS=22, tRP=11, tCL=11, tBL=2, tRR=1,
+                              cpu_cycles_per_mem_cycle=1.6)

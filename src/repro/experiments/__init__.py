@@ -1,0 +1,30 @@
+"""Evaluation harness: one module per table/figure of the paper's evaluation."""
+
+from . import (
+    fig_data_movement,
+    fig_dynamic_offload,
+    fig_latency,
+    fig_lud_heatmap,
+    fig_power_energy,
+    fig_speedup,
+)
+from .report import full_report
+from .suite import SCALES, EvaluationSuite, ExperimentScale, scale_from_env
+from .tables import render_table_3_1, render_table_4_1, table_3_1
+
+__all__ = [
+    "fig_data_movement",
+    "fig_dynamic_offload",
+    "fig_latency",
+    "fig_lud_heatmap",
+    "fig_power_energy",
+    "fig_speedup",
+    "full_report",
+    "SCALES",
+    "EvaluationSuite",
+    "ExperimentScale",
+    "scale_from_env",
+    "render_table_3_1",
+    "render_table_4_1",
+    "table_3_1",
+]

@@ -1,0 +1,87 @@
+"""Figure 5.8 — LUD phase analysis and dynamic offloading (Section 5.4).
+
+Three runs of the LUD kernel are compared:
+
+* **HMC** — everything on the host (baseline trace on the HMC configuration);
+* **ARF-tid** — everything offloaded;
+* **ARF-tid-adaptive** — the dynamic-offloading knob: rows whose
+  updates-per-flow fall below the paper's threshold
+  (``CACHE_BLK_SIZE/stride1 + CACHE_BLK_SIZE/stride2``) run on the host, the
+  rest are offloaded.
+
+The module reports IPC-over-instruction-window curves (left panel) and the
+speedup of ARF and ARF-adaptive over the HMC baseline (right panel), including
+the crossover point where offloading starts to win.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..analysis import crossover_index, format_table, windowed_rates
+from ..core.offload import DynamicOffloadPolicy
+from ..system import RunResult, SystemKind, make_system_config, run_program
+from ..workloads import WorkloadConfig
+from ..workloads.lud import LUDWorkload
+from .suite import EvaluationSuite
+
+
+def _lud(scale_params: Dict[str, object], num_threads: int,
+         policy: Optional[DynamicOffloadPolicy] = None) -> LUDWorkload:
+    return LUDWorkload(WorkloadConfig(num_threads=num_threads), offload_policy=policy,
+                       **scale_params)
+
+
+def compute(suite: EvaluationSuite, workload: str = "lud") -> Dict[str, object]:
+    params = suite.scale.params_for(workload)
+    threads = suite.scale.num_threads
+    policy = DynamicOffloadPolicy()
+
+    runs: Dict[str, RunResult] = {}
+    hmc_config = make_system_config(SystemKind.HMC, profile=suite.profile, num_cores=threads)
+    arf_config = make_system_config(SystemKind.ARF_TID, profile=suite.profile,
+                                    num_cores=threads)
+    runs["HMC"] = run_program(hmc_config, _lud(params, threads).generate("baseline"))
+    runs["ARF-tid"] = run_program(arf_config, _lud(params, threads).generate("active"))
+    runs["ARF-tid-adaptive"] = run_program(
+        arf_config, _lud(params, threads, policy=policy).generate("active"))
+
+    ipc_curves: Dict[str, List[Tuple[float, float]]] = {
+        label: windowed_rates(result.ipc_samples) for label, result in runs.items()
+    }
+    speedups = {label: runs["HMC"].cycles / result.cycles if result.cycles else 0.0
+                for label, result in runs.items()}
+
+    arf_curve = [rate for _, rate in ipc_curves.get("ARF-tid", [])]
+    hmc_curve = [rate for _, rate in ipc_curves.get("HMC", [])]
+    crossover = crossover_index(arf_curve, hmc_curve)
+    return {"runs": {label: r.cycles for label, r in runs.items()},
+            "speedups": speedups,
+            "ipc_curves": ipc_curves,
+            "crossover_window": crossover,
+            "threshold": policy.updates_threshold(8, 8 * 64)}
+
+
+def render(data: Dict[str, object]) -> str:
+    lines = ["Figure 5.8: LUD phase analysis and dynamic offloading"]
+    lines.append("")
+    lines.append("Runtime (cycles) and speedup over HMC:")
+    rows = [[label, data["runs"][label], data["speedups"][label]]
+            for label in ("HMC", "ARF-tid", "ARF-tid-adaptive")]
+    lines.append(format_table(["config", "cycles", "speedup"], rows, float_format="{:.2f}"))
+    crossover = data["crossover_window"]
+    lines.append("")
+    if crossover is None:
+        lines.append("No IPC crossover observed within the sampled windows.")
+    else:
+        lines.append(f"ARF-tid IPC overtakes HMC at sample window #{crossover}.")
+    lines.append("")
+    lines.append("IPC over instruction windows (cycle, IPC):")
+    for label, curve in data["ipc_curves"].items():
+        points = ", ".join(f"({c:.0f}, {r:.2f})" for c, r in curve[:12])
+        lines.append(f"  {label:18s} {points}")
+    return "\n".join(lines)
+
+
+def run(suite: EvaluationSuite) -> str:
+    return render(compute(suite))

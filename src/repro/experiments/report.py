@@ -1,0 +1,42 @@
+"""Full evaluation report: every table and figure of the paper in one text document."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from . import (
+    fig_data_movement,
+    fig_dynamic_offload,
+    fig_latency,
+    fig_lud_heatmap,
+    fig_power_energy,
+    fig_speedup,
+)
+from .suite import EvaluationSuite
+from .tables import render_table_3_1, render_table_4_1
+
+SEPARATOR = "\n" + "=" * 78 + "\n"
+
+
+def full_report(suite: Optional[EvaluationSuite] = None,
+                include_dynamic_offload: bool = True) -> str:
+    """Run the whole evaluation and render every experiment as plain text."""
+    suite = suite or EvaluationSuite()
+    sections = [
+        render_table_3_1(),
+        render_table_4_1(),
+        fig_speedup.run(suite),
+        fig_latency.run(suite),
+        fig_lud_heatmap.run(suite),
+        fig_data_movement.run(suite),
+        fig_power_energy.run_power(suite),
+        fig_power_energy.run_energy(suite),
+        fig_power_energy.run_edp(suite),
+    ]
+    if include_dynamic_offload:
+        sections.append(fig_dynamic_offload.run(suite))
+    verification = ("All Active-Routing reductions verified against host-computed results."
+                    if suite.verified() else
+                    "WARNING: some Active-Routing reductions did not match expectations!")
+    sections.append(verification)
+    return SEPARATOR.join(sections)

@@ -1,0 +1,135 @@
+"""Evaluation suite: shared (workload x configuration) runs for all figures.
+
+Running the full cross product of 9 workloads and 5 configurations is the
+expensive part of the evaluation, and every figure consumes a different slice
+of the same runs.  The :class:`EvaluationSuite` therefore runs each pair at
+most once (lazily) and caches the :class:`~repro.system.RunResult`.
+
+Problem sizes come in three scales:
+
+* ``tiny``    — seconds; used by the unit/integration tests.
+* ``small``   — a couple of minutes for the whole suite; default for the
+  pytest benchmarks.
+* ``default`` — the scaled-down sizes documented in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..system import CONFIG_ORDER, RunResult, SystemKind, make_system_config, run_workload
+from ..workloads import ALL_WORKLOADS, BENCHMARKS, MICROBENCHMARKS
+
+
+@dataclass(frozen=True)
+class ExperimentScale:
+    """Problem sizes for one evaluation scale."""
+
+    name: str
+    num_threads: int
+    workload_params: Dict[str, Dict[str, object]] = field(default_factory=dict)
+
+    def params_for(self, workload: str) -> Dict[str, object]:
+        return dict(self.workload_params.get(workload, {}))
+
+
+SCALES: Dict[str, ExperimentScale] = {
+    "tiny": ExperimentScale(
+        name="tiny", num_threads=4,
+        workload_params={
+            "reduce": {"array_elements": 1536},
+            "rand_reduce": {"array_elements": 1536},
+            "mac": {"array_elements": 1536},
+            "rand_mac": {"array_elements": 1536},
+            "sgemm": {"matrix_dim": 24, "sim_rows": 2},
+            "backprop": {"hidden_units": 8, "input_units": 96},
+            "lud": {"matrix_dim": 24, "cols_per_row": 6, "rows_per_phase": 6},
+            "pagerank": {"num_vertices": 192, "avg_degree": 4},
+            "spmv": {"num_rows": 48, "num_cols": 48, "density": 0.25},
+        }),
+    "small": ExperimentScale(
+        name="small", num_threads=4,
+        workload_params={
+            "reduce": {"array_elements": 6144},
+            "rand_reduce": {"array_elements": 6144},
+            "mac": {"array_elements": 6144},
+            "rand_mac": {"array_elements": 6144},
+            "sgemm": {"matrix_dim": 96, "sim_rows": 3},
+            "backprop": {"hidden_units": 32, "input_units": 256},
+            "lud": {"matrix_dim": 96, "cols_per_row": 6},
+            "pagerank": {"num_vertices": 4096, "avg_degree": 3},
+            "spmv": {"num_rows": 128, "num_cols": 128, "density": 0.25},
+        }),
+    "default": ExperimentScale(
+        name="default", num_threads=4,
+        workload_params={}),
+}
+
+
+def scale_from_env(default: str = "small") -> ExperimentScale:
+    """Pick the evaluation scale from ``REPRO_SCALE`` (tiny/small/default)."""
+    name = os.environ.get("REPRO_SCALE", default)
+    try:
+        return SCALES[name]
+    except KeyError:
+        raise ValueError(f"REPRO_SCALE={name!r} is not one of {sorted(SCALES)}")
+
+
+class EvaluationSuite:
+    """Lazily-run, cached (workload, configuration) result matrix."""
+
+    def __init__(self, scale: "ExperimentScale | str" = "small",
+                 profile: str = "scaled",
+                 workloads: Optional[Iterable[str]] = None,
+                 kinds: Optional[Iterable[SystemKind]] = None) -> None:
+        if isinstance(scale, str):
+            scale = SCALES[scale]
+        self.scale = scale
+        self.profile = profile
+        self.workloads: List[str] = list(workloads) if workloads is not None else list(ALL_WORKLOADS)
+        self.kinds: List[SystemKind] = list(kinds) if kinds is not None else list(CONFIG_ORDER)
+        self._results: Dict[Tuple[str, str], RunResult] = {}
+
+    # -- running -----------------------------------------------------------------
+    def result(self, workload: str, kind: "SystemKind | str") -> RunResult:
+        """The run result for one pair, simulating it on first use."""
+        if isinstance(kind, str):
+            kind = SystemKind.from_name(kind)
+        key = (workload, kind.value)
+        cached = self._results.get(key)
+        if cached is not None:
+            return cached
+        config = make_system_config(kind, profile=self.profile,
+                                    num_cores=self.scale.num_threads)
+        result = run_workload(config, workload, num_threads=self.scale.num_threads,
+                              **self.scale.params_for(workload))
+        self._results[key] = result
+        return result
+
+    def run_all(self) -> Dict[Tuple[str, str], RunResult]:
+        """Force every (workload, configuration) pair to run; returns the cache."""
+        for workload in self.workloads:
+            for kind in self.kinds:
+                self.result(workload, kind)
+        return dict(self._results)
+
+    # -- convenience views ---------------------------------------------------------
+    def speedup(self, workload: str, kind: "SystemKind | str",
+                baseline: "SystemKind | str" = SystemKind.DRAM) -> float:
+        return self.result(workload, kind).speedup_over(self.result(workload, baseline))
+
+    def benchmark_names(self) -> List[str]:
+        return [w for w in self.workloads if w in BENCHMARKS]
+
+    def micro_names(self) -> List[str]:
+        return [w for w in self.workloads if w in MICROBENCHMARKS]
+
+    @property
+    def config_labels(self) -> List[str]:
+        return [k.value for k in self.kinds]
+
+    def verified(self) -> bool:
+        """True when every cached Active-Routing run produced correct reductions."""
+        return all(r.flows_verified for r in self._results.values())

@@ -1,0 +1,43 @@
+"""Tables 3.1 and 4.1 of the paper, rendered from the implementation itself."""
+
+from __future__ import annotations
+
+from dataclasses import fields
+from typing import List, Optional, Tuple
+
+from ..analysis import format_table
+from ..core.flow_table import FlowTableEntry
+from ..system import SystemConfig, table_4_1
+
+#: Purpose text for each flow-table field (Table 3.1).
+_FLOW_FIELD_PURPOSE = {
+    "flow_id": "A unique ID of the Active-Routing flow",
+    "root": "Tree root (memory-network port) this entry belongs to",
+    "opcode": "The operation type of this flow",
+    "result": "The reduction result processed in this cube",
+    "req_counter": "Count of Update requests seen by this node",
+    "resp_counter": "Count of processed (committed) requests",
+    "parent": "The port/link connected to the parent of the Active-Routing tree",
+    "children": "Indicator of children ports of the tree",
+    "gflag": "Gather-ready flag for Active-Routing reduction",
+    "pending_children": "Children whose Gather responses are still outstanding",
+    "created_at": "Registration cycle (bookkeeping, not a hardware field)",
+}
+
+
+def table_3_1() -> List[Tuple[str, str]]:
+    """Flow-table entry fields and their purpose, derived from the implementation."""
+    rows = []
+    for f in fields(FlowTableEntry):
+        rows.append((f.name, _FLOW_FIELD_PURPOSE.get(f.name, "")))
+    return rows
+
+
+def render_table_3_1() -> str:
+    return "Table 3.1: Flow Table Entry Fields\n" + format_table(
+        ["Field Name", "Purpose"], table_3_1())
+
+
+def render_table_4_1(config: Optional[SystemConfig] = None) -> str:
+    return "Table 4.1: System Configurations\n" + format_table(
+        ["Parameter", "Configuration"], table_4_1(config))

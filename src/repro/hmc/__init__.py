@@ -1,0 +1,16 @@
+"""Hybrid Memory Cube substrate: vaults, cubes, host controllers, memory network."""
+
+from .config import HMCConfig, HMCNetworkConfig
+from .cube import HMCCube
+from .hmc_controller import HMCController
+from .hmc_memory import HMCMemorySystem
+from .vault import VaultController
+
+__all__ = [
+    "HMCConfig",
+    "HMCNetworkConfig",
+    "HMCCube",
+    "HMCController",
+    "HMCMemorySystem",
+    "VaultController",
+]

@@ -1,0 +1,39 @@
+"""Configuration of a single Hybrid Memory Cube and of the cube network."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..dram.timing import HMC_VAULT_TIMING, DRAMTiming
+from ..network.link import LinkConfig
+
+
+@dataclass(frozen=True)
+class HMCConfig:
+    """Parameters of one cube (Table 4.1: 4 GB, 32 vaults, 8 banks/vault)."""
+
+    num_vaults: int = 32
+    banks_per_vault: int = 8
+    vault_timing: DRAMTiming = field(default_factory=lambda: HMC_VAULT_TIMING)
+    #: Internal TSV bandwidth per vault in bytes per CPU cycle (10 GB/s/vault).
+    vault_bytes_per_cycle: float = 5.0
+    #: Crossbar switch traversal latency in CPU cycles (1 GHz switch clock).
+    crossbar_latency: float = 2.0
+    #: Fixed vault-controller pipeline latency in CPU cycles.
+    vault_controller_latency: float = 8.0
+    #: HMC DRAM access energy per bit (paper: 12 pJ/bit).
+    energy_pj_per_bit: float = 12.0
+
+
+@dataclass(frozen=True)
+class HMCNetworkConfig:
+    """Parameters of the cube network (Table 4.1: 16-cube dragonfly, 4 controllers)."""
+
+    num_cubes: int = 16
+    num_controllers: int = 4
+    topology: str = "dragonfly"
+    link: LinkConfig = field(default_factory=LinkConfig)
+    router_delay: float = 2.0
+    controller_latency: float = 4.0
+    #: Granule for interleaving normal requests across the host-side controllers.
+    controller_interleave: int = 4096

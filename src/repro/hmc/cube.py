@@ -1,0 +1,100 @@
+"""A Hybrid Memory Cube: vaults + crossbar switch + (optionally) an Active-Routing engine.
+
+The cube is a memory-network endpoint.  Passive read/write packets destined to
+it are serviced by the appropriate vault and answered with a response packet;
+packets in transit are forwarded; active packets are handed to the cube's
+Active-Routing engine when one is installed (ART/ARF configurations).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, TYPE_CHECKING
+
+from ..mem import HMCAddressMapping
+from ..network.packet import (
+    MemReadPacket,
+    MemRespPacket,
+    MemWritePacket,
+    Packet,
+    PacketType,
+)
+from ..sim import Component, Simulator
+from .config import HMCConfig
+from .vault import VaultController
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from ..core.engine import ActiveRoutingEngine
+    from ..network.network import MemoryNetwork
+
+
+class HMCCube(Component):
+    """One cube of the memory network."""
+
+    def __init__(self, sim: Simulator, node_id: int, mapping: HMCAddressMapping,
+                 config: Optional[HMCConfig] = None) -> None:
+        super().__init__(sim, f"hmc.cube{node_id}")
+        self.node_id = node_id
+        self.mapping = mapping
+        self.config = config or HMCConfig()
+        self.vaults: List[VaultController] = [
+            VaultController(sim, node_id, v, mapping, self.config)
+            for v in range(self.config.num_vaults)
+        ]
+        self.network: Optional["MemoryNetwork"] = None
+        self.are: Optional["ActiveRoutingEngine"] = None
+
+    # -- wiring ---------------------------------------------------------------
+    def connect(self, network: "MemoryNetwork") -> None:
+        """Attach the cube to the memory network and register as its endpoint."""
+        self.network = network
+        network.register_endpoint(self.node_id, self)
+
+    def install_engine(self, engine: "ActiveRoutingEngine") -> None:
+        """Install an Active-Routing engine on this cube's logic layer."""
+        self.are = engine
+
+    # -- local DRAM access ----------------------------------------------------
+    def local_access(self, addr: int, size: int, is_write: bool) -> float:
+        """Access the vault holding ``addr``; returns the completion cycle."""
+        vault = self.vaults[self.mapping.vault_of(addr)]
+        finish = vault.service(addr, size, is_write) + self.config.crossbar_latency
+        self.count("local_accesses")
+        return finish
+
+    # -- network endpoint -----------------------------------------------------
+    def receive_packet(self, packet: Packet, from_node: int) -> None:
+        if packet.is_active:
+            if self.are is None:
+                raise RuntimeError(
+                    f"cube {self.node_id} received active packet {packet.ptype} "
+                    "but has no Active-Routing engine installed"
+                )
+            self.are.handle_packet(packet, from_node)
+            return
+        if packet.dst != self.node_id:
+            assert self.network is not None, "cube is not connected to a network"
+            self.network.forward(packet, self.node_id)
+            return
+        self._serve_memory_packet(packet)
+
+    def _serve_memory_packet(self, packet: Packet) -> None:
+        assert self.network is not None, "cube is not connected to a network"
+        if packet.ptype not in (PacketType.READ_REQ, PacketType.WRITE_REQ):
+            raise RuntimeError(f"cube {self.node_id} cannot serve packet type {packet.ptype}")
+        is_read = packet.ptype == PacketType.READ_REQ
+        addr = getattr(packet, "addr", 0)
+        req_id = getattr(packet, "req_id", 0)
+        size = 64 if is_read else packet.size
+        finish = self.local_access(addr, size, is_write=not is_read)
+        self.count("served_reads" if is_read else "served_writes")
+
+        def _respond() -> None:
+            response = MemRespPacket(src=self.node_id, dst=packet.src, addr=addr,
+                                     is_read=is_read, req_id=req_id)
+            self.network.inject(response, self.node_id)
+
+        self.sim.schedule_at(finish, _respond, label=f"{self.name}.respond")
+
+    # -- statistics -----------------------------------------------------------
+    def total_vault_accesses(self) -> float:
+        return sum(self.sim.stats.counter(f"{v.name}.accesses") for v in self.vaults)

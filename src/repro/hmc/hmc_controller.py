@@ -1,0 +1,102 @@
+"""Host-side HMC controller: bridges the CPU's miss traffic (and the Message
+Interface's active offloads) onto the memory network."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, TYPE_CHECKING
+
+from ..mem import HMCAddressMapping, MemoryRequest
+from ..network.packet import (
+    GatherResponsePacket,
+    MemReadPacket,
+    MemRespPacket,
+    MemWritePacket,
+    Packet,
+    PacketType,
+)
+from ..sim import Component, Simulator
+from .config import HMCNetworkConfig
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..network.network import MemoryNetwork
+
+GatherListener = Callable[[GatherResponsePacket, "HMCController"], None]
+
+
+class HMCController(Component):
+    """One of the host's memory-network access ports (Table 4.1 has four)."""
+
+    def __init__(self, sim: Simulator, port_id: int, node_id: int, attached_cube: int,
+                 mapping: HMCAddressMapping, config: Optional[HMCNetworkConfig] = None) -> None:
+        super().__init__(sim, f"hmcctrl{port_id}")
+        self.port_id = port_id
+        self.node_id = node_id
+        self.attached_cube = attached_cube
+        self.mapping = mapping
+        self.config = config or HMCNetworkConfig()
+        self.network: Optional["MemoryNetwork"] = None
+        self._outstanding: Dict[int, MemoryRequest] = {}
+        self._gather_listener: Optional[GatherListener] = None
+
+    # -- wiring ---------------------------------------------------------------
+    def connect(self, network: "MemoryNetwork") -> None:
+        self.network = network
+        network.register_endpoint(self.node_id, self)
+
+    def set_gather_listener(self, listener: GatherListener) -> None:
+        """Register the Active-Routing host logic that consumes Gather responses."""
+        self._gather_listener = listener
+
+    # -- passive memory traffic ------------------------------------------------
+    def access(self, request: MemoryRequest) -> None:
+        """Packetize a cache-miss request and inject it into the memory network."""
+        assert self.network is not None, "controller is not connected to a network"
+        request.issue_time = request.issue_time or self.now
+        dst_cube = self.mapping.cube_of(request.addr)
+        if request.is_write:
+            packet: Packet = MemWritePacket(src=self.node_id, dst=dst_cube,
+                                            addr=request.addr, req_id=request.req_id)
+        else:
+            packet = MemReadPacket(src=self.node_id, dst=dst_cube,
+                                   addr=request.addr, req_id=request.req_id)
+        self._outstanding[request.req_id] = request
+        self.count("requests")
+        self.count("writes" if request.is_write else "reads")
+        self.sim.schedule(self.config.controller_latency,
+                          lambda: self.network.inject(packet, self.node_id),
+                          label=f"{self.name}.inject")
+
+    # -- active offload traffic -------------------------------------------------
+    def inject(self, packet: Packet) -> None:
+        """Inject an already-built (active) packet after the controller latency."""
+        assert self.network is not None, "controller is not connected to a network"
+        self.count("active_injected")
+        self.sim.schedule(self.config.controller_latency,
+                          lambda: self.network.inject(packet, self.node_id),
+                          label=f"{self.name}.inject_active")
+
+    # -- network endpoint --------------------------------------------------------
+    def receive_packet(self, packet: Packet, from_node: int) -> None:
+        if packet.ptype in (PacketType.READ_RESP, PacketType.WRITE_RESP):
+            self._complete_memory_response(packet)
+            return
+        if packet.ptype == PacketType.GATHER_RESP:
+            if self._gather_listener is None:
+                raise RuntimeError(f"{self.name} received a Gather response but no "
+                                   "Active-Routing host logic is registered")
+            self._gather_listener(packet, self)  # type: ignore[arg-type]
+            return
+        raise RuntimeError(f"{self.name} cannot handle packet type {packet.ptype}")
+
+    def _complete_memory_response(self, packet: Packet) -> None:
+        req_id = getattr(packet, "req_id", None)
+        request = self._outstanding.pop(req_id, None)
+        if request is None:
+            raise RuntimeError(f"{self.name} got a response for unknown request {req_id}")
+        self.count("responses")
+        self.observe("roundtrip", self.now - request.issue_time)
+        request.complete(self.now)
+
+    @property
+    def outstanding_requests(self) -> int:
+        return len(self._outstanding)

@@ -1,0 +1,101 @@
+"""The HMC memory network as a drop-in memory system for the host CMP.
+
+This wires together the topology, the network fabric, the 16 cubes and the 4
+host-side controllers (Figure 3.1) and exposes the same ``access(request)``
+interface as the DDR baseline, so the cache hierarchy does not care which
+memory system sits below it.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..mem import HMCAddressMapping, MemoryRequest
+from ..network.link import LinkConfig
+from ..network.network import MemoryNetwork
+from ..network.topology import Topology, build_topology
+from ..sim import Component, Simulator
+from .config import HMCConfig, HMCNetworkConfig
+from .cube import HMCCube
+from .hmc_controller import HMCController
+
+
+class HMCMemorySystem(Component):
+    """16-cube dragonfly memory network reachable through 4 controllers."""
+
+    def __init__(self, sim: Simulator, cube_config: Optional[HMCConfig] = None,
+                 net_config: Optional[HMCNetworkConfig] = None,
+                 mapping: Optional[HMCAddressMapping] = None,
+                 topology: Optional[Topology] = None) -> None:
+        super().__init__(sim, "hmcmem")
+        self.cube_config = cube_config or HMCConfig()
+        self.net_config = net_config or HMCNetworkConfig()
+        self.mapping = mapping or HMCAddressMapping(
+            num_cubes=self.net_config.num_cubes,
+            num_vaults=self.cube_config.num_vaults,
+            banks_per_vault=self.cube_config.banks_per_vault,
+        )
+        if topology is None:
+            topology = self._build_topology()
+        self.topology = topology
+        self.network = MemoryNetwork(sim, topology, link_config=self.net_config.link,
+                                     router_delay=self.net_config.router_delay)
+        self.cubes: List[HMCCube] = []
+        for node in topology.cube_nodes():
+            cube = HMCCube(sim, node, self.mapping, self.cube_config)
+            cube.connect(self.network)
+            self.cubes.append(cube)
+        self.controllers: List[HMCController] = []
+        for port, ctrl_node in enumerate(topology.controller_nodes):
+            controller = HMCController(sim, port, ctrl_node,
+                                       topology.controller_attach[ctrl_node],
+                                       self.mapping, self.net_config)
+            controller.connect(self.network)
+            self.controllers.append(controller)
+
+    def _build_topology(self) -> Topology:
+        kind = self.net_config.topology
+        if kind == "dragonfly":
+            groups = max(2, self.net_config.num_controllers)
+            routers = self.net_config.num_cubes // groups
+            return build_topology("dragonfly", num_groups=groups, routers_per_group=routers,
+                                  num_controllers=self.net_config.num_controllers)
+        if kind == "mesh":
+            side = int(round(self.net_config.num_cubes ** 0.5))
+            return build_topology("mesh", rows=side, cols=side,
+                                  num_controllers=self.net_config.num_controllers)
+        if kind == "chain":
+            return build_topology("chain", num_cubes=self.net_config.num_cubes,
+                                  num_controllers=self.net_config.num_controllers)
+        raise ValueError(f"unknown topology kind {kind!r}")
+
+    # -- MemorySystem protocol --------------------------------------------------
+    @property
+    def is_network_memory(self) -> bool:
+        return True
+
+    def access(self, request: MemoryRequest) -> None:
+        """Route one cache-miss request through the controller nearest by interleave."""
+        controller = self.controller_for_address(request.addr)
+        self.count("requests")
+        self.count("bytes", request.size)
+        self.count(f"bytes.{request.access_type.value}", request.size)
+        controller.access(request)
+
+    # -- helpers -----------------------------------------------------------------
+    def controller_for_address(self, addr: int) -> HMCController:
+        index = (addr // self.net_config.controller_interleave) % len(self.controllers)
+        return self.controllers[index]
+
+    def controller_for_port(self, port: int) -> HMCController:
+        return self.controllers[port % len(self.controllers)]
+
+    def cube(self, node_id: int) -> HMCCube:
+        return self.cubes[node_id]
+
+    def cube_of(self, addr: int) -> int:
+        return self.mapping.cube_of(addr)
+
+    @property
+    def num_ports(self) -> int:
+        return len(self.controllers)

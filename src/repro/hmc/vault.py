@@ -1,0 +1,54 @@
+"""HMC vault controller: per-vault DRAM banks behind a TSV data path."""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..mem import HMCAddressMapping
+from ..sim import Component, SharedResource, Simulator
+from ..dram.bank import DRAMBank
+from .config import HMCConfig
+
+
+class VaultController(Component):
+    """One of the 32 vaults on a cube's logic layer.
+
+    The vault controller serializes accesses to its banks (open-row policy)
+    and its TSV bundle, and reports access energy using the HMC per-bit cost.
+    """
+
+    def __init__(self, sim: Simulator, cube_id: int, vault_id: int,
+                 mapping: HMCAddressMapping, config: HMCConfig) -> None:
+        super().__init__(sim, f"hmc.cube{cube_id}.vault{vault_id}")
+        self.cube_id = cube_id
+        self.vault_id = vault_id
+        self.mapping = mapping
+        self.config = config
+        self.tsv = SharedResource(sim, f"{self.name}.tsv")
+        self._banks: Dict[int, DRAMBank] = {}
+
+    def _bank(self, index: int) -> DRAMBank:
+        bank = self._banks.get(index)
+        if bank is None:
+            bank = DRAMBank(self.sim, f"{self.name}.bank{index}", self.config.vault_timing)
+            self._banks[index] = bank
+        return bank
+
+    def service(self, addr: int, size: int, is_write: bool) -> float:
+        """Reserve bank + TSV for one access starting now; returns finish time."""
+        bank_idx = self.mapping.bank_of(addr)
+        row = self.mapping.row_of(addr)
+        bank = self._bank(bank_idx)
+        earliest = self.now + self.config.vault_controller_latency
+        _, bank_finish = bank.access(row, earliest=earliest)
+        occupancy = size / self.config.vault_bytes_per_cycle
+        _, tsv_finish = self.tsv.reserve(occupancy, earliest=bank_finish)
+        self.count("accesses")
+        self.count("writes" if is_write else "reads")
+        self.count("bytes", size)
+        self.count("energy_pj", size * 8 * self.config.energy_pj_per_bit)
+        return tsv_finish
+
+    @property
+    def banks_touched(self) -> int:
+        return len(self._banks)

@@ -1,0 +1,14 @@
+"""Physical address layout, memory request types and data-placement helpers."""
+
+from .address import DRAMAddressMapping, HMCAddressMapping
+from .layout import Array, DataLayout
+from .request import AccessType, MemoryRequest
+
+__all__ = [
+    "DRAMAddressMapping",
+    "HMCAddressMapping",
+    "Array",
+    "DataLayout",
+    "AccessType",
+    "MemoryRequest",
+]

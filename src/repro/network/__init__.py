@@ -1,0 +1,47 @@
+"""Memory-network substrate: packets, links, topologies, routing and the fabric."""
+
+from .link import Link, LinkConfig
+from .network import MemoryNetwork, NetworkEndpoint
+from .packet import (
+    DATA_BYTES,
+    HEADER_BYTES,
+    PACKET_SIZES,
+    GatherRequestPacket,
+    GatherResponsePacket,
+    MemReadPacket,
+    MemRespPacket,
+    MemWritePacket,
+    OperandRequestPacket,
+    OperandResponsePacket,
+    Packet,
+    PacketType,
+    UpdatePacket,
+)
+from .routing import RoutingTable
+from .topology import Topology, build_chain, build_dragonfly, build_mesh, build_topology
+
+__all__ = [
+    "Link",
+    "LinkConfig",
+    "MemoryNetwork",
+    "NetworkEndpoint",
+    "DATA_BYTES",
+    "HEADER_BYTES",
+    "PACKET_SIZES",
+    "GatherRequestPacket",
+    "GatherResponsePacket",
+    "MemReadPacket",
+    "MemRespPacket",
+    "MemWritePacket",
+    "OperandRequestPacket",
+    "OperandResponsePacket",
+    "Packet",
+    "PacketType",
+    "UpdatePacket",
+    "RoutingTable",
+    "Topology",
+    "build_chain",
+    "build_dragonfly",
+    "build_mesh",
+    "build_topology",
+]

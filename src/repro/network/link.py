@@ -1,0 +1,61 @@
+"""SerDes link model with serialization delay and FIFO queueing.
+
+A link is a unidirectional channel between two memory-network nodes.  Each
+packet occupies the link for ``size / bandwidth`` cycles; packets that arrive
+while the link is busy queue up (the ``busy_until`` reservation), which is what
+produces the many-to-one hot-spot behaviour of the static ART scheme in the
+paper (Section 5.2.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from ..sim import SharedResource, Simulator
+from .packet import Packet
+
+
+@dataclass(frozen=True)
+class LinkConfig:
+    """Physical parameters of one memory-network link.
+
+    Defaults follow Table 4.1: 16 lanes at 12.5 Gbps each gives 25 GB/s per
+    direction, i.e. 12.5 bytes per 2 GHz CPU cycle; propagation plus SerDes
+    latency is a few cycles.
+    """
+
+    bandwidth_bytes_per_cycle: float = 12.5
+    latency_cycles: float = 4.0
+    energy_pj_per_bit: float = 5.0
+
+    def serialization_cycles(self, size_bytes: int) -> float:
+        return size_bytes / self.bandwidth_bytes_per_cycle
+
+
+class Link(SharedResource):
+    """One direction of a cube-to-cube or controller-to-cube connection."""
+
+    def __init__(self, sim: Simulator, src: int, dst: int,
+                 config: LinkConfig | None = None) -> None:
+        super().__init__(sim, f"link.{src}->{dst}")
+        self.src = src
+        self.dst = dst
+        self.config = config or LinkConfig()
+
+    def transmit(self, packet: Packet, earliest: float | None = None) -> Tuple[float, float]:
+        """Send ``packet`` over the link.
+
+        Returns ``(arrival_time, queue_delay)``.  Arrival is when the tail of
+        the packet reaches the far end; queue delay is the time spent waiting
+        for the link to become free.
+        """
+        serialization = self.config.serialization_cycles(packet.size)
+        start, finish = self.reserve(serialization, earliest=earliest)
+        queue_delay = start - (self.now if earliest is None else earliest)
+        arrival = finish + self.config.latency_cycles
+        self.count("packets")
+        self.count("bytes", packet.size)
+        self.count("bytes." + packet.movement_category(), packet.size)
+        self.count("energy_pj", packet.size * 8 * self.config.energy_pj_per_bit)
+        return arrival, queue_delay

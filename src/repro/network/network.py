@@ -1,0 +1,139 @@
+"""The memory network fabric: links + routing + per-hop delivery.
+
+Every packet travels hop by hop.  At each hop the packet is handed to the
+endpoint registered for that node (an HMC cube or a host-side controller),
+which decides whether to consume it, process it in its Active-Routing engine,
+or ask the network to forward it further.  This per-hop delivery is what lets
+Active-Routing "compute on the way".
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Protocol, Tuple
+
+from ..sim import Component, Simulator
+from .link import Link, LinkConfig
+from .packet import Packet
+from .routing import RoutingTable
+from .topology import Topology
+
+
+class NetworkEndpoint(Protocol):
+    """Anything that can be attached to a memory-network node."""
+
+    node_id: int
+
+    def receive_packet(self, packet: Packet, from_node: int) -> None:
+        """Handle a packet that has arrived at this node."""
+
+
+class MemoryNetwork(Component):
+    """Packet-switched network of memory cubes and host controllers."""
+
+    def __init__(self, sim: Simulator, topology: Topology,
+                 link_config: Optional[LinkConfig] = None,
+                 router_delay: float = 2.0) -> None:
+        super().__init__(sim, "network")
+        self.topology = topology
+        self.routing = RoutingTable(topology)
+        self.link_config = link_config or LinkConfig()
+        self.router_delay = router_delay
+        self.links: Dict[Tuple[int, int], Link] = {}
+        self.endpoints: Dict[int, NetworkEndpoint] = {}
+        for a, b in topology.edges():
+            self.links[(a, b)] = Link(sim, a, b, self.link_config)
+            self.links[(b, a)] = Link(sim, b, a, self.link_config)
+
+    # -- construction ---------------------------------------------------------
+    def register_endpoint(self, node_id: int, endpoint: NetworkEndpoint) -> None:
+        if node_id not in self.topology.graph:
+            raise ValueError(f"node {node_id} does not exist in topology {self.topology.name}")
+        self.endpoints[node_id] = endpoint
+
+    def endpoint(self, node_id: int) -> NetworkEndpoint:
+        return self.endpoints[node_id]
+
+    # -- routing helpers ------------------------------------------------------
+    def next_hop(self, current: int, dst: int) -> int:
+        return self.routing.next_hop(current, dst)
+
+    def path(self, src: int, dst: int):
+        return self.routing.path(src, dst)
+
+    def distance(self, src: int, dst: int) -> int:
+        return self.routing.distance(src, dst)
+
+    def split_point(self, root: int, dst_a: int, dst_b: int) -> int:
+        return self.routing.split_point(root, dst_a, dst_b)
+
+    def controller_nodes(self):
+        return list(self.topology.controller_nodes)
+
+    # -- packet movement ------------------------------------------------------
+    def inject(self, packet: Packet, at_node: int) -> None:
+        """Insert ``packet`` into the network at ``at_node`` and start routing it."""
+        packet.created_at = packet.created_at or self.now
+        self.count("injected")
+        if packet.dst == at_node:
+            # Local delivery (e.g. operand request for data in the same cube).
+            self.schedule(0.0, lambda: self._deliver(packet, at_node, at_node))
+            return
+        self._hop(packet, at_node)
+
+    def forward(self, packet: Packet, from_node: int) -> None:
+        """Continue routing a packet that an endpoint chose not to consume."""
+        if packet.dst == from_node:
+            raise ValueError(f"packet {packet.pkt_id} already at destination {from_node}")
+        self._hop(packet, from_node)
+
+    def _hop(self, packet: Packet, current: int) -> None:
+        nxt = self.routing.next_hop(current, packet.dst)
+        link = self.links[(current, nxt)]
+        arrival, queue_delay = link.transmit(packet)
+        self.count("hops")
+        self.count("bytes", packet.size)
+        self.count("bytes." + packet.movement_category(), packet.size)
+        self.count("bit_hops", packet.size * 8)
+        if queue_delay > 0:
+            self.count("queue_delay_cycles", queue_delay)
+        self.sim.schedule_at(arrival + self.router_delay,
+                             lambda: self._deliver(packet, nxt, current),
+                             label="net.deliver")
+
+    def _deliver(self, packet: Packet, node: int, from_node: int) -> None:
+        packet.hops += 1
+        endpoint = self.endpoints.get(node)
+        if endpoint is None:
+            raise RuntimeError(f"packet {packet.pkt_id} arrived at node {node} "
+                               f"which has no registered endpoint")
+        endpoint.receive_packet(packet, from_node)
+
+    # -- statistics -----------------------------------------------------------
+    def bytes_moved(self, category: Optional[str] = None) -> float:
+        """Total bytes that crossed any link, optionally filtered by category."""
+        if category is None:
+            return self.stat("bytes")
+        return self.stat(f"bytes.{category}")
+
+    def offchip_bytes(self) -> Dict[str, float]:
+        """Bytes that crossed the processor/memory-network boundary, by category.
+
+        Only the controller-adjacent links are counted: this is the on/off-chip
+        traffic of Figure 5.4, as opposed to traffic staying inside the memory
+        network (operand fetches between cubes, tree reductions, ...).
+        """
+        categories = ("norm_req", "norm_resp", "active_req", "active_resp")
+        totals = {cat: 0.0 for cat in categories}
+        controller_nodes = set(self.topology.controller_nodes)
+        for (src, dst), link in self.links.items():
+            if src in controller_nodes or dst in controller_nodes:
+                for cat in categories:
+                    totals[cat] += self.sim.stats.counter(f"{link.name}.bytes.{cat}")
+        return totals
+
+    def link_load_by_node(self) -> Dict[int, float]:
+        """Bytes forwarded out of each node (used for the Figure 5.3 heat maps)."""
+        load: Dict[int, float] = {n: 0.0 for n in self.topology.graph.nodes}
+        for (src, _dst), link in self.links.items():
+            load[src] += self.sim.stats.counter(f"{link.name}.bytes")
+        return load

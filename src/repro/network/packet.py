@@ -1,0 +1,274 @@
+"""Packet formats exchanged over the memory network.
+
+Two families exist:
+
+* *Passive* packets are ordinary memory reads/writes between a host-side HMC
+  controller and a cube (the HMC baseline uses only these).
+* *Active* packets implement Active-Routing: ``Update`` and ``Gather`` commands
+  offloaded by the Message Interface, the operand requests/responses generated
+  by the Active-Routing Engines, and the Gather responses that aggregate
+  partial results up the ARTree.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional
+
+HEADER_BYTES = 16
+DATA_BYTES = 64
+WORD_BYTES = 8
+
+
+class PacketType(enum.Enum):
+    """Every packet class that can appear on a memory-network link."""
+
+    READ_REQ = "read_req"
+    READ_RESP = "read_resp"
+    WRITE_REQ = "write_req"
+    WRITE_RESP = "write_resp"
+    UPDATE = "update"
+    GATHER_REQ = "gather_req"
+    GATHER_RESP = "gather_resp"
+    OPERAND_REQ = "operand_req"
+    OPERAND_RESP = "operand_resp"
+
+    @property
+    def is_active(self) -> bool:
+        """True for packets that exist only because of Active-Routing."""
+        return self in (
+            PacketType.UPDATE,
+            PacketType.GATHER_REQ,
+            PacketType.GATHER_RESP,
+            PacketType.OPERAND_REQ,
+            PacketType.OPERAND_RESP,
+        )
+
+    @property
+    def is_request(self) -> bool:
+        return self in (
+            PacketType.READ_REQ,
+            PacketType.WRITE_REQ,
+            PacketType.UPDATE,
+            PacketType.GATHER_REQ,
+            PacketType.OPERAND_REQ,
+        )
+
+
+#: Default payload size (bytes) per packet type, header included.
+PACKET_SIZES = {
+    PacketType.READ_REQ: HEADER_BYTES,
+    PacketType.READ_RESP: HEADER_BYTES + DATA_BYTES,
+    PacketType.WRITE_REQ: HEADER_BYTES + DATA_BYTES,
+    PacketType.WRITE_RESP: HEADER_BYTES,
+    # Update commands use a compressed encoding (opcode + base-relative operand
+    # offsets + flow id) and ride as a single command flit.
+    PacketType.UPDATE: HEADER_BYTES,
+    PacketType.GATHER_REQ: HEADER_BYTES + 2 * WORD_BYTES,
+    PacketType.GATHER_RESP: HEADER_BYTES + 2 * WORD_BYTES,  # partial result + count
+    PacketType.OPERAND_REQ: HEADER_BYTES,
+    PacketType.OPERAND_RESP: HEADER_BYTES + WORD_BYTES,
+}
+
+_packet_ids = itertools.count()
+
+
+@dataclass
+class Packet:
+    """Base network packet (node ids are memory-network node indices)."""
+
+    ptype: PacketType
+    src: int
+    dst: int
+    size: int = 0
+    flow_id: Optional[int] = None
+    created_at: float = 0.0
+    hops: int = 0
+    pkt_id: int = field(default_factory=lambda: next(_packet_ids))
+
+    def __post_init__(self) -> None:
+        if self.size <= 0:
+            self.size = PACKET_SIZES[self.ptype]
+        # Cache derived attributes: packets cross many links and these are hot.
+        self.is_active = self.ptype.is_active
+        self.is_request = self.ptype.is_request
+        if self.is_active:
+            self._category = "active_req" if self.is_request else "active_resp"
+        else:
+            self._category = "norm_req" if self.is_request else "norm_resp"
+
+    def movement_category(self) -> str:
+        """Bucket used by the Figure 5.4 data-movement breakdown."""
+        return self._category
+
+
+@dataclass
+class MemReadPacket(Packet):
+    """Passive read of one cache block (controller -> cube)."""
+
+    addr: int = 0
+    req_id: int = 0
+
+    def __init__(self, src: int, dst: int, addr: int, req_id: int = 0, **kw) -> None:
+        super().__init__(ptype=PacketType.READ_REQ, src=src, dst=dst, **kw)
+        self.addr = addr
+        self.req_id = req_id
+
+
+@dataclass
+class MemWritePacket(Packet):
+    """Passive write of one cache block (controller -> cube)."""
+
+    addr: int = 0
+    req_id: int = 0
+
+    def __init__(self, src: int, dst: int, addr: int, req_id: int = 0, **kw) -> None:
+        super().__init__(ptype=PacketType.WRITE_REQ, src=src, dst=dst, **kw)
+        self.addr = addr
+        self.req_id = req_id
+
+
+@dataclass
+class MemRespPacket(Packet):
+    """Response to a passive read or write."""
+
+    addr: int = 0
+    req_id: int = 0
+
+    def __init__(self, src: int, dst: int, addr: int, is_read: bool, req_id: int = 0, **kw) -> None:
+        ptype = PacketType.READ_RESP if is_read else PacketType.WRITE_RESP
+        super().__init__(ptype=ptype, src=src, dst=dst, **kw)
+        self.addr = addr
+        self.req_id = req_id
+
+
+@dataclass
+class UpdatePacket(Packet):
+    """Offloaded ``Update(src1, src2, target, op)`` command.
+
+    ``dst`` is the compute destination: the cube holding the single operand, or
+    the split point (last common cube on the routes toward both operands).
+    The entry node (tree root for this packet) is recorded so engines can
+    distinguish trees of the same flow rooted at different ports.
+    """
+
+    opcode: str = "add"
+    src1_addr: Optional[int] = None
+    src2_addr: Optional[int] = None
+    target_addr: int = 0
+    src1_value: float = 1.0
+    src2_value: float = 1.0
+    imm_value: float = 0.0
+    thread_id: int = 0
+    root_node: int = 0
+    update_id: int = 0
+    issue_time: float = 0.0
+
+    def __init__(self, src: int, dst: int, *, opcode: str, target_addr: int,
+                 src1_addr: Optional[int] = None, src2_addr: Optional[int] = None,
+                 src1_value: float = 1.0, src2_value: float = 1.0,
+                 imm_value: float = 0.0, thread_id: int = 0, root_node: int = 0,
+                 update_id: int = 0, issue_time: float = 0.0, flow_id: Optional[int] = None,
+                 **kw) -> None:
+        super().__init__(ptype=PacketType.UPDATE, src=src, dst=dst, flow_id=flow_id, **kw)
+        self.opcode = opcode
+        self.src1_addr = src1_addr
+        self.src2_addr = src2_addr
+        self.target_addr = target_addr
+        self.src1_value = src1_value
+        self.src2_value = src2_value
+        self.imm_value = imm_value
+        self.thread_id = thread_id
+        self.root_node = root_node
+        self.update_id = update_id
+        self.issue_time = issue_time
+        if self.flow_id is None:
+            self.flow_id = target_addr
+
+    @property
+    def num_operands(self) -> int:
+        return int(self.src1_addr is not None) + int(self.src2_addr is not None)
+
+
+@dataclass
+class GatherRequestPacket(Packet):
+    """Gather command travelling from the root toward the leaves of an ARTree."""
+
+    target_addr: int = 0
+    num_threads: int = 1
+    thread_id: int = 0
+    root_node: int = 0
+
+    def __init__(self, src: int, dst: int, *, target_addr: int, num_threads: int = 1,
+                 thread_id: int = 0, root_node: int = 0, flow_id: Optional[int] = None,
+                 **kw) -> None:
+        super().__init__(ptype=PacketType.GATHER_REQ, src=src, dst=dst, flow_id=flow_id, **kw)
+        self.target_addr = target_addr
+        self.num_threads = num_threads
+        self.thread_id = thread_id
+        self.root_node = root_node
+        if self.flow_id is None:
+            self.flow_id = target_addr
+
+
+@dataclass
+class GatherResponsePacket(Packet):
+    """Partial reduction result travelling from a child node to its tree parent."""
+
+    target_addr: int = 0
+    partial_result: float = 0.0
+    completed_updates: int = 0
+    root_node: int = 0
+
+    def __init__(self, src: int, dst: int, *, target_addr: int, partial_result: float,
+                 completed_updates: int, root_node: int = 0,
+                 flow_id: Optional[int] = None, **kw) -> None:
+        super().__init__(ptype=PacketType.GATHER_RESP, src=src, dst=dst, flow_id=flow_id, **kw)
+        self.target_addr = target_addr
+        self.partial_result = partial_result
+        self.completed_updates = completed_updates
+        self.root_node = root_node
+        if self.flow_id is None:
+            self.flow_id = target_addr
+
+
+@dataclass
+class OperandRequestPacket(Packet):
+    """Operand fetch issued by an ARE toward the cube holding the operand."""
+
+    addr: int = 0
+    buffer_slot: int = 0
+    operand_index: int = 0
+    compute_node: int = 0
+    value: float = 0.0
+
+    def __init__(self, src: int, dst: int, *, addr: int, buffer_slot: int,
+                 operand_index: int, compute_node: int, value: float = 0.0,
+                 flow_id: Optional[int] = None, **kw) -> None:
+        super().__init__(ptype=PacketType.OPERAND_REQ, src=src, dst=dst, flow_id=flow_id, **kw)
+        self.addr = addr
+        self.buffer_slot = buffer_slot
+        self.operand_index = operand_index
+        self.compute_node = compute_node
+        self.value = value
+
+
+@dataclass
+class OperandResponsePacket(Packet):
+    """Operand value returning to the ARE that requested it."""
+
+    addr: int = 0
+    buffer_slot: int = 0
+    operand_index: int = 0
+    value: float = 0.0
+
+    def __init__(self, src: int, dst: int, *, addr: int, buffer_slot: int,
+                 operand_index: int, value: float = 0.0,
+                 flow_id: Optional[int] = None, **kw) -> None:
+        super().__init__(ptype=PacketType.OPERAND_RESP, src=src, dst=dst, flow_id=flow_id, **kw)
+        self.addr = addr
+        self.buffer_slot = buffer_slot
+        self.operand_index = operand_index
+        self.value = value

@@ -1,0 +1,93 @@
+"""Deterministic minimal routing over a memory-network topology.
+
+The table is computed once with a breadth-first search that always explores
+neighbours in ascending node order, so that for every (source, destination)
+pair there is exactly one path and it is stable across runs.  Active-Routing's
+split-point computation relies on this determinism: the split point of two
+operands is the last cube shared by the two deterministic paths from the tree
+root toward each operand.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, List, Tuple
+
+from .topology import Topology
+
+
+class RoutingTable:
+    """Next-hop table with path reconstruction helpers."""
+
+    def __init__(self, topology: Topology) -> None:
+        self.topology = topology
+        self._parent: Dict[int, Dict[int, int]] = {}
+        self._paths: Dict[Tuple[int, int], List[int]] = {}
+        for root in topology.graph.nodes:
+            self._parent[root] = self._bfs_tree(root)
+
+    def _bfs_tree(self, root: int) -> Dict[int, int]:
+        """Deterministic BFS parents: ``parent[node]`` on the path back to ``root``."""
+        parent: Dict[int, int] = {root: root}
+        queue = deque([root])
+        while queue:
+            current = queue.popleft()
+            for neighbor in sorted(self.topology.graph.neighbors(current)):
+                if neighbor not in parent:
+                    parent[neighbor] = current
+                    queue.append(neighbor)
+        return parent
+
+    def path(self, src: int, dst: int) -> List[int]:
+        """Full node path from ``src`` to ``dst`` inclusive."""
+        key = (src, dst)
+        cached = self._paths.get(key)
+        if cached is not None:
+            return cached
+        if src == dst:
+            path = [src]
+        else:
+            # Walk dst -> src using the BFS tree rooted at src, then reverse.
+            parent = self._parent[src]
+            if dst not in parent:
+                raise ValueError(f"no route from {src} to {dst}")
+            reverse = [dst]
+            node = dst
+            while node != src:
+                node = parent[node]
+                reverse.append(node)
+            path = list(reversed(reverse))
+        self._paths[key] = path
+        return path
+
+    def next_hop(self, current: int, dst: int) -> int:
+        """The neighbour to forward to from ``current`` toward ``dst``."""
+        if current == dst:
+            return current
+        path = self.path(current, dst)
+        return path[1]
+
+    def distance(self, src: int, dst: int) -> int:
+        """Hop count between two nodes."""
+        return len(self.path(src, dst)) - 1
+
+    def split_point(self, root: int, dst_a: int, dst_b: int) -> int:
+        """Last cube common to the deterministic routes ``root→dst_a`` and ``root→dst_b``.
+
+        This is where a two-operand Update packet splits into two operand
+        requests (Section 3.3.1 of the paper).
+        """
+        path_a = self.path(root, dst_a)
+        path_b = self.path(root, dst_b)
+        split = root
+        for a, b in zip(path_a, path_b):
+            if a != b:
+                break
+            split = a
+        return split
+
+    def nearest(self, node: int, candidates: List[int]) -> int:
+        """The candidate closest to ``node`` (ties broken by node id)."""
+        if not candidates:
+            raise ValueError("candidates must be non-empty")
+        return min(candidates, key=lambda c: (self.distance(node, c), c))

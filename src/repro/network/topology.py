@@ -1,0 +1,168 @@
+"""Memory-network topologies.
+
+The paper connects 16 HMC cubes in a dragonfly and attaches 4 host-side HMC
+controllers at the edges (Table 4.1).  Controllers are modelled as extra graph
+nodes so that routing treats them uniformly; cube nodes are ``0 .. num_cubes-1``
+and controller nodes follow immediately after.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+import networkx as nx
+
+
+@dataclass
+class Topology:
+    """An undirected memory-network graph plus the controller attachment points."""
+
+    name: str
+    num_cubes: int
+    graph: nx.Graph
+    controller_nodes: List[int] = field(default_factory=list)
+    controller_attach: Dict[int, int] = field(default_factory=dict)
+
+    def is_cube(self, node: int) -> bool:
+        return 0 <= node < self.num_cubes
+
+    def is_controller(self, node: int) -> bool:
+        return node in self.controller_attach
+
+    def cube_nodes(self) -> List[int]:
+        return list(range(self.num_cubes))
+
+    def neighbors(self, node: int) -> List[int]:
+        return sorted(self.graph.neighbors(node))
+
+    def edges(self) -> List[Tuple[int, int]]:
+        return sorted(tuple(sorted(e)) for e in self.graph.edges())
+
+    def validate(self) -> None:
+        """Sanity-check connectivity; raises ``ValueError`` on a broken build."""
+        if not nx.is_connected(self.graph):
+            raise ValueError(f"topology {self.name!r} is not connected")
+        for ctrl, cube in self.controller_attach.items():
+            if not self.graph.has_edge(ctrl, cube):
+                raise ValueError(f"controller {ctrl} is not attached to cube {cube}")
+
+
+def _add_controllers(graph: nx.Graph, num_cubes: int, attach_cubes: List[int]) -> Tuple[List[int], Dict[int, int]]:
+    controller_nodes = []
+    attach = {}
+    for i, cube in enumerate(attach_cubes):
+        ctrl = num_cubes + i
+        graph.add_node(ctrl)
+        graph.add_edge(ctrl, cube)
+        controller_nodes.append(ctrl)
+        attach[ctrl] = cube
+    return controller_nodes, attach
+
+
+def build_dragonfly(num_groups: int = 4, routers_per_group: int = 4,
+                    num_controllers: int = 4) -> Topology:
+    """Dragonfly of ``num_groups * routers_per_group`` cubes.
+
+    Routers inside a group are fully connected.  Each pair of groups is joined
+    by exactly one global link, assigned deterministically to router
+    ``(other_group - group - 1) mod routers_per_group`` of each group.
+    Controllers attach round-robin to one router of each group.
+    """
+    if num_groups < 2 or routers_per_group < 1:
+        raise ValueError("dragonfly needs at least 2 groups and 1 router per group")
+    if num_groups - 1 > routers_per_group:
+        raise ValueError("not enough routers per group to host all global links")
+    num_cubes = num_groups * routers_per_group
+    graph = nx.Graph()
+    graph.add_nodes_from(range(num_cubes))
+
+    def node(group: int, router: int) -> int:
+        return group * routers_per_group + router
+
+    for group in range(num_groups):
+        members = [node(group, r) for r in range(routers_per_group)]
+        for i, a in enumerate(members):
+            for b in members[i + 1:]:
+                graph.add_edge(a, b)
+
+    for g1 in range(num_groups):
+        for g2 in range(g1 + 1, num_groups):
+            r1 = (g2 - g1 - 1) % routers_per_group
+            r2 = (g1 - g2 - 1) % routers_per_group
+            graph.add_edge(node(g1, r1), node(g2, r2))
+
+    if num_controllers > num_groups:
+        raise ValueError("at most one controller per group is supported")
+    attach_cubes = [node(g, routers_per_group - 1) for g in range(num_controllers)]
+    controllers, attach = _add_controllers(graph, num_cubes, attach_cubes)
+    topo = Topology(name=f"dragonfly{num_groups}x{routers_per_group}", num_cubes=num_cubes,
+                    graph=graph, controller_nodes=controllers, controller_attach=attach)
+    topo.validate()
+    return topo
+
+
+def build_mesh(rows: int = 4, cols: int = 4, num_controllers: int = 4) -> Topology:
+    """2-D mesh of cubes with controllers attached at the four corners."""
+    if rows < 1 or cols < 1:
+        raise ValueError("mesh dimensions must be positive")
+    num_cubes = rows * cols
+    graph = nx.Graph()
+    graph.add_nodes_from(range(num_cubes))
+
+    def node(r: int, c: int) -> int:
+        return r * cols + c
+
+    for r in range(rows):
+        for c in range(cols):
+            if c + 1 < cols:
+                graph.add_edge(node(r, c), node(r, c + 1))
+            if r + 1 < rows:
+                graph.add_edge(node(r, c), node(r + 1, c))
+
+    corners = [node(0, 0), node(0, cols - 1), node(rows - 1, 0), node(rows - 1, cols - 1)]
+    # Deduplicate for degenerate meshes (single row/column).
+    seen: List[int] = []
+    for c in corners:
+        if c not in seen:
+            seen.append(c)
+    attach_cubes = seen[:num_controllers]
+    if len(attach_cubes) < num_controllers:
+        attach_cubes = (attach_cubes * num_controllers)[:num_controllers]
+    controllers, attach = _add_controllers(graph, num_cubes, attach_cubes)
+    topo = Topology(name=f"mesh{rows}x{cols}", num_cubes=num_cubes, graph=graph,
+                    controller_nodes=controllers, controller_attach=attach)
+    topo.validate()
+    return topo
+
+
+def build_chain(num_cubes: int = 4, num_controllers: int = 1) -> Topology:
+    """A daisy chain of cubes; controllers attach to the first cubes."""
+    if num_cubes < 1:
+        raise ValueError("chain needs at least one cube")
+    graph = nx.Graph()
+    graph.add_nodes_from(range(num_cubes))
+    for i in range(num_cubes - 1):
+        graph.add_edge(i, i + 1)
+    attach_cubes = [i % num_cubes for i in range(num_controllers)]
+    controllers, attach = _add_controllers(graph, num_cubes, attach_cubes)
+    topo = Topology(name=f"chain{num_cubes}", num_cubes=num_cubes, graph=graph,
+                    controller_nodes=controllers, controller_attach=attach)
+    topo.validate()
+    return topo
+
+
+TOPOLOGY_BUILDERS = {
+    "dragonfly": build_dragonfly,
+    "mesh": build_mesh,
+    "chain": build_chain,
+}
+
+
+def build_topology(kind: str, **kwargs) -> Topology:
+    """Build a topology by name (``dragonfly``, ``mesh`` or ``chain``)."""
+    try:
+        builder = TOPOLOGY_BUILDERS[kind]
+    except KeyError:
+        raise ValueError(f"unknown topology {kind!r}; choose from {sorted(TOPOLOGY_BUILDERS)}")
+    return builder(**kwargs)

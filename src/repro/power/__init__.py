@@ -1,0 +1,5 @@
+"""Power, energy and energy-delay-product models."""
+
+from .energy_model import EnergyBreakdown, EnergyModel
+
+__all__ = ["EnergyBreakdown", "EnergyModel"]

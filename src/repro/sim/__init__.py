@@ -1,0 +1,18 @@
+"""Discrete-event simulation kernel: event queue, simulator, components, stats."""
+
+from .component import Component, SharedResource
+from .event_queue import Event, EventQueue
+from .simulator import SimulationError, Simulator
+from .stats import Histogram, StatsRegistry, geometric_mean
+
+__all__ = [
+    "Component",
+    "SharedResource",
+    "Event",
+    "EventQueue",
+    "SimulationError",
+    "Simulator",
+    "Histogram",
+    "StatsRegistry",
+    "geometric_mean",
+]

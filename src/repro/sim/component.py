@@ -1,0 +1,94 @@
+"""Base class for every timed hardware model in the simulator."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .simulator import Simulator
+
+
+class Component:
+    """A named piece of simulated hardware bound to a :class:`Simulator`.
+
+    Components publish their statistics into the simulator's global registry
+    under ``<name>.<stat>`` and schedule work through ``self.sim``.
+    """
+
+    def __init__(self, sim: Simulator, name: str) -> None:
+        if not name:
+            raise ValueError("component name must be non-empty")
+        self.sim = sim
+        self.name = name
+        # Cache of fully-qualified stat names; counting is on the hot path.
+        self._stat_keys: dict = {}
+
+    # -- stats shortcuts ------------------------------------------------------
+    def count(self, stat: str, amount: float = 1.0) -> None:
+        """Increment ``<name>.<stat>`` in the global registry."""
+        key = self._stat_keys.get(stat)
+        if key is None:
+            key = f"{self.name}.{stat}"
+            self._stat_keys[stat] = key
+        self.sim.stats.add(key, amount)
+
+    def observe(self, stat: str, value: float) -> None:
+        """Record a histogram sample under ``<name>.<stat>``."""
+        self.sim.stats.observe(f"{self.name}.{stat}", value)
+
+    def gauge(self, stat: str, value: float) -> None:
+        """Set the gauge ``<name>.<stat>``."""
+        self.sim.stats.set_gauge(f"{self.name}.{stat}", value)
+
+    def stat(self, stat: str) -> float:
+        """Read back a counter previously written by :meth:`count`."""
+        return self.sim.stats.counter(f"{self.name}.{stat}")
+
+    # -- time shortcuts -------------------------------------------------------
+    @property
+    def now(self) -> float:
+        return self.sim.now
+
+    def schedule(self, delay: float, callback, label: Optional[str] = None):
+        return self.sim.schedule(delay, callback, label=label or self.name)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.name!r}>"
+
+
+class SharedResource(Component):
+    """A serially-reusable resource modelled with a ``busy_until`` reservation.
+
+    This is the contention primitive used by links, vault controllers and DRAM
+    banks: a user asks for ``occupancy`` cycles of service starting no earlier
+    than ``now`` and receives the cycle at which service *completes*.  Requests
+    are served in arrival order, so the resource behaves as a FIFO queue.
+    """
+
+    def __init__(self, sim: Simulator, name: str) -> None:
+        super().__init__(sim, name)
+        self.busy_until: float = 0.0
+
+    def reserve(self, occupancy: float, earliest: Optional[float] = None) -> tuple[float, float]:
+        """Reserve the resource for ``occupancy`` cycles.
+
+        Returns ``(start, finish)`` where ``start`` is when service begins and
+        ``finish`` when it ends.  Queueing delay is ``start - earliest``.
+        """
+        if occupancy < 0:
+            raise ValueError("occupancy must be non-negative")
+        earliest = self.now if earliest is None else earliest
+        start = max(earliest, self.busy_until)
+        finish = start + occupancy
+        self.busy_until = finish
+        wait = start - earliest
+        if wait > 0:
+            self.count("queue_wait_cycles", wait)
+        self.count("busy_cycles", occupancy)
+        return start, finish
+
+    def utilization(self, elapsed: Optional[float] = None) -> float:
+        """Fraction of elapsed time spent busy (best-effort, based on counters)."""
+        elapsed = self.now if elapsed is None else elapsed
+        if elapsed <= 0:
+            return 0.0
+        return min(1.0, self.stat("busy_cycles") / elapsed)

@@ -1,0 +1,87 @@
+"""Discrete-event queue used by every timed component in the simulator.
+
+The queue is a binary heap keyed on ``(time, sequence)``.  The sequence number
+guarantees a deterministic, insertion-ordered tie-break for events scheduled at
+the same cycle, which in turn makes every simulation run reproducible.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+
+@dataclass
+class Event:
+    """A single scheduled callback.
+
+    Events are ordered by ``time`` then by ``seq`` (insertion order).  The
+    callback itself never participates in the ordering.
+    """
+
+    time: float
+    seq: int
+    callback: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+    label: str = field(default="", compare=False)
+
+    def __lt__(self, other: "Event") -> bool:
+        if self.time != other.time:
+            return self.time < other.time
+        return self.seq < other.seq
+
+    def cancel(self) -> None:
+        """Mark the event so it is skipped when popped."""
+        self.cancelled = True
+
+
+class EventQueue:
+    """A deterministic min-heap of :class:`Event` objects."""
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._seq = 0
+        self._live = 0
+
+    def __len__(self) -> int:
+        return self._live
+
+    def __bool__(self) -> bool:
+        return self._live > 0
+
+    def push(self, time: float, callback: Callable[[], None], label: str = "") -> Event:
+        """Schedule ``callback`` to run at absolute ``time``."""
+        if time < 0:
+            raise ValueError(f"cannot schedule an event at negative time {time}")
+        event = Event(time=time, seq=self._seq, callback=callback, label=label)
+        self._seq += 1
+        self._live += 1
+        heapq.heappush(self._heap, event)
+        return event
+
+    def peek_time(self) -> Optional[float]:
+        """Return the timestamp of the next live event, or ``None`` if empty."""
+        self._drop_cancelled()
+        if not self._heap:
+            return None
+        return self._heap[0].time
+
+    def pop(self) -> Optional[Event]:
+        """Remove and return the next live event, or ``None`` if empty."""
+        self._drop_cancelled()
+        if not self._heap:
+            return None
+        event = heapq.heappop(self._heap)
+        self._live -= 1
+        return event
+
+    def clear(self) -> None:
+        """Drop every pending event."""
+        self._heap.clear()
+        self._live = 0
+
+    def _drop_cancelled(self) -> None:
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+            self._live -= 1

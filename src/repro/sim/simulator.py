@@ -1,0 +1,105 @@
+"""The discrete-event simulator driving every timed model in the library.
+
+All components share a single :class:`Simulator` instance.  Time is expressed in
+CPU cycles of the host clock (2 GHz by default, Table 4.1); components running at
+other frequencies convert their own latencies into host cycles.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from .event_queue import Event, EventQueue
+from .stats import StatsRegistry
+
+
+class SimulationError(RuntimeError):
+    """Raised when the simulation reaches an inconsistent state."""
+
+
+class Simulator:
+    """Owns simulated time, the event queue and the global stats registry."""
+
+    def __init__(self, cpu_freq_ghz: float = 2.0) -> None:
+        if cpu_freq_ghz <= 0:
+            raise ValueError("cpu_freq_ghz must be positive")
+        self.cpu_freq_ghz = cpu_freq_ghz
+        self.now: float = 0.0
+        self.events = EventQueue()
+        self.stats = StatsRegistry()
+        self._executed_events = 0
+        self._finished = False
+
+    # -- scheduling ----------------------------------------------------------
+    def schedule(self, delay: float, callback: Callable[[], None], label: str = "") -> Event:
+        """Run ``callback`` after ``delay`` cycles (relative to ``now``)."""
+        if delay < 0:
+            raise ValueError(f"delay must be non-negative, got {delay}")
+        return self.events.push(self.now + delay, callback, label=label)
+
+    def schedule_at(self, time: float, callback: Callable[[], None], label: str = "") -> Event:
+        """Run ``callback`` at absolute ``time`` (must not be in the past)."""
+        if time < self.now:
+            raise ValueError(f"cannot schedule at {time} before now={self.now}")
+        return self.events.push(time, callback, label=label)
+
+    # -- execution -----------------------------------------------------------
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> float:
+        """Execute events until the queue drains, ``until`` is reached or
+        ``max_events`` have been processed.  Returns the final simulated time."""
+        processed = 0
+        while self.events:
+            next_time = self.events.peek_time()
+            if next_time is None:
+                break
+            if until is not None and next_time > until:
+                self.now = until
+                return self.now
+            event = self.events.pop()
+            if event is None:
+                break
+            if event.time < self.now - 1e-9:
+                raise SimulationError(
+                    f"event {event.label!r} scheduled at {event.time} is in the past "
+                    f"(now={self.now})"
+                )
+            self.now = max(self.now, event.time)
+            event.callback()
+            self._executed_events += 1
+            processed += 1
+            if max_events is not None and processed >= max_events:
+                break
+        self._finished = not self.events
+        return self.now
+
+    def run_until_idle(self, max_events: int = 50_000_000) -> float:
+        """Run until no events remain; guards against runaway simulations."""
+        final = self.run(max_events=max_events)
+        if self.events:
+            raise SimulationError(
+                f"simulation did not converge within {max_events} events "
+                f"({len(self.events)} still pending at cycle {self.now})"
+            )
+        return final
+
+    # -- conversions & introspection -------------------------------------------
+    def seconds(self, cycles: Optional[float] = None) -> float:
+        """Convert ``cycles`` (default: current time) into wall-clock seconds."""
+        cycles = self.now if cycles is None else cycles
+        return cycles / (self.cpu_freq_ghz * 1e9)
+
+    @property
+    def executed_events(self) -> int:
+        return self._executed_events
+
+    @property
+    def finished(self) -> bool:
+        return self._finished
+
+    def reset(self) -> None:
+        """Reset time, events and statistics (components must be rebuilt)."""
+        self.now = 0.0
+        self.events.clear()
+        self.stats.clear()
+        self._executed_events = 0
+        self._finished = False

@@ -1,0 +1,157 @@
+"""Statistics primitives shared by every simulated component.
+
+The registry is intentionally simple: counters (monotonic sums), scalar gauges,
+and histograms with summary statistics.  Components register their stats under a
+dotted name (``"network.link.cube3->cube7.bytes"``) so the experiment harness can
+aggregate by prefix.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Tuple
+
+
+@dataclass
+class Histogram:
+    """Streaming summary of a sample population (mean, min, max, percentiles)."""
+
+    samples: List[float] = field(default_factory=list)
+    keep_samples: bool = True
+    count: int = 0
+    total: float = 0.0
+    minimum: float = math.inf
+    maximum: float = -math.inf
+
+    def add(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if value < self.minimum:
+            self.minimum = value
+        if value > self.maximum:
+            self.maximum = value
+        if self.keep_samples:
+            self.samples.append(value)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, fraction: float) -> float:
+        """Return the ``fraction`` percentile (0..1) of the retained samples."""
+        if not self.samples:
+            return 0.0
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError("percentile fraction must be within [0, 1]")
+        ordered = sorted(self.samples)
+        index = min(len(ordered) - 1, int(round(fraction * (len(ordered) - 1))))
+        return ordered[index]
+
+    def merge(self, other: "Histogram") -> None:
+        self.count += other.count
+        self.total += other.total
+        self.minimum = min(self.minimum, other.minimum)
+        self.maximum = max(self.maximum, other.maximum)
+        if self.keep_samples and other.keep_samples:
+            self.samples.extend(other.samples)
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "count": float(self.count),
+            "total": self.total,
+            "mean": self.mean,
+            "min": self.minimum if self.count else 0.0,
+            "max": self.maximum if self.count else 0.0,
+        }
+
+
+class StatsRegistry:
+    """A flat namespace of counters, gauges and histograms."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, float] = defaultdict(float)
+        self._gauges: Dict[str, float] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    # -- counters -----------------------------------------------------------
+    def add(self, name: str, amount: float = 1.0) -> None:
+        """Increment counter ``name`` by ``amount``."""
+        self._counters[name] += amount
+
+    def counter(self, name: str) -> float:
+        return self._counters.get(name, 0.0)
+
+    def counters(self, prefix: str = "") -> Dict[str, float]:
+        """Return all counters whose name starts with ``prefix``."""
+        return {k: v for k, v in self._counters.items() if k.startswith(prefix)}
+
+    def sum(self, prefix: str) -> float:
+        """Sum every counter whose name starts with ``prefix``."""
+        return sum(v for k, v in self._counters.items() if k.startswith(prefix))
+
+    # -- gauges -------------------------------------------------------------
+    def set_gauge(self, name: str, value: float) -> None:
+        self._gauges[name] = value
+
+    def gauge(self, name: str, default: float = 0.0) -> float:
+        return self._gauges.get(name, default)
+
+    def gauges(self, prefix: str = "") -> Dict[str, float]:
+        return {k: v for k, v in self._gauges.items() if k.startswith(prefix)}
+
+    # -- histograms ---------------------------------------------------------
+    def observe(self, name: str, value: float) -> None:
+        hist = self._histograms.get(name)
+        if hist is None:
+            hist = Histogram()
+            self._histograms[name] = hist
+        hist.add(value)
+
+    def histogram(self, name: str) -> Histogram:
+        hist = self._histograms.get(name)
+        if hist is None:
+            hist = Histogram()
+            self._histograms[name] = hist
+        return hist
+
+    def histograms(self, prefix: str = "") -> Dict[str, Histogram]:
+        return {k: v for k, v in self._histograms.items() if k.startswith(prefix)}
+
+    # -- bulk helpers ---------------------------------------------------------
+    def merge(self, other: "StatsRegistry") -> None:
+        """Fold another registry into this one (used to combine per-run stats)."""
+        for name, value in other._counters.items():
+            self._counters[name] += value
+        for name, value in other._gauges.items():
+            self._gauges[name] = value
+        for name, hist in other._histograms.items():
+            self.histogram(name).merge(hist)
+
+    def snapshot(self) -> Dict[str, float]:
+        """Flatten everything into a single scalar mapping (histograms -> mean)."""
+        flat: Dict[str, float] = dict(self._counters)
+        flat.update(self._gauges)
+        for name, hist in self._histograms.items():
+            flat[f"{name}.mean"] = hist.mean
+            flat[f"{name}.count"] = float(hist.count)
+        return flat
+
+    def __iter__(self) -> Iterator[Tuple[str, float]]:
+        return iter(self.snapshot().items())
+
+    def clear(self) -> None:
+        self._counters.clear()
+        self._gauges.clear()
+        self._histograms.clear()
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """Geometric mean of strictly positive values (0 if the iterable is empty)."""
+    values = list(values)
+    if not values:
+        return 0.0
+    if any(v <= 0 for v in values):
+        raise ValueError("geometric mean requires strictly positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))

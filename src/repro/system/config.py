@@ -1,0 +1,135 @@
+"""System configurations (Table 4.1 and the five evaluation schemes of §5.1).
+
+A :class:`SystemConfig` bundles everything needed to build one simulated
+machine: the host CMP, the memory substrate (DDR baseline or HMC network) and,
+for the Active-Routing configurations, the engine parameters and the tree
+construction scheme.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+from typing import List, Optional, Tuple
+
+from ..core.config import AREConfig
+from ..core.schemes import Scheme
+from ..cpu.config import CMPConfig, paper_cmp_config, scaled_cmp_config
+from ..hmc.config import HMCConfig, HMCNetworkConfig
+from ..mem import DRAMAddressMapping
+
+
+class SystemKind(enum.Enum):
+    """The five configurations evaluated in Section 5.1."""
+
+    DRAM = "DRAM"
+    HMC = "HMC"
+    ART = "ART"
+    ARF_TID = "ARF-tid"
+    ARF_ADDR = "ARF-addr"
+
+    @property
+    def uses_hmc(self) -> bool:
+        return self is not SystemKind.DRAM
+
+    @property
+    def uses_active_routing(self) -> bool:
+        return self in (SystemKind.ART, SystemKind.ARF_TID, SystemKind.ARF_ADDR)
+
+    @property
+    def scheme(self) -> Optional[Scheme]:
+        return {
+            SystemKind.ART: Scheme.ART,
+            SystemKind.ARF_TID: Scheme.ARF_TID,
+            SystemKind.ARF_ADDR: Scheme.ARF_ADDR,
+        }.get(self)
+
+    @classmethod
+    def from_name(cls, name: str) -> "SystemKind":
+        normalized = name.strip().lower().replace("_", "-")
+        for kind in cls:
+            if kind.value.lower() == normalized or kind.name.lower() == normalized:
+                return kind
+        raise ValueError(f"unknown system configuration {name!r}")
+
+
+#: Paper plotting order.
+CONFIG_ORDER: List[SystemKind] = [SystemKind.DRAM, SystemKind.HMC, SystemKind.ART,
+                                  SystemKind.ARF_TID, SystemKind.ARF_ADDR]
+#: Configurations that offload (used by the latency/heat-map figures).
+AR_CONFIGS: List[SystemKind] = [SystemKind.ART, SystemKind.ARF_TID, SystemKind.ARF_ADDR]
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """Complete description of one simulated machine."""
+
+    kind: SystemKind
+    cmp: CMPConfig = field(default_factory=scaled_cmp_config)
+    hmc_cube: HMCConfig = field(default_factory=HMCConfig)
+    hmc_net: HMCNetworkConfig = field(default_factory=HMCNetworkConfig)
+    dram_mapping: DRAMAddressMapping = field(default_factory=DRAMAddressMapping)
+    are: AREConfig = field(default_factory=AREConfig)
+    cpu_freq_ghz: float = 2.0
+    profile: str = "scaled"
+
+    @property
+    def label(self) -> str:
+        return self.kind.value
+
+    def with_kind(self, kind: SystemKind) -> "SystemConfig":
+        """The same machine with a different memory/offload configuration."""
+        return replace(self, kind=kind)
+
+
+def make_system_config(kind: "SystemKind | str", profile: str = "scaled",
+                       num_cores: Optional[int] = None) -> SystemConfig:
+    """Build a :class:`SystemConfig` for one of the five evaluation schemes.
+
+    ``profile`` selects between the full Table 4.1 machine (``"paper"``) and the
+    scaled-down machine used by the default experiments (``"scaled"``), whose
+    cache capacities shrink together with the workload footprints.
+    """
+    if isinstance(kind, str):
+        kind = SystemKind.from_name(kind)
+    if profile == "paper":
+        cmp = paper_cmp_config()
+    elif profile == "scaled":
+        cmp = scaled_cmp_config(num_cores or 4)
+    else:
+        raise ValueError(f"unknown profile {profile!r}; choose 'paper' or 'scaled'")
+    if num_cores is not None and profile == "paper":
+        cmp = replace(cmp, num_cores=num_cores)
+    return SystemConfig(kind=kind, cmp=cmp, profile=profile)
+
+
+def all_system_configs(profile: str = "scaled",
+                       num_cores: Optional[int] = None) -> List[SystemConfig]:
+    """One config per evaluation scheme, in paper plotting order."""
+    return [make_system_config(kind, profile=profile, num_cores=num_cores)
+            for kind in CONFIG_ORDER]
+
+
+def table_4_1(config: Optional[SystemConfig] = None) -> List[Tuple[str, str]]:
+    """Render the Table 4.1 system-configuration rows for ``config``."""
+    config = config or make_system_config(SystemKind.ARF_TID, profile="paper")
+    cmp = config.cmp
+    cache = cmp.cache
+    cube = config.hmc_cube
+    net = config.hmc_net
+    link = net.link
+    lane_gbps = link.bandwidth_bytes_per_cycle * config.cpu_freq_ghz * 8 / 16
+    return [
+        ("CPU Core", f"{cmp.num_cores} O3cores @ {config.cpu_freq_ghz:.0f} GHz, "
+                     f"issue/commit width: {cmp.core.issue_width}, ROB: {cmp.core.rob_size}"),
+        ("L1I/DCache", f"Private, {cache.l1_size // 1024}KB, {cache.l1_assoc} way"),
+        ("L2Cache", f"S-NUCA {cache.l2_size // 1024}KB, {cache.l2_assoc} way, MESI, "
+                    f"{cache.l2_banks} banks"),
+        ("NoC", f"{cmp.mesh_rows}x{cmp.mesh_cols} mesh, 4 MC at 4 corners"),
+        ("DRAM Baseline", f"{config.dram_mapping.num_channels} MCs, "
+                          f"{config.dram_mapping.ranks_per_channel} ranks/channel, "
+                          f"{config.dram_mapping.banks_per_rank} banks/rank"),
+        ("HMC", f"{cube.num_vaults} vaults, {cube.banks_per_vault} banks/vault"),
+        ("HMC-Net", f"{net.num_cubes} cube {net.topology}, {net.num_controllers} controllers, "
+                    f"minimal routing, 16 lanes/link @ {lane_gbps:.1f} Gbps/lane"),
+    ]

@@ -1,0 +1,174 @@
+"""Run results: every metric the evaluation figures need, collected once per run."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..isa import ProgramTrace
+from ..power.energy_model import EnergyBreakdown, EnergyModel
+from .builder import BuiltSystem
+
+#: Relative tolerance used when checking reduction results against expectations.
+RESULT_TOLERANCE = 1e-6
+
+
+@dataclass
+class RunResult:
+    """Everything measured from one (workload, configuration) simulation."""
+
+    workload: str
+    config: str
+    mode: str
+    cycles: float
+    instructions: int
+    energy: EnergyBreakdown
+    data_movement: Dict[str, float] = field(default_factory=dict)
+    update_latency: Dict[str, float] = field(default_factory=dict)
+    stall_breakdown: Dict[str, float] = field(default_factory=dict)
+    cache_stats: Dict[str, float] = field(default_factory=dict)
+    per_cube: Dict[str, Dict[int, float]] = field(default_factory=dict)
+    flow_checks: Tuple[int, int] = (0, 0)
+    ipc_samples: List[Tuple[float, int]] = field(default_factory=list)
+    metadata: Dict[str, object] = field(default_factory=dict)
+    events_executed: int = 0
+
+    @property
+    def ipc(self) -> float:
+        return self.instructions / self.cycles if self.cycles else 0.0
+
+    @property
+    def runtime_seconds(self) -> float:
+        return self.energy.runtime_s
+
+    @property
+    def total_data_bytes(self) -> float:
+        """Total off-chip traffic (request + response, normal + active)."""
+        categories = ("norm_req", "norm_resp", "active_req", "active_resp")
+        return sum(self.data_movement.get(cat, 0.0) for cat in categories)
+
+    @property
+    def update_roundtrip(self) -> float:
+        return (self.update_latency.get("request", 0.0)
+                + self.update_latency.get("stall", 0.0)
+                + self.update_latency.get("response", 0.0))
+
+    @property
+    def flows_verified(self) -> bool:
+        checked, mismatched = self.flow_checks
+        return mismatched == 0
+
+    def speedup_over(self, baseline: "RunResult") -> float:
+        """Runtime speedup of this run relative to ``baseline``."""
+        if self.cycles == 0:
+            return 0.0
+        return baseline.cycles / self.cycles
+
+    def summary(self) -> Dict[str, float]:
+        """Flat scalar summary (handy for tables and JSON dumps)."""
+        checked, mismatched = self.flow_checks
+        out = {
+            "cycles": self.cycles,
+            "instructions": float(self.instructions),
+            "ipc": self.ipc,
+            "energy_total_j": self.energy.total_j,
+            "power_w": self.energy.power_w,
+            "edp": self.energy.edp,
+            "data_bytes": self.total_data_bytes,
+            "update_roundtrip": self.update_roundtrip,
+            "flows_checked": float(checked),
+            "flow_mismatches": float(mismatched),
+        }
+        out.update({f"data.{k}": v for k, v in self.data_movement.items()})
+        out.update({f"latency.{k}": v for k, v in self.update_latency.items()})
+        return out
+
+
+def _collect_data_movement(system: BuiltSystem) -> Dict[str, float]:
+    stats = system.sim.stats
+    if system.config.kind.uses_hmc:
+        offchip = system.memory.network.offchip_bytes()  # type: ignore[union-attr]
+        offchip["network_total"] = stats.counter("network.bytes")
+        return offchip
+    # The DDR baseline has no memory network; classify channel traffic instead.
+    reads = stats.counter("dram.bytes.normal_read")
+    writes = stats.counter("dram.bytes.normal_write")
+    return {"norm_req": writes, "norm_resp": reads, "active_req": 0.0, "active_resp": 0.0,
+            "network_total": reads + writes}
+
+
+def _collect_update_latency(system: BuiltSystem) -> Dict[str, float]:
+    stats = system.sim.stats
+    out = {}
+    for component in ("request", "stall", "response", "total"):
+        hist = stats.histogram(f"ar.update_latency.{component}")
+        out[component] = hist.mean
+    return out
+
+
+def _collect_per_cube(system: BuiltSystem) -> Dict[str, Dict[int, float]]:
+    if not system.config.kind.uses_hmc:
+        return {}
+    stats = system.sim.stats
+    num_cubes = system.memory.mapping.num_cubes  # type: ignore[union-attr]
+    metrics = {
+        "updates_received": "are{n}.updates_received",
+        "operand_buffer_stalls": "are{n}.operand_buffer_stalls",
+        "operand_reads_served": "are{n}.operand_reads_served",
+        "vault_accesses": None,  # handled specially below
+    }
+    per_cube: Dict[str, Dict[int, float]] = {k: {} for k in metrics}
+    for cube_id in range(num_cubes):
+        for key, pattern in metrics.items():
+            if pattern is not None:
+                per_cube[key][cube_id] = stats.counter(pattern.format(n=cube_id))
+        per_cube["vault_accesses"][cube_id] = stats.sum(f"hmc.cube{cube_id}.vault")
+    return per_cube
+
+
+def _verify_flows(system: BuiltSystem, program: ProgramTrace) -> Tuple[int, int]:
+    """Compare gathered reduction results against the workload's expectations."""
+    if system.ar_host is None or not program.expected_results:
+        return (0, 0)
+    checked = 0
+    mismatched = 0
+    for target, expected in program.expected_results.items():
+        actual = system.ar_host.flow_results.get(target)
+        if actual is None:
+            continue
+        checked += 1
+        tolerance = RESULT_TOLERANCE * max(1.0, abs(expected))
+        if abs(actual - expected) > tolerance:
+            mismatched += 1
+    return (checked, mismatched)
+
+
+def collect_results(system: BuiltSystem, program: ProgramTrace) -> RunResult:
+    """Harvest every metric of interest from a finished simulation."""
+    sim = system.sim
+    cycles = system.cmp.finish_time() or sim.now
+    energy = EnergyModel(sim.stats).breakdown(cycles, cpu_freq_ghz=system.config.cpu_freq_ghz)
+    cache_stats = {
+        "l1_hit_rate": system.cmp.hierarchy.l1_hit_rate(),
+        "l2_hit_rate": system.cmp.hierarchy.l2_hit_rate(),
+        "l1_accesses": sim.stats.counter("cache.l1_accesses"),
+        "l2_accesses": sim.stats.counter("cache.l2_accesses"),
+        "invalidations": sim.stats.counter("cache.invalidations"),
+    }
+    return RunResult(
+        workload=program.name,
+        config=system.config.label,
+        mode=program.mode,
+        cycles=cycles,
+        instructions=system.cmp.total_instructions(),
+        energy=energy,
+        data_movement=_collect_data_movement(system),
+        update_latency=_collect_update_latency(system),
+        stall_breakdown=system.cmp.stall_breakdown(),
+        cache_stats=cache_stats,
+        per_cube=_collect_per_cube(system),
+        flow_checks=_verify_flows(system, program),
+        ipc_samples=[(cycle, instrs) for cycle, instrs in system.cmp.aggregate_ipc_samples()],
+        metadata=dict(program.metadata),
+        events_executed=sim.executed_events,
+    )

@@ -1,0 +1,107 @@
+"""Run driver: execute one workload on one system configuration.
+
+This is the main entry point most users need:
+
+>>> from repro.system import run_workload
+>>> result = run_workload("ARF-tid", "mac", array_elements=2048)
+>>> result.flows_verified
+True
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple, Union
+
+from ..isa import ProgramTrace
+from ..sim import SimulationError
+from ..workloads import WorkloadConfig, make_workload
+from ..workloads.base import Workload
+from .builder import BuiltSystem, build_system
+from .config import CONFIG_ORDER, SystemConfig, SystemKind, make_system_config
+from .results import RunResult, collect_results
+
+#: Safety bound on event count for a single run.
+DEFAULT_MAX_EVENTS = 80_000_000
+
+
+def run_program(config: Union[SystemConfig, SystemKind, str], program: ProgramTrace,
+                max_events: int = DEFAULT_MAX_EVENTS) -> RunResult:
+    """Execute an already-generated program trace on the given configuration."""
+    system = build_system(config)
+    expected_mode = system.trace_mode
+    if program.mode != expected_mode:
+        raise ValueError(
+            f"configuration {system.config.label} executes {expected_mode!r} traces "
+            f"but the program was generated in {program.mode!r} mode"
+        )
+    system.cmp.load_program(program)
+    system.cmp.start()
+    system.sim.run_until_idle(max_events=max_events)
+    if not system.cmp.all_done:
+        raise SimulationError(
+            f"run of {program.name!r} on {system.config.label} ended with unfinished cores"
+        )
+    return collect_results(system, program)
+
+
+def run_workload(config: Union[SystemConfig, SystemKind, str],
+                 workload: Union[Workload, str],
+                 num_threads: Optional[int] = None,
+                 workload_config: Optional[WorkloadConfig] = None,
+                 max_events: int = DEFAULT_MAX_EVENTS,
+                 **workload_params) -> RunResult:
+    """Build the system and the workload, generate the right trace mode, run it."""
+    if not isinstance(config, SystemConfig):
+        config = make_system_config(config)
+    if isinstance(workload, str):
+        wconfig = workload_config or WorkloadConfig()
+        if num_threads is not None:
+            wconfig.num_threads = num_threads
+        workload = make_workload(workload, wconfig, **workload_params)
+    if workload.num_threads > config.cmp.num_cores:
+        raise ValueError(
+            f"workload uses {workload.num_threads} threads but the configuration has "
+            f"only {config.cmp.num_cores} cores"
+        )
+    mode = "active" if config.kind.uses_active_routing else "baseline"
+    program = workload.generate(mode)
+    return run_program(config, program, max_events=max_events)
+
+
+def run_suite(workload_names: Iterable[str],
+              kinds: Optional[Iterable[Union[SystemKind, str]]] = None,
+              num_threads: int = 4,
+              profile: str = "scaled",
+              max_events: int = DEFAULT_MAX_EVENTS,
+              workload_params: Optional[Dict[str, Dict[str, int]]] = None,
+              ) -> Dict[Tuple[str, str], RunResult]:
+    """Run every (workload, configuration) pair and return results keyed by
+    ``(workload_name, config_label)``.
+
+    This is the primitive every evaluation figure is derived from; figures
+    share one suite run instead of re-simulating.
+    """
+    kinds = list(kinds) if kinds is not None else list(CONFIG_ORDER)
+    workload_params = workload_params or {}
+    results: Dict[Tuple[str, str], RunResult] = {}
+    for name in workload_names:
+        params = workload_params.get(name, {})
+        for kind in kinds:
+            config = (kind if isinstance(kind, SystemConfig)
+                      else make_system_config(kind, profile=profile, num_cores=num_threads))
+            result = run_workload(config, name, num_threads=num_threads,
+                                  max_events=max_events, **params)
+            results[(name, config.label)] = result
+    return results
+
+
+def speedups_over(results: Dict[Tuple[str, str], RunResult],
+                  baseline_label: str = "DRAM") -> Dict[Tuple[str, str], float]:
+    """Runtime speedups of every run relative to the named baseline config."""
+    speedups: Dict[Tuple[str, str], float] = {}
+    for (workload, label), result in results.items():
+        baseline = results.get((workload, baseline_label))
+        if baseline is None:
+            continue
+        speedups[(workload, label)] = result.speedup_over(baseline)
+    return speedups

@@ -1,0 +1,80 @@
+"""Back-propagation feed-forward layer (Rodinia ``backprop``, Section 4.2.1).
+
+The feed-forward pass aggregates ``input[i] * weight[j][i]`` over every input
+for each hidden unit — one reduction flow per hidden unit.  The weight matrix
+is far larger than the on-chip caches (the paper uses 2M hidden units), so the
+baseline suffers from low reuse.  The backward weight-adjustment pass is *not*
+an Active-Routing target and therefore runs on the host in both trace modes;
+it is modelled as a sampled sweep over the weights so it does not dominate the
+scaled-down run.
+"""
+
+from __future__ import annotations
+
+from ..isa import TraceBuilder
+from .base import ELEMENT_SIZE, Workload, register_workload, split_range
+
+
+@register_workload
+class BackpropWorkload(Workload):
+    """Single-hidden-layer neural-network feed-forward + (sampled) weight adjust."""
+
+    name = "backprop"
+    is_micro = False
+
+    def _build(self) -> None:
+        self.hidden_units = self.param("hidden_units", 64)
+        self.input_units = self.param("input_units", 512)
+        #: every ``adjust_stride``-th weight is touched in the backward pass
+        self.adjust_stride = self.param("adjust_stride", 4)
+        self.inputs = self.layout.allocate("input", self.input_units, ELEMENT_SIZE)
+        self.weights = self.layout.allocate_matrix("weights", self.hidden_units,
+                                                    self.input_units, ELEMENT_SIZE)
+        self.hidden = self.layout.allocate("hidden", self.hidden_units, ELEMENT_SIZE)
+        self.input_values = [self.value() for _ in range(self.input_units)]
+        self.weight_row_values = [self.value() for _ in range(self.hidden_units)]
+
+    def metadata(self):
+        meta = super().metadata()
+        meta.update({"hidden_units": self.hidden_units, "input_units": self.input_units,
+                     "adjust_stride": self.adjust_stride})
+        return meta
+
+    def _generate_thread(self, builder: TraceBuilder, thread_id: int, mode: str) -> None:
+        h_start, h_end = split_range(self.hidden_units, self.num_threads, thread_id)
+        n_in = self.input_units
+
+        # Feed-forward phase (the Active-Routing optimization target).
+        builder.phase("feed_forward")
+        gather_batch = self.param("gather_batch", 8)
+        pending: list = []
+        for j in range(h_start, h_end):
+            w_val = self.weight_row_values[j]
+            target = self.hidden.addr(j)
+            if mode == "active":
+                for i in range(n_in):
+                    builder.update("mac", self.inputs.addr(i),
+                                   self.weights.addr2d(j, i, n_in), target,
+                                   src1_value=self.input_values[i], src2_value=w_val)
+                    self.record_expected(target, self.input_values[i] * w_val)
+                self.queue_gather(builder, pending, target, gather_batch)
+                builder.compute(2.0, instructions=3)  # activation function
+            else:
+                for i in range(n_in):
+                    builder.load(self.inputs.addr(i))
+                    builder.load(self.weights.addr2d(j, i, n_in))
+                    builder.compute(0.5, instructions=2)
+                builder.store(target)
+                builder.compute(2.0, instructions=3)
+        if mode == "active":
+            self.flush_gathers(builder, pending)
+
+        # Backward weight-adjustment phase: host-side in both modes.
+        builder.phase("weight_adjust")
+        for j in range(h_start, h_end):
+            for i in range(0, n_in, self.adjust_stride):
+                addr = self.weights.addr2d(j, i, n_in)
+                builder.load(addr)
+                builder.compute(0.5, instructions=2)
+                builder.store(addr)
+        builder.barrier(0, self.num_threads)

@@ -1,0 +1,102 @@
+"""LU decomposition (Rodinia ``lud``, Sections 4.2.1 and 5.4).
+
+The kernel is expressed in its dot-product form: every element of row ``i``
+(for the columns this run samples) subtracts the inner product of the already
+factored parts, ``A[i][j] -= sum_{k < min(i, j)} A[i][k] * A[k][j]``.  Each
+output element is one reduction flow whose length grows with the row index, so
+the working set of a row grows as the factorization proceeds — this is exactly
+the phase behaviour the dynamic-offloading case study (Figure 5.8) exploits:
+
+* early rows have tiny dot products and good locality → best run on the host;
+* late rows have long, strided dot products → best offloaded.
+
+``offload_policy`` (a :class:`~repro.core.DynamicOffloadPolicy`) turns the
+``active`` trace into the ARF-adaptive variant: rows whose updates-per-flow
+fall below the paper's threshold are emitted as host-side loads instead of
+Updates.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core.offload import DynamicOffloadPolicy
+from ..isa import TraceBuilder
+from .base import ELEMENT_SIZE, Workload, register_workload
+
+
+@register_workload
+class LUDWorkload(Workload):
+    """LU decomposition in dot-product (Doolittle) form."""
+
+    name = "lud"
+    is_micro = False
+
+    def __init__(self, config=None, offload_policy: Optional[DynamicOffloadPolicy] = None,
+                 **overrides) -> None:
+        self.offload_policy = offload_policy
+        super().__init__(config, **overrides)
+
+    def _build(self) -> None:
+        self.n = self.param("matrix_dim", 128)
+        #: how many columns of each row are simulated (sampled across the row)
+        self.cols_per_row = min(self.n, self.param("cols_per_row", 8))
+        #: rows are processed in groups of this size; each group is one phase
+        self.rows_per_phase = self.param("rows_per_phase", 8)
+        self.matrix = self.layout.allocate_matrix("A", self.n, self.n, ELEMENT_SIZE)
+        self.row_values = [self.value() for _ in range(self.n)]
+        self.col_values = [self.value() for _ in range(self.n)]
+
+    def metadata(self):
+        meta = super().metadata()
+        meta.update({"matrix_dim": self.n, "cols_per_row": self.cols_per_row,
+                     "rows_per_phase": self.rows_per_phase,
+                     "adaptive": self.offload_policy is not None})
+        return meta
+
+    def _sampled_columns(self, row: int):
+        stride = max(1, self.n // self.cols_per_row)
+        return [((row + offset * stride) % self.n) for offset in range(self.cols_per_row)]
+
+    def _offload_row(self, row: int, depth: int, mode: str) -> bool:
+        """Should this row's dot products be offloaded as Updates?"""
+        if mode != "active" or depth == 0:
+            return False
+        if self.offload_policy is None:
+            return True
+        stride_a = ELEMENT_SIZE            # A[i][k] walks a row: unit stride
+        stride_b = ELEMENT_SIZE * self.n   # A[k][j] walks a column: stride n
+        return self.offload_policy.should_offload(depth, stride_a, stride_b)
+
+    def _generate_thread(self, builder: TraceBuilder, thread_id: int, mode: str) -> None:
+        n = self.n
+        gather_batch = self.param("gather_batch", 8)
+        pending: list = []
+        for row in range(thread_id, n, self.num_threads):
+            if row % self.rows_per_phase == 0:
+                self.flush_gathers(builder, pending)
+                builder.phase(f"row_block_{row // self.rows_per_phase}")
+            for col in self._sampled_columns(row):
+                depth = min(row, col)
+                target = self.matrix.addr2d(row, col, n)
+                value = self.row_values[row] * self.col_values[col]
+                if self._offload_row(row, depth, mode):
+                    for k in range(depth):
+                        builder.update("mac",
+                                       self.matrix.addr2d(row, k, n),
+                                       self.matrix.addr2d(k, col, n),
+                                       target,
+                                       src1_value=self.row_values[row],
+                                       src2_value=self.col_values[col])
+                        self.record_expected(target, value)
+                    self.queue_gather(builder, pending, target, gather_batch)
+                    builder.compute(1.0, instructions=2)
+                else:
+                    for k in range(depth):
+                        builder.load(self.matrix.addr2d(row, k, n))
+                        builder.load(self.matrix.addr2d(k, col, n))
+                        builder.compute(0.5, instructions=2)
+                    builder.load(target)
+                    builder.compute(0.5, instructions=1)
+                    builder.store(target)
+        self.flush_gathers(builder, pending)

@@ -1,0 +1,120 @@
+"""The four data-intensive microbenchmarks of Section 4.2.2.
+
+``reduce`` and ``rand_reduce`` model pure reductions (``sum += A[i]``) with
+sequential and random access patterns; ``mac`` and ``rand_mac`` model reduction
+over a multiply (``sum += A[i] * B[i]``).  The whole execution of each
+microbenchmark is the optimization region, which is why the paper sees the
+largest speedups here.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..isa import TraceBuilder
+from .base import ELEMENT_SIZE, Workload, register_workload, split_range
+
+#: Address used for the global accumulator every thread reduces into.
+_GLOBAL_TARGET_NAME = "global_sum"
+
+
+class _ReductionMicro(Workload):
+    """Shared machinery of the four microbenchmarks."""
+
+    is_micro = True
+    #: Number of source arrays (1 for reduce, 2 for mac).
+    num_arrays = 1
+    #: Whether elements are visited in random order inside each partition.
+    randomized = False
+    #: Default number of elements per array (scaled default, see EXPERIMENTS.md).
+    default_elements = 16 * 1024
+
+    def _build(self) -> None:
+        self.num_elements = self.param("array_elements", self.default_elements)
+        self.arrays = [
+            self.layout.allocate(f"src{i}", self.num_elements, ELEMENT_SIZE)
+            for i in range(self.num_arrays)
+        ]
+        self.target_array = self.layout.allocate(_GLOBAL_TARGET_NAME, 8, ELEMENT_SIZE)
+        self.target = self.target_array.addr(0)
+        self.values: List[List[float]] = [
+            [self.value() for _ in range(self.num_elements)] for _ in range(self.num_arrays)
+        ]
+
+    def _indices(self, thread_id: int) -> List[int]:
+        start, end = split_range(self.num_elements, self.num_threads, thread_id)
+        indices = list(range(start, end))
+        if self.randomized:
+            rng = __import__("random").Random(self.config.seed * 1009 + thread_id)
+            rng.shuffle(indices)
+        return indices
+
+    def _element_value(self, index: int) -> float:
+        if self.num_arrays == 1:
+            return self.values[0][index]
+        return self.values[0][index] * self.values[1][index]
+
+    def _generate_thread(self, builder: TraceBuilder, thread_id: int, mode: str) -> None:
+        indices = self._indices(thread_id)
+        if mode == "active":
+            for index in indices:
+                if self.num_arrays == 1:
+                    builder.update("add", self.arrays[0].addr(index), None, self.target,
+                                   src1_value=self.values[0][index])
+                else:
+                    builder.update("mac", self.arrays[0].addr(index),
+                                   self.arrays[1].addr(index), self.target,
+                                   src1_value=self.values[0][index],
+                                   src2_value=self.values[1][index])
+                self.record_expected(self.target, self._element_value(index))
+            builder.gather(self.target, self.num_threads)
+            return
+        # Baseline: stream the source arrays through the cache hierarchy,
+        # accumulate locally, then merge into the shared sum with an atomic.
+        for index in indices:
+            for array in self.arrays:
+                builder.load(array.addr(index))
+            builder.compute(0.5, instructions=2)
+        builder.atomic(self.target)
+
+    def metadata(self):
+        meta = super().metadata()
+        meta.update({"array_elements": self.num_elements, "num_arrays": self.num_arrays,
+                     "randomized": self.randomized})
+        return meta
+
+
+@register_workload
+class ReduceMicro(_ReductionMicro):
+    """``reduce``: sequential sum of one large array."""
+
+    name = "reduce"
+    num_arrays = 1
+    randomized = False
+
+
+@register_workload
+class RandReduceMicro(_ReductionMicro):
+    """``rand_reduce``: the same reduction with a random access pattern."""
+
+    name = "rand_reduce"
+    num_arrays = 1
+    randomized = True
+
+
+@register_workload
+class MacMicro(_ReductionMicro):
+    """``mac``: multiply-accumulate over two large vectors."""
+
+    name = "mac"
+    num_arrays = 2
+    randomized = False
+
+
+@register_workload
+class RandMacMicro(_ReductionMicro):
+    """``rand_mac``: multiply-accumulate with random element pairs."""
+
+    name = "rand_mac"
+    num_arrays = 2
+    randomized = True

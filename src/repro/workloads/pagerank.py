@@ -1,0 +1,111 @@
+"""PageRank (CRONO ``pagerank``, Section 4.2.1 and Figure 3.2).
+
+Two phases are modelled per iteration:
+
+* **score accumulation** — for every vertex, sum the contributions
+  ``rank[u] * inv_outdeg[u]`` of its in-neighbours.  Neighbour accesses are
+  irregular (the graph is a synthetic power-law graph standing in for
+  web-Google), so the baseline fetches scattered cache blocks with little
+  reuse; the active variant turns each vertex's sum into a reduction flow.
+* **rank update / convergence check** — the loop shown verbatim in Figure 3.2:
+  accumulate ``|next_pagerank - pagerank|`` into the shared ``diff``, move
+  ``next_pagerank`` into ``pagerank`` and reset ``next_pagerank``.  In the
+  baseline this ends with an atomic update of ``diff`` per thread; in the
+  active variant it becomes ``abs_diff``/``mov``/``const_assign`` Updates and a
+  single ``Gather(&diff, num_threads)``.
+"""
+
+from __future__ import annotations
+
+from ..isa import TraceBuilder
+from .base import ELEMENT_SIZE, Workload, register_workload, split_range
+from .graph import generate_power_law_graph
+
+
+@register_workload
+class PageRankWorkload(Workload):
+    """One iteration of parallel PageRank on a power-law graph."""
+
+    name = "pagerank"
+    is_micro = False
+
+    def _build(self) -> None:
+        self.num_vertices = self.param("num_vertices", 6144)
+        self.avg_degree = self.param("avg_degree", 5)
+        self.graph = generate_power_law_graph(self.num_vertices, self.avg_degree,
+                                              seed=self.config.seed)
+        self.in_edges = self.graph.in_edges()
+        v = self.num_vertices
+        self.rank = self.layout.allocate("pagerank", v, ELEMENT_SIZE)
+        self.next_rank = self.layout.allocate("next_pagerank", v, ELEMENT_SIZE)
+        self.inv_outdeg = self.layout.allocate("inv_outdeg", v, ELEMENT_SIZE)
+        self.col_idx = self.layout.allocate("col_idx", max(1, self.graph.num_edges),
+                                            ELEMENT_SIZE)
+        self.diff_array = self.layout.allocate("diff", 8, ELEMENT_SIZE)
+        self.diff = self.diff_array.addr(0)
+        self.rank_values = [self.value() for _ in range(v)]
+        self.inv_outdeg_values = [1.0 / max(1, self.graph.out_degree(u)) for u in range(v)]
+        self.next_values = [self.value() for _ in range(v)]
+
+    def metadata(self):
+        meta = super().metadata()
+        meta.update({"num_vertices": self.num_vertices, "num_edges": self.graph.num_edges,
+                     "avg_degree": self.avg_degree})
+        return meta
+
+    def _generate_thread(self, builder: TraceBuilder, thread_id: int, mode: str) -> None:
+        v_start, v_end = split_range(self.num_vertices, self.num_threads, thread_id)
+
+        # Phase 1: score accumulation over in-neighbours.
+        builder.phase("score_accumulation")
+        gather_batch = self.param("gather_batch", 16)
+        pending: list = []
+        for v in range(v_start, v_end):
+            neighbours = self.in_edges[v]
+            if not neighbours:
+                continue
+            target = self.next_rank.addr(v)
+            if mode == "active":
+                for u in neighbours:
+                    builder.update("mac", self.rank.addr(u), self.inv_outdeg.addr(u),
+                                   target, src1_value=self.rank_values[u],
+                                   src2_value=self.inv_outdeg_values[u])
+                    self.record_expected(target,
+                                         self.rank_values[u] * self.inv_outdeg_values[u])
+                self.queue_gather(builder, pending, target, gather_batch)
+            else:
+                for u in neighbours:
+                    builder.load(self.col_idx.addr(min(u, self.graph.num_edges - 1)))
+                    builder.load(self.rank.addr(u))
+                    builder.load(self.inv_outdeg.addr(u))
+                    builder.compute(0.5, instructions=2)
+                builder.store(target)
+        if mode == "active":
+            self.flush_gathers(builder, pending)
+
+        builder.barrier(0, self.num_threads)
+
+        # Phase 2: the Figure 3.2 rank-update / convergence loop.
+        builder.phase("rank_update")
+        base_reset = 0.15 / self.num_vertices
+        for v in range(v_start, v_end):
+            if mode == "active":
+                builder.update("abs_diff", self.next_rank.addr(v), self.rank.addr(v),
+                               self.diff, src1_value=self.next_values[v],
+                               src2_value=self.rank_values[v])
+                self.record_expected(self.diff,
+                                     abs(self.next_values[v] - self.rank_values[v]))
+                builder.update("mov", self.next_rank.addr(v), None, self.rank.addr(v),
+                               src1_value=self.next_values[v])
+                builder.update("const_assign", None, None, self.next_rank.addr(v),
+                               imm=base_reset)
+            else:
+                builder.load(self.next_rank.addr(v))
+                builder.load(self.rank.addr(v))
+                builder.compute(0.5, instructions=3)
+                builder.store(self.rank.addr(v))
+                builder.store(self.next_rank.addr(v))
+        if mode == "active":
+            builder.gather(self.diff, self.num_threads)
+        else:
+            builder.atomic(self.diff)

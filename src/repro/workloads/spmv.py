@@ -1,0 +1,70 @@
+"""Sparse matrix-vector multiplication (Parboil ``spmv``, Section 4.2.1).
+
+``y[i] = sum_k values[k] * x[col_idx[k]]`` over the non-zeros of row ``i``.
+The matrix values stream sequentially while the dense-vector accesses follow
+the column indices and are therefore scattered across the address space (and
+across memory cubes).  That spread is what makes spmv the one workload whose
+extra network energy offsets its speedup in the paper (Section 5.3.3).
+"""
+
+from __future__ import annotations
+
+from ..isa import TraceBuilder
+from .base import ELEMENT_SIZE, Workload, register_workload, split_range
+from .graph import generate_sparse_matrix
+
+
+@register_workload
+class SpmvWorkload(Workload):
+    """CSR sparse matrix times dense vector."""
+
+    name = "spmv"
+    is_micro = False
+
+    def _build(self) -> None:
+        self.num_rows = self.param("num_rows", 256)
+        self.num_cols = self.param("num_cols", 256)
+        density_override = self.config.extra.get("density")
+        self.density = float(density_override) if density_override is not None else 0.3
+        self.matrix = generate_sparse_matrix(self.num_rows, self.num_cols, self.density,
+                                             seed=self.config.seed)
+        nnz = max(1, self.matrix.num_nonzeros)
+        self.values_arr = self.layout.allocate("values", nnz, ELEMENT_SIZE)
+        self.col_idx_arr = self.layout.allocate("col_idx", nnz, ELEMENT_SIZE)
+        self.x = self.layout.allocate("x", self.num_cols, ELEMENT_SIZE)
+        self.y = self.layout.allocate("y", self.num_rows, ELEMENT_SIZE)
+        self.x_values = [self.value() for _ in range(self.num_cols)]
+
+    def metadata(self):
+        meta = super().metadata()
+        meta.update({"num_rows": self.num_rows, "num_cols": self.num_cols,
+                     "density": self.density, "nnz": self.matrix.num_nonzeros})
+        return meta
+
+    def _generate_thread(self, builder: TraceBuilder, thread_id: int, mode: str) -> None:
+        row_start, row_end = split_range(self.num_rows, self.num_threads, thread_id)
+        gather_batch = self.param("gather_batch", 16)
+        pending: list = []
+        for row in range(row_start, row_end):
+            cols, vals = self.matrix.row(row)
+            if not cols:
+                continue
+            target = self.y.addr(row)
+            base = self.matrix.row_ptr[row]
+            if mode == "active":
+                for offset, (col, val) in enumerate(zip(cols, vals)):
+                    k = base + offset
+                    builder.update("mac", self.values_arr.addr(k), self.x.addr(col),
+                                   target, src1_value=val, src2_value=self.x_values[col])
+                    self.record_expected(target, val * self.x_values[col])
+                self.queue_gather(builder, pending, target, gather_batch)
+            else:
+                for offset, (col, _val) in enumerate(zip(cols, vals)):
+                    k = base + offset
+                    builder.load(self.col_idx_arr.addr(k))
+                    builder.load(self.values_arr.addr(k))
+                    builder.load(self.x.addr(col))
+                    builder.compute(0.5, instructions=2)
+                builder.store(target)
+        if mode == "active":
+            self.flush_gathers(builder, pending)

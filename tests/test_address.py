@@ -1,0 +1,78 @@
+"""Unit and property tests for the physical-address mappings."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.mem import DRAMAddressMapping, HMCAddressMapping
+
+addresses = st.integers(min_value=0, max_value=2**40)
+
+
+def test_hmc_mapping_rejects_non_power_of_two():
+    with pytest.raises(ValueError):
+        HMCAddressMapping(num_cubes=10)
+    with pytest.raises(ValueError):
+        HMCAddressMapping(cube_interleave=48)
+
+
+def test_hmc_block_alignment():
+    mapping = HMCAddressMapping()
+    assert mapping.block_of(0x12345) == 0x12345 // 64 * 64
+
+
+def test_hmc_interleaves_pages_across_cubes():
+    mapping = HMCAddressMapping(num_cubes=16, cube_interleave=4096)
+    cubes = {mapping.cube_of(page * 4096) for page in range(256)}
+    assert cubes == set(range(16))
+
+
+def test_hmc_same_page_same_cube():
+    mapping = HMCAddressMapping()
+    base = 7 * 4096
+    assert mapping.cube_of(base) == mapping.cube_of(base + 4095)
+
+
+@given(addresses)
+def test_hmc_coordinates_in_range(addr):
+    mapping = HMCAddressMapping()
+    assert 0 <= mapping.cube_of(addr) < mapping.num_cubes
+    assert 0 <= mapping.vault_of(addr) < mapping.num_vaults
+    assert 0 <= mapping.bank_of(addr) < mapping.banks_per_vault
+    assert mapping.row_of(addr) >= 0
+
+
+@given(addresses)
+def test_dram_coordinates_in_range(addr):
+    mapping = DRAMAddressMapping()
+    assert 0 <= mapping.channel_of(addr) < mapping.num_channels
+    assert 0 <= mapping.rank_of(addr) < mapping.ranks_per_channel
+    assert 0 <= mapping.bank_of(addr) < mapping.banks_per_rank
+    assert mapping.row_of(addr) >= 0
+
+
+@given(addresses)
+def test_describe_is_consistent(addr):
+    mapping = HMCAddressMapping()
+    described = mapping.describe(addr)
+    assert described["cube"] == mapping.cube_of(addr)
+    assert described["vault"] == mapping.vault_of(addr)
+
+
+def test_dram_channels_spread_over_consecutive_pages():
+    mapping = DRAMAddressMapping(num_channels=4)
+    channels = [mapping.channel_of(page * 4096) for page in range(64)]
+    assert set(channels) == set(range(4))
+    # The XOR hash must not map long runs of consecutive pages to one channel.
+    longest_run = max(len(list(run)) for run in _runs(channels))
+    assert longest_run < 16
+
+
+def _runs(values):
+    current = []
+    for v in values:
+        if current and current[-1] != v:
+            yield current
+            current = []
+        current.append(v)
+    if current:
+        yield current

@@ -1,0 +1,88 @@
+"""Unit and property tests for Update opcode semantics and the ALU."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core import ALU, OPCODES, OpClass, is_reduce_opcode, opcode_spec
+from repro.sim import Simulator
+
+values = st.floats(min_value=-1e6, max_value=1e6, allow_nan=False)
+
+
+def test_opcode_registry_contents():
+    for name in ("add", "mac", "abs_diff", "min", "max", "mov", "const_assign"):
+        assert name in OPCODES
+    assert opcode_spec("mac").num_operands == 2
+    assert opcode_spec("add").num_operands == 1
+    assert opcode_spec("const_assign").num_operands == 0
+    assert opcode_spec("mov").op_class is OpClass.STORE
+    assert is_reduce_opcode("add") and not is_reduce_opcode("mov")
+    with pytest.raises(ValueError):
+        opcode_spec("divide")
+
+
+def test_mac_and_abs_diff_semantics():
+    spec = opcode_spec("mac")
+    assert spec.combine(3.0, 4.0) == 12.0
+    assert spec.accumulate(10.0, 12.0) == 22.0
+    spec = opcode_spec("abs_diff")
+    assert spec.combine(3.0, 5.0) == 2.0
+    assert spec.combine(5.0, 3.0) == 2.0
+
+
+def test_min_max_identities():
+    assert opcode_spec("min").identity == math.inf
+    assert opcode_spec("max").identity == -math.inf
+    assert opcode_spec("add").identity == 0.0
+
+
+def test_alu_counts_operations():
+    sim = Simulator()
+    alu = ALU(sim, "alu", latency=2.0)
+    value = alu.combine("mac", 2.0, 5.0)
+    acc = alu.accumulate("mac", None, value)
+    acc = alu.accumulate("mac", acc, 10.0)
+    assert acc == 20.0
+    assert sim.stats.counter("alu.ops") == 1
+    assert sim.stats.counter("alu.ops.mac") == 1
+    assert sim.stats.counter("alu.reductions") == 2
+
+
+@given(st.lists(values, min_size=1, max_size=50))
+def test_add_reduction_is_sum(xs):
+    spec = opcode_spec("add")
+    acc = spec.identity
+    for x in xs:
+        acc = spec.accumulate(acc, spec.combine(x, 0.0))
+    assert acc == pytest.approx(math.fsum(xs), rel=1e-9, abs=1e-6)
+
+
+@given(st.lists(values, min_size=1, max_size=50))
+def test_min_max_reduction_matches_builtin(xs):
+    for name, func in (("min", min), ("max", max)):
+        spec = opcode_spec(name)
+        acc = spec.identity
+        for x in xs:
+            acc = spec.accumulate(acc, spec.combine(x, 0.0))
+        assert acc == func(xs)
+
+
+@given(st.lists(st.tuples(values, values), min_size=1, max_size=50))
+def test_mac_reduction_associativity_over_partitions(pairs):
+    """Splitting a MAC flow across trees and merging partials gives the same sum."""
+    spec = opcode_spec("mac")
+    full = spec.identity
+    for a, b in pairs:
+        full = spec.accumulate(full, spec.combine(a, b))
+    # Partition into two "trees" and merge their partial results.
+    mid = len(pairs) // 2
+    partials = []
+    for chunk in (pairs[:mid], pairs[mid:]):
+        acc = spec.identity
+        for a, b in chunk:
+            acc = spec.accumulate(acc, spec.combine(a, b))
+        partials.append(acc)
+    merged = spec.accumulate(spec.accumulate(spec.identity, partials[0]), partials[1])
+    assert merged == pytest.approx(full, rel=1e-9, abs=1e-6)

@@ -1,0 +1,95 @@
+"""Unit tests for analysis helpers: metrics, heat maps, tables."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.analysis import (
+    crossover_index,
+    format_grouped_bars,
+    format_table,
+    geomean_speedup,
+    heatmap_summary,
+    imbalance,
+    normalize,
+    percent_improvement,
+    render_heatmap,
+    speedup,
+    windowed_rates,
+)
+
+
+def test_speedup_and_percent():
+    assert speedup(200, 100) == 2.0
+    assert speedup(200, 0) == 0.0
+    assert percent_improvement(1.75) == pytest.approx(75.0)
+
+
+def test_normalize():
+    out = normalize({"DRAM": 10.0, "HMC": 5.0}, "DRAM")
+    assert out == {"DRAM": 1.0, "HMC": 0.5}
+    with pytest.raises(ValueError):
+        normalize({"A": 1.0}, "B")
+
+
+def test_geomean_speedup_ignores_nonpositive():
+    assert geomean_speedup([2.0, 8.0]) == pytest.approx(4.0)
+    assert geomean_speedup([2.0, 0.0, 8.0]) == pytest.approx(4.0)
+    assert geomean_speedup([]) == 0.0
+
+
+def test_crossover_index():
+    assert crossover_index([1, 2, 3], [2, 2, 2]) == 2
+    assert crossover_index([1, 1], [2, 2]) is None
+
+
+def test_windowed_rates():
+    samples = [(100.0, 10), (200.0, 30), (400.0, 40)]
+    rates = windowed_rates(samples)
+    assert rates[0] == (200.0, pytest.approx(0.2))
+    assert rates[1] == (400.0, pytest.approx(0.05))
+    with pytest.raises(ValueError):
+        windowed_rates(samples, window=0)
+
+
+def test_imbalance():
+    assert imbalance([1.0, 1.0, 1.0]) == 1.0
+    assert imbalance([0.0, 0.0, 3.0]) == 3.0
+    assert imbalance([]) == 0.0
+
+
+def test_heatmap_render_and_summary():
+    counts = {i: float(i) for i in range(16)}
+    text = render_heatmap(counts, num_cubes=16, title="updates")
+    assert "updates" in text
+    assert text.count("\n") == 4          # title + 4 rows
+    summary = heatmap_summary(counts)
+    assert summary["total"] == sum(range(16))
+    assert summary["max"] == 15
+    assert summary["imbalance"] == pytest.approx(15 / 7.5)
+    assert heatmap_summary({})["total"] == 0.0
+
+
+def test_format_table_alignment():
+    text = format_table(["name", "value"], [["a", 1.2345], ["bbb", 2.0]])
+    lines = text.splitlines()
+    assert len(lines) == 4
+    assert "1.234" in text or "1.235" in text
+    assert all(len(line) == len(lines[0]) for line in lines[1:])
+
+
+def test_format_grouped_bars():
+    text = format_grouped_bars(["wl"], ["A", "B"], {("wl", "A"): 2.0, ("wl", "B"): 1.0})
+    assert "wl:" in text
+    assert text.count("|") == 2
+
+
+@given(st.lists(st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+                min_size=1, max_size=32))
+def test_heatmap_summary_invariants(values):
+    counts = dict(enumerate(values))
+    summary = heatmap_summary(counts)
+    slack = 1e-9 * max(1.0, summary["max"])
+    assert summary["max"] + slack >= summary["mean"] >= 0.0
+    assert summary["total"] == pytest.approx(sum(values), rel=1e-9, abs=1e-6)
+    if summary["mean"] > 0:
+        assert summary["imbalance"] >= 1.0 - 1e-6

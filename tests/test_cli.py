@@ -1,0 +1,40 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import _parse_workload_params, build_parser, main
+
+
+def test_parse_workload_params():
+    params = _parse_workload_params(["array_elements=256", "density=0.5", "name=web"])
+    assert params == {"array_elements": 256, "density": 0.5, "name": "web"}
+    with pytest.raises(SystemExit):
+        _parse_workload_params(["oops"])
+
+
+def test_parser_rejects_unknown_config():
+    parser = build_parser()
+    with pytest.raises(SystemExit):
+        parser.parse_args(["run", "--config", "XYZ"])
+    args = parser.parse_args(["run", "--config", "ARF-addr", "--workload", "reduce"])
+    assert args.config == "ARF-addr"
+    args = parser.parse_args(["report", "--scale", "tiny"])
+    assert args.scale == "tiny"
+
+
+def test_cli_run_command(capsys):
+    exit_code = main(["run", "--config", "ARF-tid", "--workload", "reduce",
+                      "--threads", "2", "--param", "array_elements=256"])
+    out = capsys.readouterr().out
+    assert exit_code == 0
+    assert "reduce on ARF-tid" in out
+    assert "cycles" in out and "EDP" in out
+    assert "flows verified" in out
+
+
+def test_cli_run_baseline_config(capsys):
+    exit_code = main(["run", "--config", "DRAM", "--workload", "reduce",
+                      "--threads", "2", "--param", "array_elements=256"])
+    assert exit_code == 0
+    out = capsys.readouterr().out
+    assert "update round-trip" not in out

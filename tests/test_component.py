@@ -1,0 +1,53 @@
+"""Unit tests for Component and the SharedResource contention primitive."""
+
+import pytest
+
+from repro.sim import Component, SharedResource, Simulator
+
+
+def test_component_requires_name(sim):
+    with pytest.raises(ValueError):
+        Component(sim, "")
+
+
+def test_component_stats_shortcuts(sim):
+    comp = Component(sim, "widget")
+    comp.count("hits")
+    comp.count("hits", 2)
+    comp.observe("lat", 5.0)
+    comp.gauge("level", 3.0)
+    assert comp.stat("hits") == 3
+    assert sim.stats.histogram("widget.lat").mean == 5.0
+    assert sim.stats.gauge("widget.level") == 3.0
+
+
+def test_shared_resource_serializes_requests(sim):
+    res = SharedResource(sim, "bus")
+    s1, f1 = res.reserve(10)
+    s2, f2 = res.reserve(10)
+    assert (s1, f1) == (0, 10)
+    assert (s2, f2) == (10, 20)
+    # Queueing wait is recorded.
+    assert sim.stats.counter("bus.queue_wait_cycles") == 10
+
+
+def test_shared_resource_idle_gap(sim):
+    res = SharedResource(sim, "bus")
+    res.reserve(5)
+    start, finish = res.reserve(5, earliest=100)
+    assert start == 100
+    assert finish == 105
+
+
+def test_shared_resource_rejects_negative_occupancy(sim):
+    res = SharedResource(sim, "bus")
+    with pytest.raises(ValueError):
+        res.reserve(-1)
+
+
+def test_utilization_is_bounded(sim):
+    res = SharedResource(sim, "bus")
+    res.reserve(10)
+    sim.schedule(20, lambda: None)
+    sim.run_until_idle()
+    assert 0.0 <= res.utilization() <= 1.0

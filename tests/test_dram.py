@@ -1,0 +1,77 @@
+"""Unit tests for the DDR baseline memory system."""
+
+import pytest
+
+from repro.dram import DDR_TIMING, DRAMBank, DRAMSystem, DRAMTiming
+from repro.dram.channel import DDRChannel
+from repro.mem import DRAMAddressMapping, MemoryRequest
+
+
+def test_timing_derivations():
+    t = DRAMTiming(tRCD=14, tRAS=34, tRP=14, tCL=14, tBL=4, cpu_cycles_per_mem_cycle=2.0)
+    assert t.row_hit_cycles == (14 + 4) * 2
+    assert t.row_miss_cycles == (14 + 14 + 14 + 4) * 2
+    assert t.row_closed_cycles == (14 + 14 + 4) * 2
+
+
+def test_bank_open_row_policy(sim):
+    bank = DRAMBank(sim, "bank", DDR_TIMING)
+    # Cold access activates the row.
+    _, first = bank.access(row=5)
+    assert first == pytest.approx(DDR_TIMING.row_closed_cycles)
+    # Hitting the same row is cheaper, a different row is more expensive.
+    start, second = bank.access(row=5)
+    assert second - start == pytest.approx(DDR_TIMING.row_hit_cycles)
+    start, third = bank.access(row=9)
+    assert third - start == pytest.approx(DDR_TIMING.row_miss_cycles)
+    bank.precharge()
+    assert bank.open_row is None
+
+
+def test_bank_serializes_accesses(sim):
+    bank = DRAMBank(sim, "bank", DDR_TIMING)
+    _, f1 = bank.access(row=1)
+    s2, _ = bank.access(row=1)
+    assert s2 >= f1
+
+
+def test_channel_accounts_traffic(sim):
+    mapping = DRAMAddressMapping()
+    channel = DDRChannel(sim, 0, mapping, DDR_TIMING)
+    finish = channel.access(addr=0x1000, size=64, is_write=False)
+    assert finish > 0
+    assert sim.stats.counter("dram.ch0.accesses") == 1
+    assert sim.stats.counter("dram.ch0.bytes") == 64
+
+
+def test_dram_system_completes_requests_in_order_per_bank(sim):
+    dram = DRAMSystem(sim)
+    done = []
+    for i in range(10):
+        req = MemoryRequest(addr=i * 64, on_complete=lambda r: done.append(r.req_id))
+        dram.access(req)
+    sim.run_until_idle()
+    assert len(done) == 10
+    assert sim.stats.counter("dram.requests") == 10
+    assert sim.stats.counter("dram.energy_pj") > 0
+
+
+def test_dram_latency_reasonable(sim):
+    dram = DRAMSystem(sim)
+    latencies = []
+    req = MemoryRequest(addr=0x4000, on_complete=lambda r: latencies.append(r.latency))
+    dram.access(req)
+    sim.run_until_idle()
+    assert 40 < latencies[0] < 400
+
+
+def test_contention_increases_finish_time(sim):
+    dram = DRAMSystem(sim)
+    last = []
+    # Hammer a single channel/bank region.
+    for i in range(50):
+        dram.access(MemoryRequest(addr=i * 64, on_complete=lambda r: last.append(r.complete_time)))
+    sim.run_until_idle()
+    single_channel_time = max(last)
+    assert single_channel_time > 200  # queueing visible
+    assert dram.peak_bandwidth_bytes_per_cycle() > 0

@@ -1,0 +1,173 @@
+"""Integration-style unit tests of the Active-Routing engine and host logic.
+
+These exercise the three-phase protocol end to end on a real 16-cube network
+with small hand-built flows, checking functional correctness of the in-network
+reduction as well as the tree bookkeeping.
+"""
+
+import random
+
+import pytest
+
+from repro.core import ActiveRoutingHost, AREConfig, Scheme
+from repro.hmc import HMCMemorySystem
+from repro.isa import GatherOp, UpdateOp
+from repro.sim import Simulator
+
+
+def _setup(scheme=Scheme.ARF_TID, are_config=None):
+    sim = Simulator()
+    hmc = HMCMemorySystem(sim)
+    host = ActiveRoutingHost(sim, hmc, scheme, are_config=are_config)
+    return sim, hmc, host
+
+
+def _offload_flow(sim, host, opcode, pairs, target, threads=2):
+    expected = 0.0
+    commits = []
+    results = []
+    for i, (addr1, addr2, v1, v2) in enumerate(pairs):
+        op = UpdateOp(opcode, addr1, addr2, target, src1_value=v1, src2_value=v2)
+        host.offload_update(i % threads, op, lambda: commits.append(1))
+        if opcode == "mac":
+            expected += v1 * v2
+        elif opcode == "add":
+            expected += v1
+        elif opcode == "abs_diff":
+            expected += abs(v1 - v2)
+    for t in range(threads):
+        host.offload_gather(t, GatherOp(target, threads), results.append)
+    sim.run_until_idle()
+    return expected, commits, results
+
+
+def test_single_operand_reduction_is_exact():
+    sim, hmc, host = _setup()
+    rng = random.Random(0)
+    pairs = [(0x1000_0000 + i * 8 * 641, None, rng.random(), 0.0) for i in range(100)]
+    expected, commits, results = _offload_flow(sim, host, "add", pairs, target=0xAA00)
+    assert len(commits) == 100
+    assert len(results) == 2
+    assert results[0] == pytest.approx(expected)
+    assert host.flow_results[0xAA00] == pytest.approx(expected)
+
+
+def test_two_operand_mac_across_cubes():
+    sim, hmc, host = _setup()
+    rng = random.Random(1)
+    pairs = [(0x1000_0000 + i * 8 * 977, 0x2000_0000 + i * 8 * 1283,
+              rng.random(), rng.random()) for i in range(150)]
+    expected, commits, results = _offload_flow(sim, host, "mac", pairs, target=0xBB00)
+    assert len(commits) == 150
+    assert results[0] == pytest.approx(expected)
+    # Two-operand updates must have exercised operand requests or local reads.
+    stats = sim.stats
+    operand_reads = sum(stats.counter(f"are{c}.operand_reads_served") for c in range(16))
+    assert operand_reads >= 150
+
+
+def test_multiple_concurrent_flows_do_not_interfere():
+    sim, hmc, host = _setup()
+    rng = random.Random(2)
+    flows = {0xC000 + i * 64: [] for i in range(8)}
+    expected = {}
+    results = {}
+    for target in flows:
+        exp = 0.0
+        for i in range(40):
+            v1, v2 = rng.random(), rng.random()
+            op = UpdateOp("mac", 0x1000_0000 + rng.randrange(1 << 20) * 8,
+                          0x3000_0000 + rng.randrange(1 << 20) * 8, target,
+                          src1_value=v1, src2_value=v2)
+            host.offload_update(i % 4, op, lambda: None)
+            exp += v1 * v2
+        expected[target] = exp
+    for target in flows:
+        for t in range(4):
+            host.offload_gather(t, GatherOp(target, 4),
+                                lambda v, tgt=target: results.setdefault(tgt, v))
+    sim.run_until_idle()
+    for target, exp in expected.items():
+        assert results[target] == pytest.approx(exp)
+    assert host.active_flows == 0
+    assert host.outstanding_updates == 0
+
+
+def test_store_updates_write_memory_without_flows():
+    sim, hmc, host = _setup()
+    commits = []
+    for i in range(20):
+        op = UpdateOp("mov", 0x1000_0000 + i * 8, None, 0x5000_0000 + i * 8, src1_value=1.0)
+        host.offload_update(0, op, lambda: commits.append(1))
+    for i in range(20):
+        op = UpdateOp("const_assign", None, None, 0x6000_0000 + i * 8, imm=0.25)
+        host.offload_update(0, op, lambda: commits.append(1))
+    sim.run_until_idle()
+    assert len(commits) == 40
+    # No reduction flows were created for store-class updates.
+    assert host.active_flows == 0
+    store_writes = sum(sim.stats.counter(f"are{c}.store_writes") for c in range(16))
+    assert store_writes == 40
+
+
+def test_gather_with_no_updates_completes_immediately():
+    sim, hmc, host = _setup()
+    results = []
+    for t in range(3):
+        host.offload_gather(t, GatherOp(0xDD00, 3), results.append)
+    sim.run_until_idle()
+    assert results == [0.0, 0.0, 0.0]
+
+
+def test_art_uses_single_port_and_arf_spreads():
+    for scheme, expected_ports in ((Scheme.ART, 1), (Scheme.ARF_TID, 4)):
+        sim, hmc, host = _setup(scheme)
+        for i in range(40):
+            op = UpdateOp("add", 0x1000_0000 + i * 4096 * 3, None, 0xEE00, src1_value=1.0)
+            host.offload_update(i % 4, op, lambda: None)
+        used_ports = sum(
+            1 for p in range(4) if sim.stats.counter(f"arhost.updates_port{p}") > 0)
+        assert used_ports == expected_ports
+        for t in range(4):
+            host.offload_gather(t, GatherOp(0xEE00, 4), lambda v: None)
+        sim.run_until_idle()
+        assert host.flow_results[0xEE00] == pytest.approx(40.0)
+
+
+def test_operand_buffer_exhaustion_stalls_but_completes():
+    sim, hmc, host = _setup(are_config=AREConfig(operand_buffer_slots=2))
+    rng = random.Random(3)
+    pairs = [(0x1000_0000 + i * 8 * 131, 0x2000_0000 + i * 8 * 389,
+              rng.random(), rng.random()) for i in range(120)]
+    expected, commits, results = _offload_flow(sim, host, "mac", pairs, target=0xFF00)
+    assert len(commits) == 120
+    assert results[0] == pytest.approx(expected)
+    stalls = sum(sim.stats.counter(f"are{c}.operand_buffer_stalls") for c in range(16))
+    assert stalls > 0
+    stall_hist = sim.stats.histogram("ar.update_latency.stall")
+    assert stall_hist.mean > 0
+
+
+def test_roundtrip_latency_recorded():
+    sim, hmc, host = _setup()
+    pairs = [(0x1000_0000 + i * 8, None, 1.0, 0.0) for i in range(30)]
+    _offload_flow(sim, host, "add", pairs, target=0xAB00)
+    for component in ("request", "stall", "response", "total"):
+        hist = sim.stats.histogram(f"ar.update_latency.{component}")
+        assert hist.count == 30
+
+
+def test_commit_for_unknown_update_rejected():
+    sim, hmc, host = _setup()
+    with pytest.raises(RuntimeError):
+        host.notify_update_commit(123456)
+
+
+def test_flow_tables_empty_after_gather():
+    sim, hmc, host = _setup()
+    pairs = [(0x1000_0000 + i * 8 * 100, 0x2000_0000 + i * 8 * 100, 1.0, 2.0)
+             for i in range(64)]
+    _offload_flow(sim, host, "mac", pairs, target=0xCD00)
+    for engine in host.engines:
+        assert engine.flow_table.occupancy == 0
+        assert engine.operand_buffers.in_use == 0

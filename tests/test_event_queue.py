@@ -1,0 +1,77 @@
+"""Unit tests for the discrete-event queue."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sim.event_queue import EventQueue
+
+
+def test_push_pop_orders_by_time():
+    q = EventQueue()
+    order = []
+    q.push(5.0, lambda: order.append("b"))
+    q.push(1.0, lambda: order.append("a"))
+    q.push(9.0, lambda: order.append("c"))
+    while q:
+        q.pop().callback()
+    assert order == ["a", "b", "c"]
+
+
+def test_same_time_preserves_insertion_order():
+    q = EventQueue()
+    order = []
+    for i in range(10):
+        q.push(4.0, lambda i=i: order.append(i))
+    while q:
+        q.pop().callback()
+    assert order == list(range(10))
+
+
+def test_negative_time_rejected():
+    q = EventQueue()
+    with pytest.raises(ValueError):
+        q.push(-1.0, lambda: None)
+
+
+def test_cancelled_events_are_skipped():
+    q = EventQueue()
+    fired = []
+    event = q.push(1.0, lambda: fired.append("cancelled"))
+    q.push(2.0, lambda: fired.append("kept"))
+    event.cancel()
+    popped = []
+    while q:
+        e = q.pop()
+        popped.append(e)
+        e.callback()
+    assert fired == ["kept"]
+    assert len(popped) == 1
+
+
+def test_peek_time_and_len():
+    q = EventQueue()
+    assert q.peek_time() is None
+    assert len(q) == 0
+    q.push(3.0, lambda: None)
+    q.push(1.5, lambda: None)
+    assert q.peek_time() == 1.5
+    assert len(q) == 2
+    q.clear()
+    assert len(q) == 0
+    assert not q
+
+
+def test_pop_empty_returns_none():
+    assert EventQueue().pop() is None
+
+
+@given(st.lists(st.floats(min_value=0, max_value=1e7, allow_nan=False), min_size=1, max_size=200))
+def test_pop_order_is_always_nondecreasing(times):
+    q = EventQueue()
+    for t in times:
+        q.push(t, lambda: None)
+    popped = []
+    while q:
+        popped.append(q.pop().time)
+    assert popped == sorted(popped)
+    assert len(popped) == len(times)

@@ -1,0 +1,117 @@
+"""Integration tests of the per-figure experiment harness at tiny scale."""
+
+import pytest
+
+from repro.experiments import (
+    SCALES,
+    EvaluationSuite,
+    fig_data_movement,
+    fig_dynamic_offload,
+    fig_latency,
+    fig_lud_heatmap,
+    fig_power_energy,
+    fig_speedup,
+    render_table_3_1,
+    render_table_4_1,
+    scale_from_env,
+    table_3_1,
+)
+from repro.system import SystemKind
+
+
+@pytest.fixture(scope="module")
+def suite():
+    """One shared tiny-scale suite; figures reuse its cached runs."""
+    s = EvaluationSuite("tiny", workloads=["mac", "rand_mac", "lud", "pagerank"])
+    return s
+
+
+def test_scales_registry(monkeypatch):
+    assert set(SCALES) == {"tiny", "small", "default"}
+    monkeypatch.setenv("REPRO_SCALE", "tiny")
+    assert scale_from_env().name == "tiny"
+    monkeypatch.setenv("REPRO_SCALE", "bogus")
+    with pytest.raises(ValueError):
+        scale_from_env()
+
+
+def test_tables_render():
+    rows = dict(table_3_1())
+    assert "flow_id" in rows and "Gather" in rows["gflag"]
+    assert "Flow Table" in render_table_3_1()
+    assert "dragonfly" in render_table_4_1()
+
+
+def test_suite_caches_results(suite):
+    first = suite.result("mac", "ARF-tid")
+    second = suite.result("mac", SystemKind.ARF_TID)
+    assert first is second
+    assert suite.speedup("mac", "ARF-tid") > 0
+    assert suite.verified()
+
+
+def test_fig_5_1_speedup_structure(suite):
+    data = fig_speedup.compute(suite)
+    panels = data["panels"]
+    assert "mac" in panels["microbenchmarks"]
+    assert "lud" in panels["benchmarks"]
+    row = panels["microbenchmarks"]["mac"]
+    assert row["DRAM"] == pytest.approx(1.0)
+    assert set(row) == {"DRAM", "HMC", "ART", "ARF-tid", "ARF-addr"}
+    assert "ARF-tid" in data["improvement_over_hmc"]
+    text = fig_speedup.render(data)
+    assert "Figure 5.1" in text and "gmean" in text
+
+
+def test_fig_5_2_latency_structure(suite):
+    data = fig_latency.compute(suite)
+    row = data["microbenchmarks"]["mac"]
+    assert row["ARF-tid.request"] >= 0
+    assert row["ARF-tid.total"] >= row["ARF-tid.request"]
+    assert "Figure 5.2" in fig_latency.render(data)
+
+
+def test_fig_5_3_heatmap_structure(suite):
+    data = fig_lud_heatmap.compute(suite)
+    assert set(data) == {"ARF-tid", "ARF-addr"}
+    per_cube = data["ARF-tid"]["updates_received"]
+    assert len(per_cube) == 16
+    assert sum(per_cube.values()) > 0
+    assert data["ARF-tid"]["summary"]["updates_received"]["imbalance"] >= 1.0
+    assert "Figure 5.3" in fig_lud_heatmap.render(data)
+
+
+def test_fig_5_4_data_movement_structure(suite):
+    data = fig_data_movement.compute(suite)
+    row = data["microbenchmarks"]["mac"]
+    assert row["HMC.total"] == pytest.approx(1.0)
+    assert row["ARF-tid.active_req"] > 0
+    assert row["HMC.active_req"] == 0.0
+    assert "Figure 5.4" in fig_data_movement.render(data)
+
+
+def test_fig_5_5_to_5_7_power_energy_edp(suite):
+    power = fig_power_energy.compute_power(suite)
+    energy = fig_power_energy.compute_energy(suite)
+    edp = fig_power_energy.compute_edp(suite)
+    for data in (power, energy):
+        row = data["microbenchmarks"]["mac"]
+        assert row["DRAM.total"] == pytest.approx(1.0)
+        assert row["ARF-tid.network"] >= 0.0
+    edp_row = edp["panels"]["microbenchmarks"]["mac"]
+    assert edp_row["DRAM"] == pytest.approx(1.0)
+    assert "ARF-tid" in edp["edp_reduction_vs_hmc"]
+    assert "Figure 5.5" in fig_power_energy.render_power(power)
+    assert "Figure 5.6" in fig_power_energy.render_energy(energy)
+    assert "Figure 5.7" in fig_power_energy.render_edp(edp)
+
+
+def test_fig_5_8_dynamic_offload(suite):
+    data = fig_dynamic_offload.compute(suite)
+    assert set(data["runs"]) == {"HMC", "ARF-tid", "ARF-tid-adaptive"}
+    assert data["speedups"]["HMC"] == pytest.approx(1.0)
+    # The adaptive scheme never does worse than always-offloading at tiny scale,
+    # because it keeps cache-friendly phases on the host.
+    assert data["speedups"]["ARF-tid-adaptive"] >= data["speedups"]["ARF-tid"] * 0.9
+    assert data["threshold"] > 0
+    assert "Figure 5.8" in fig_dynamic_offload.render(data)

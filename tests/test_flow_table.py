@@ -1,0 +1,92 @@
+"""Unit tests for the Active Flow Table and operand buffer pool."""
+
+import pytest
+
+from repro.core.flow_table import FlowTable, FlowTableEntry
+from repro.core.operand_buffer import OperandBufferPool
+from repro.network.packet import UpdatePacket
+from repro.sim import Simulator
+
+
+def _update(flow=0x100, root=3):
+    return UpdatePacket(src=16, dst=0, opcode="mac", target_addr=flow,
+                        src1_addr=0x10, src2_addr=0x20, root_node=root)
+
+
+def test_flow_entry_completion_logic():
+    entry = FlowTableEntry(flow_id=1, root=0, opcode="add", result=0.0)
+    entry.parent = 16
+    assert not entry.complete              # gflag not set
+    entry.gflag = True
+    assert entry.complete                  # req == resp == 0
+    entry.req_counter = 2
+    assert not entry.complete
+    entry.resp_counter = 2
+    assert entry.complete
+    entry.pending_children = {5}
+    assert not entry.complete
+
+
+def test_flow_table_register_lookup_release():
+    sim = Simulator()
+    table = FlowTable(sim, "ft", capacity=4)
+    entry = table.get_or_create(0x100, 3, "mac", parent=16)
+    assert table.lookup(0x100, 3) is entry
+    assert table.lookup(0x100, 7) is None          # different root = different tree
+    again = table.get_or_create(0x100, 3, "mac", parent=99)
+    assert again is entry
+    assert entry.parent == 16                      # first parent wins
+    table.release(entry.key)
+    assert table.lookup(0x100, 3) is None
+    assert table.occupancy == 0
+    assert table.peak_occupancy == 1
+
+
+def test_flow_table_overflow_counted():
+    sim = Simulator()
+    table = FlowTable(sim, "ft", capacity=2)
+    for i in range(3):
+        table.get_or_create(i, 0, "add", parent=None)
+    assert sim.stats.counter("ft.overflows") == 1
+    with pytest.raises(ValueError):
+        FlowTable(sim, "bad", capacity=0)
+
+
+def test_operand_buffer_reserve_release_cycle():
+    sim = Simulator()
+    pool = OperandBufferPool(sim, "ob", capacity=2)
+    e1 = pool.reserve(0x1, 0, "mac", _update(), arrival_time=0.0, num_operands=2)
+    e2 = pool.reserve(0x2, 0, "mac", _update(), arrival_time=0.0, num_operands=2)
+    assert pool.free_slots == 0
+    assert pool.reserve(0x3, 0, "mac", _update(), 0.0, 2) is None
+    assert sim.stats.counter("ob.reserve_failures") == 1
+    pool.release(e1.slot)
+    assert pool.free_slots == 1
+    e3 = pool.reserve(0x3, 0, "mac", _update(), 0.0, 2)
+    assert e3 is not None
+    assert pool.in_use == 2
+    with pytest.raises(KeyError):
+        pool.release(99)          # slot that was never allocated
+    assert e2.slot in pool.entries and e3.slot in pool.entries
+
+
+def test_operand_buffer_readiness():
+    sim = Simulator()
+    pool = OperandBufferPool(sim, "ob", capacity=1)
+    entry = pool.reserve(0x1, 0, "mac", _update(), arrival_time=5.0, num_operands=2)
+    assert not entry.ready
+    entry.set_operand(0, 2.0)
+    assert not entry.ready
+    entry.set_operand(1, 3.0)
+    assert entry.ready
+    assert (entry.op_value1, entry.op_value2) == (2.0, 3.0)
+    with pytest.raises(ValueError):
+        entry.set_operand(2, 1.0)
+
+
+def test_single_operand_entry_ready_after_one():
+    sim = Simulator()
+    pool = OperandBufferPool(sim, "ob", capacity=1)
+    entry = pool.reserve(0x1, 0, "mov", _update(), arrival_time=0.0, num_operands=1)
+    entry.set_operand(0, 7.0)
+    assert entry.ready

@@ -1,0 +1,97 @@
+"""Unit tests for the ISA extension trace format and the trace builder."""
+
+import pytest
+
+from repro.isa import (
+    AtomicOp,
+    BarrierOp,
+    ComputeOp,
+    GatherOp,
+    LoadOp,
+    StoreOp,
+    TraceBuilder,
+    UpdateOp,
+    count_instructions,
+    count_kinds,
+    make_program,
+)
+
+
+def test_operation_constructors_validate():
+    with pytest.raises(ValueError):
+        ComputeOp(-1)
+    with pytest.raises(ValueError):
+        GatherOp(0x10, 0)
+    with pytest.raises(ValueError):
+        BarrierOp(0, 0)
+
+
+def test_update_operand_count():
+    assert UpdateOp("mac", 0x1, 0x2, 0x3).num_operands == 2
+    assert UpdateOp("add", 0x1, None, 0x3).num_operands == 1
+    assert UpdateOp("const_assign", None, None, 0x3).num_operands == 0
+
+
+def test_builder_coalesces_compute():
+    builder = TraceBuilder(0)
+    builder.compute(2).compute(3).load(0x40).compute(1)
+    ops = builder.build()
+    assert len(ops) == 3
+    assert isinstance(ops[0], ComputeOp) and ops[0].cycles == 5
+    assert isinstance(ops[1], LoadOp)
+    assert isinstance(ops[2], ComputeOp)
+
+
+def test_builder_emits_all_kinds():
+    builder = (TraceBuilder(0)
+               .load(0x10).store(0x20).atomic(0x30)
+               .update("add", 0x40, None, 0x50)
+               .gather(0x50, 2)
+               .barrier(1, 2)
+               .phase("p"))
+    kinds = count_kinds(builder.build())
+    for kind in ("LoadOp", "StoreOp", "AtomicOp", "UpdateOp", "GatherOp",
+                 "BarrierOp", "PhaseMarkerOp"):
+        assert kinds[kind] == 1
+
+
+def test_instruction_counting():
+    trace = [ComputeOp(4, instructions=4), LoadOp(0), AtomicOp(0)]
+    assert count_instructions(trace) == 4 + 1 + 2
+
+
+def test_program_validation_accepts_store_after_gather():
+    builder = TraceBuilder(0)
+    builder.update("add", 0x10, None, 0x99)
+    builder.gather(0x99, 1)
+    builder.update("const_assign", None, None, 0x99, imm=1.0)   # store is fine
+    program = make_program("ok", "active", [builder])
+    assert program.total_operations() == 3
+
+
+def test_program_validation_rejects_update_after_gather():
+    builder = TraceBuilder(0)
+    builder.update("add", 0x10, None, 0x99)
+    builder.gather(0x99, 1)
+    builder.update("add", 0x18, None, 0x99)
+    with pytest.raises(ValueError):
+        make_program("bad", "active", [builder])
+
+
+def test_program_validation_rejects_bad_mode_and_empty():
+    with pytest.raises(ValueError):
+        make_program("x", "weird", [TraceBuilder(0)])
+    from repro.isa.program import ProgramTrace
+    with pytest.raises(ValueError):
+        ProgramTrace(name="x", mode="active", threads=[]).validate()
+
+
+def test_program_counts():
+    builders = [TraceBuilder(t) for t in range(2)]
+    for b in builders:
+        b.compute(4).load(0x100).update("add", 0x10, None, 0x20)
+    program = make_program("p", "active", builders, metadata={"k": 1})
+    assert program.num_threads == 2
+    assert program.total_operations() == 6
+    assert program.operations_of(LoadOp) == 2
+    assert program.metadata["k"] == 1

@@ -1,0 +1,72 @@
+"""Unit tests for the data-layout allocator."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.mem import DataLayout
+
+
+def test_allocations_do_not_overlap():
+    layout = DataLayout()
+    a = layout.allocate("a", 1000, 8)
+    b = layout.allocate("b", 500, 8)
+    assert a.end <= b.base
+    assert layout.owner_of(a.addr(999)) is a
+    assert layout.owner_of(b.addr(0)) is b
+
+
+def test_duplicate_names_rejected():
+    layout = DataLayout()
+    layout.allocate("x", 10)
+    with pytest.raises(ValueError):
+        layout.allocate("x", 10)
+
+
+def test_bad_sizes_rejected():
+    layout = DataLayout()
+    with pytest.raises(ValueError):
+        layout.allocate("x", 0)
+    with pytest.raises(ValueError):
+        layout.allocate("y", 10, 0)
+    with pytest.raises(ValueError):
+        DataLayout(alignment=3)
+
+
+def test_addressing_and_bounds():
+    layout = DataLayout()
+    arr = layout.allocate("arr", 100, 8)
+    assert arr.addr(0) == arr.base
+    assert arr.addr(1) - arr.addr(0) == 8
+    assert arr.addr(-1) == arr.addr(99)
+    with pytest.raises(IndexError):
+        arr.addr(100)
+
+
+def test_matrix_addressing_row_major():
+    layout = DataLayout()
+    mat = layout.allocate_matrix("m", 4, 5, 8)
+    assert mat.addr2d(0, 0, 5) == mat.base
+    assert mat.addr2d(1, 0, 5) - mat.addr2d(0, 0, 5) == 5 * 8
+    assert mat.addr2d(2, 3, 5) == mat.addr((2 * 5) + 3)
+
+
+def test_alignment_and_summary():
+    layout = DataLayout(alignment=4096)
+    a = layout.allocate("a", 3, 8)
+    b = layout.allocate("b", 3, 8)
+    assert a.base % 4096 == 0
+    assert b.base % 4096 == 0
+    assert len(layout.summary()) == 2
+    assert layout.total_bytes == 48
+
+
+@given(st.lists(st.integers(min_value=1, max_value=10_000), min_size=1, max_size=20))
+def test_total_bytes_matches_allocations(sizes):
+    layout = DataLayout()
+    for i, size in enumerate(sizes):
+        layout.allocate(f"arr{i}", size, 8)
+    assert layout.total_bytes == sum(sizes) * 8
+    # All allocations are disjoint.
+    arrays = sorted(layout.arrays.values(), key=lambda a: a.base)
+    for first, second in zip(arrays, arrays[1:]):
+        assert first.end <= second.base

@@ -1,0 +1,128 @@
+"""Unit tests for packets, links and the memory-network fabric."""
+
+import pytest
+
+from repro.network import (
+    Link,
+    LinkConfig,
+    MemoryNetwork,
+    MemReadPacket,
+    MemRespPacket,
+    PACKET_SIZES,
+    Packet,
+    PacketType,
+    UpdatePacket,
+    build_mesh,
+)
+from repro.sim import Simulator
+
+
+def test_packet_sizes_and_categories():
+    read = MemReadPacket(src=16, dst=3, addr=0x100)
+    assert read.size == PACKET_SIZES[PacketType.READ_REQ]
+    assert read.movement_category() == "norm_req"
+    resp = MemRespPacket(src=3, dst=16, addr=0x100, is_read=True)
+    assert resp.movement_category() == "norm_resp"
+    update = UpdatePacket(src=16, dst=3, opcode="mac", target_addr=0x200,
+                          src1_addr=0x10, src2_addr=0x20)
+    assert update.is_active and update.movement_category() == "active_req"
+    assert update.num_operands == 2
+    assert update.flow_id == 0x200
+
+
+def test_link_serialization_and_queueing(sim):
+    link = Link(sim, 0, 1, LinkConfig(bandwidth_bytes_per_cycle=10, latency_cycles=5))
+    p = Packet(ptype=PacketType.READ_RESP, src=0, dst=1)  # 80 bytes
+    arrival1, q1 = link.transmit(p)
+    arrival2, q2 = link.transmit(p)
+    assert arrival1 == pytest.approx(8 + 5)
+    assert q1 == 0
+    assert q2 == pytest.approx(8)       # second packet waits for the first
+    assert arrival2 == pytest.approx(16 + 5)
+    assert sim.stats.counter(f"{link.name}.bytes") == 160
+    assert sim.stats.counter(f"{link.name}.energy_pj") > 0
+
+
+class _Sink:
+    """Endpoint that consumes packets destined to it and forwards the rest
+    (the same per-hop behaviour a cube implements)."""
+
+    def __init__(self, node_id, network=None):
+        self.node_id = node_id
+        self.network = network
+        self.received = []
+        self.transited = []
+
+    def receive_packet(self, packet, from_node):
+        if packet.dst == self.node_id or self.network is None:
+            self.received.append((packet, from_node))
+        else:
+            self.transited.append(packet)
+            self.network.forward(packet, self.node_id)
+
+
+def _build_network():
+    sim = Simulator()
+    topo = build_mesh(rows=2, cols=2, num_controllers=1)
+    net = MemoryNetwork(sim, topo)
+    sinks = {n: _Sink(n, net) for n in topo.graph.nodes}
+    for n, sink in sinks.items():
+        net.register_endpoint(n, sink)
+    return sim, topo, net, sinks
+
+
+def test_network_delivers_to_destination_endpoint():
+    sim, topo, net, sinks = _build_network()
+    packet = MemReadPacket(src=4, dst=3, addr=0x40)
+    net.inject(packet, 4)
+    sim.run_until_idle()
+    assert len(sinks[3].received) == 1
+    delivered, _ = sinks[3].received[0]
+    assert delivered is packet
+    assert packet.hops >= 1
+    assert net.bytes_moved() > 0
+
+
+def test_network_local_delivery_without_links():
+    sim, topo, net, sinks = _build_network()
+    packet = MemReadPacket(src=0, dst=0, addr=0x40)
+    net.inject(packet, 0)
+    sim.run_until_idle()
+    assert len(sinks[0].received) == 1
+    assert net.stat("hops") == 0
+
+
+def test_network_requires_registered_endpoint():
+    sim = Simulator()
+    topo = build_mesh(rows=2, cols=2, num_controllers=1)
+    net = MemoryNetwork(sim, topo)
+    net.inject(MemReadPacket(src=0, dst=3, addr=0), 0)
+    with pytest.raises(RuntimeError):
+        sim.run_until_idle()
+
+
+def test_register_endpoint_unknown_node():
+    sim = Simulator()
+    net = MemoryNetwork(sim, build_mesh(rows=2, cols=2, num_controllers=1))
+    with pytest.raises(ValueError):
+        net.register_endpoint(99, _Sink(99))
+
+
+def test_fifo_ordering_on_a_link():
+    sim, topo, net, sinks = _build_network()
+    packets = [MemReadPacket(src=0, dst=1, addr=i * 64) for i in range(10)]
+    for p in packets:
+        net.inject(p, 0)
+    sim.run_until_idle()
+    received_ids = [p.pkt_id for p, _ in sinks[1].received]
+    assert received_ids == [p.pkt_id for p in packets]
+
+
+def test_offchip_byte_accounting():
+    sim, topo, net, sinks = _build_network()
+    ctrl = topo.controller_nodes[0]
+    net.inject(MemReadPacket(src=ctrl, dst=3, addr=0x40), ctrl)
+    sim.run_until_idle()
+    offchip = net.offchip_bytes()
+    assert offchip["norm_req"] == PACKET_SIZES[PacketType.READ_REQ]
+    assert offchip["active_req"] == 0

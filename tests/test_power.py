@@ -1,0 +1,53 @@
+"""Unit tests for the energy/power/EDP model."""
+
+import pytest
+
+from repro.power import EnergyBreakdown, EnergyModel
+from repro.sim import Simulator, StatsRegistry
+
+
+def test_energy_classification_by_prefix():
+    stats = StatsRegistry()
+    stats.add("cache.energy_pj", 1000.0)
+    stats.add("noc.energy_pj", 500.0)
+    stats.add("dram.energy_pj", 2000.0)
+    stats.add("hmc.cube3.vault1.energy_pj", 700.0)
+    stats.add("link.0->1.energy_pj", 300.0)
+    stats.add("network.unrelated_counter", 99.0)      # not energy, ignored
+    model = EnergyModel(stats)
+    assert model.cache_energy_j() == pytest.approx(1500e-12)
+    assert model.memory_energy_j() == pytest.approx(2700e-12)
+    assert model.network_energy_j() == pytest.approx(300e-12)
+
+
+def test_breakdown_power_and_edp():
+    breakdown = EnergyBreakdown(cache_j=1e-6, memory_j=2e-6, network_j=1e-6, runtime_s=2e-3)
+    assert breakdown.total_j == pytest.approx(4e-6)
+    assert breakdown.power_w == pytest.approx(2e-3)
+    assert breakdown.edp == pytest.approx(8e-9)
+    as_dict = breakdown.as_dict()
+    assert as_dict["total_j"] == pytest.approx(4e-6)
+
+
+def test_normalization_to_baseline():
+    baseline = EnergyBreakdown(cache_j=2e-6, memory_j=2e-6, network_j=0.0, runtime_s=1e-3)
+    other = EnergyBreakdown(cache_j=1e-6, memory_j=1e-6, network_j=2e-6, runtime_s=0.5e-3)
+    normalized = other.normalized_to(baseline)
+    assert normalized["total"] == pytest.approx(1.0)
+    assert normalized["cache"] == pytest.approx(0.25)
+    assert normalized["edp"] == pytest.approx((4e-6 * 0.5e-3) / (4e-6 * 1e-3))
+
+
+def test_from_simulator_and_runtime_conversion():
+    sim = Simulator(cpu_freq_ghz=2.0)
+    sim.stats.add("dram.energy_pj", 1e6)
+    model = EnergyModel.from_simulator(sim)
+    breakdown = model.breakdown(runtime_cycles=2e9, cpu_freq_ghz=2.0)
+    assert breakdown.runtime_s == pytest.approx(1.0)
+    assert breakdown.memory_j == pytest.approx(1e-6)
+    assert breakdown.power_w == pytest.approx(1e-6)
+
+
+def test_zero_runtime_power_is_zero():
+    breakdown = EnergyBreakdown(1e-9, 1e-9, 1e-9, runtime_s=0.0)
+    assert breakdown.power_w == 0.0

@@ -1,0 +1,33 @@
+"""Unit tests for memory request objects."""
+
+import pytest
+
+from repro.mem import AccessType, MemoryRequest
+
+
+def test_access_type_classification():
+    assert AccessType.NORMAL_WRITE.is_write
+    assert not AccessType.NORMAL_READ.is_write
+    assert AccessType.OPERAND_READ.is_active
+    assert AccessType.ACTIVE_WRITE.is_active and AccessType.ACTIVE_WRITE.is_write
+    assert not AccessType.NORMAL_READ.is_active
+
+
+def test_request_validation():
+    with pytest.raises(ValueError):
+        MemoryRequest(addr=-1)
+    with pytest.raises(ValueError):
+        MemoryRequest(addr=0, size=0)
+
+
+def test_request_completion_callback_and_latency():
+    seen = []
+    req = MemoryRequest(addr=0x100, issue_time=10.0, on_complete=seen.append)
+    req.complete(60.0)
+    assert seen == [req]
+    assert req.latency == 50.0
+
+
+def test_request_ids_are_unique():
+    ids = {MemoryRequest(addr=0).req_id for _ in range(100)}
+    assert len(ids) == 100

@@ -1,0 +1,80 @@
+"""Unit and property tests for deterministic minimal routing."""
+
+import networkx as nx
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.network import RoutingTable, build_dragonfly, build_mesh
+
+TOPO = build_dragonfly()
+TABLE = RoutingTable(TOPO)
+NODES = sorted(TOPO.graph.nodes)
+
+
+def test_path_endpoints_and_adjacency():
+    for src in NODES[:6]:
+        for dst in NODES[-6:]:
+            path = TABLE.path(src, dst)
+            assert path[0] == src and path[-1] == dst
+            for a, b in zip(path, path[1:]):
+                assert TOPO.graph.has_edge(a, b)
+
+
+def test_paths_are_shortest():
+    for src in (0, 5, 16):
+        for dst in (3, 10, 19):
+            expected = nx.shortest_path_length(TOPO.graph, src, dst)
+            assert TABLE.distance(src, dst) == expected
+
+
+def test_path_to_self():
+    assert TABLE.path(7, 7) == [7]
+    assert TABLE.next_hop(7, 7) == 7
+    assert TABLE.distance(7, 7) == 0
+
+
+def test_determinism_across_instances():
+    other = RoutingTable(build_dragonfly())
+    for src in NODES:
+        for dst in NODES:
+            assert TABLE.path(src, dst) == other.path(src, dst)
+
+
+def test_split_point_properties_mesh():
+    mesh = build_mesh()
+    table = RoutingTable(mesh)
+    root = mesh.controller_attach[mesh.controller_nodes[0]]
+    for a in range(0, 16, 3):
+        for b in range(1, 16, 5):
+            split = table.split_point(root, a, b)
+            # The split point lies on both routes.
+            assert split in table.path(root, a)
+            assert split in table.path(root, b)
+            # Splitting at the root is always legal; any other node must be a
+            # common prefix node of both deterministic paths.
+            path_a, path_b = table.path(root, a), table.path(root, b)
+            prefix_len = len(path_a[:path_a.index(split) + 1])
+            assert path_a[:prefix_len] == path_b[:prefix_len]
+
+
+def test_split_point_same_destination():
+    assert TABLE.split_point(16, 9, 9) == 9
+
+
+def test_nearest():
+    assert TABLE.nearest(0, [0, 5, 9]) == 0
+    with pytest.raises(ValueError):
+        TABLE.nearest(0, [])
+
+
+@given(st.sampled_from(NODES), st.sampled_from(NODES))
+def test_distance_symmetric_in_hops(src, dst):
+    # Paths may differ by direction, but minimal hop counts must agree.
+    assert TABLE.distance(src, dst) == TABLE.distance(dst, src)
+
+
+@given(st.sampled_from(NODES), st.sampled_from(NODES), st.sampled_from(NODES))
+def test_split_point_is_on_both_paths(root, a, b):
+    split = TABLE.split_point(root, a, b)
+    assert split in TABLE.path(root, a)
+    assert split in TABLE.path(root, b)

@@ -1,0 +1,75 @@
+"""Unit tests for Active-Routing tree-construction schemes and the offload policy."""
+
+import pytest
+
+from repro.core import DynamicOffloadPolicy, PortSelector, Scheme
+from repro.hmc import HMCMemorySystem
+from repro.isa import UpdateOp
+from repro.sim import Simulator
+
+
+@pytest.fixture
+def hmc():
+    return HMCMemorySystem(Simulator())
+
+
+def test_scheme_parsing():
+    assert Scheme.from_name("ART") is Scheme.ART
+    assert Scheme.from_name("arf-tid") is Scheme.ARF_TID
+    assert Scheme.from_name("ARF_ADDR") is Scheme.ARF_ADDR
+    with pytest.raises(ValueError):
+        Scheme.from_name("random")
+
+
+def test_art_always_static_port(hmc):
+    selector = PortSelector(Scheme.ART, hmc, static_port=2)
+    for tid in range(8):
+        op = UpdateOp("add", tid * 4096, None, 0x10)
+        assert selector.select(tid, op) == 2
+
+
+def test_arf_tid_interleaves_by_thread(hmc):
+    selector = PortSelector(Scheme.ARF_TID, hmc)
+    op = UpdateOp("add", 0x1000, None, 0x10)
+    ports = [selector.select(tid, op) for tid in range(8)]
+    assert ports == [0, 1, 2, 3, 0, 1, 2, 3]
+
+
+def test_arf_addr_selects_nearest_port(hmc):
+    selector = PortSelector(Scheme.ARF_ADDR, hmc)
+    routing = hmc.network.routing
+    for page in range(0, 64, 7):
+        addr = page * 4096
+        op = UpdateOp("add", addr, None, 0x10)
+        port = selector.select(99, op)   # thread id must not matter
+        cube = hmc.mapping.cube_of(addr)
+        chosen = hmc.controller_for_port(port)
+        best = min(hmc.controllers,
+                   key=lambda c: (routing.distance(c.attached_cube, cube), c.port_id))
+        assert routing.distance(chosen.attached_cube, cube) == \
+            routing.distance(best.attached_cube, cube)
+
+
+def test_arf_addr_falls_back_to_target_without_operands(hmc):
+    selector = PortSelector(Scheme.ARF_ADDR, hmc)
+    op = UpdateOp("const_assign", None, None, 0x12345000, imm=1.0)
+    port = selector.select(0, op)
+    assert 0 <= port < 4
+
+
+def test_offload_policy_threshold():
+    policy = DynamicOffloadPolicy(cache_block_size=64)
+    # Unit-stride over both streams: threshold = 64/8 + 64/8 = 16.
+    assert policy.updates_threshold(8, 8) == pytest.approx(16.0)
+    assert not policy.should_offload(10, 8, 8)
+    assert policy.should_offload(20, 8, 8)
+    # A large second stride lowers the threshold.
+    assert policy.updates_threshold(8, 64 * 8) == pytest.approx(8.125)
+    with pytest.raises(ValueError):
+        policy.updates_threshold(0)
+
+
+def test_offload_policy_working_set_criterion():
+    policy = DynamicOffloadPolicy(cache_capacity_bytes=1024)
+    assert not policy.should_offload(100, 8, 8, working_set_bytes=512)
+    assert policy.should_offload(100, 8, 8, working_set_bytes=4096)

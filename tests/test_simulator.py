@@ -1,0 +1,87 @@
+"""Unit tests for the simulator driver."""
+
+import pytest
+
+from repro.sim import SimulationError, Simulator
+
+
+def test_schedule_and_run_advances_time():
+    sim = Simulator()
+    seen = []
+    sim.schedule(10, lambda: seen.append(sim.now))
+    sim.schedule(5, lambda: seen.append(sim.now))
+    end = sim.run_until_idle()
+    assert seen == [5, 10]
+    assert end == 10
+    assert sim.finished
+
+
+def test_schedule_negative_delay_rejected():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        sim.schedule(-1, lambda: None)
+
+
+def test_schedule_at_in_past_rejected():
+    sim = Simulator()
+    sim.schedule(5, lambda: None)
+    sim.run()
+    with pytest.raises(ValueError):
+        sim.schedule_at(1, lambda: None)
+
+
+def test_run_until_bound():
+    sim = Simulator()
+    fired = []
+    sim.schedule(3, lambda: fired.append(3))
+    sim.schedule(100, lambda: fired.append(100))
+    sim.run(until=10)
+    assert fired == [3]
+    assert sim.now == 10
+    sim.run()
+    assert fired == [3, 100]
+
+
+def test_nested_scheduling():
+    sim = Simulator()
+    seen = []
+
+    def outer():
+        seen.append(("outer", sim.now))
+        sim.schedule(7, lambda: seen.append(("inner", sim.now)))
+
+    sim.schedule(2, outer)
+    sim.run_until_idle()
+    assert seen == [("outer", 2), ("inner", 9)]
+
+
+def test_run_until_idle_guards_against_runaway():
+    sim = Simulator()
+
+    def rearm():
+        sim.schedule(1, rearm)
+
+    sim.schedule(1, rearm)
+    with pytest.raises(SimulationError):
+        sim.run_until_idle(max_events=100)
+
+
+def test_seconds_conversion():
+    sim = Simulator(cpu_freq_ghz=2.0)
+    assert sim.seconds(2e9) == pytest.approx(1.0)
+
+
+def test_invalid_frequency():
+    with pytest.raises(ValueError):
+        Simulator(cpu_freq_ghz=0)
+
+
+def test_reset_clears_state():
+    sim = Simulator()
+    sim.schedule(5, lambda: None)
+    sim.run_until_idle()
+    sim.stats.add("x", 3)
+    sim.reset()
+    assert sim.now == 0
+    assert len(sim.events) == 0
+    assert sim.stats.counter("x") == 0

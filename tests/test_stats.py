@@ -1,0 +1,87 @@
+"""Unit and property tests for the statistics registry."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sim.stats import Histogram, StatsRegistry, geometric_mean
+
+
+def test_counters_and_prefix_sum():
+    stats = StatsRegistry()
+    stats.add("cache.l1_hits", 3)
+    stats.add("cache.l1_hits", 2)
+    stats.add("cache.l2_hits", 7)
+    assert stats.counter("cache.l1_hits") == 5
+    assert stats.sum("cache.") == 12
+    assert stats.counters("cache.") == {"cache.l1_hits": 5, "cache.l2_hits": 7}
+
+
+def test_gauges():
+    stats = StatsRegistry()
+    stats.set_gauge("occupancy", 4)
+    stats.set_gauge("occupancy", 9)
+    assert stats.gauge("occupancy") == 9
+    assert stats.gauge("missing", default=-1) == -1
+
+
+def test_histograms_and_snapshot():
+    stats = StatsRegistry()
+    for v in (1.0, 2.0, 3.0):
+        stats.observe("lat", v)
+    hist = stats.histogram("lat")
+    assert hist.count == 3
+    assert hist.mean == pytest.approx(2.0)
+    snap = stats.snapshot()
+    assert snap["lat.mean"] == pytest.approx(2.0)
+    assert snap["lat.count"] == 3
+
+
+def test_merge_combines_everything():
+    a, b = StatsRegistry(), StatsRegistry()
+    a.add("x", 1)
+    b.add("x", 2)
+    b.observe("h", 5.0)
+    b.set_gauge("g", 7)
+    a.merge(b)
+    assert a.counter("x") == 3
+    assert a.histogram("h").count == 1
+    assert a.gauge("g") == 7
+
+
+def test_histogram_percentile_and_bounds():
+    hist = Histogram()
+    for v in range(1, 101):
+        hist.add(float(v))
+    assert hist.minimum == 1
+    assert hist.maximum == 100
+    assert hist.percentile(0.5) == pytest.approx(50, abs=2)
+    with pytest.raises(ValueError):
+        hist.percentile(1.5)
+
+
+def test_geometric_mean_basics():
+    assert geometric_mean([]) == 0.0
+    assert geometric_mean([2.0, 8.0]) == pytest.approx(4.0)
+    with pytest.raises(ValueError):
+        geometric_mean([1.0, 0.0])
+
+
+@given(st.lists(st.floats(min_value=0.01, max_value=1e6), min_size=1, max_size=50))
+def test_geometric_mean_between_min_and_max(values):
+    gm = geometric_mean(values)
+    slack = 1e-9 * max(1.0, max(values))
+    assert min(values) - slack <= gm <= max(values) + slack
+
+
+@given(st.lists(st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+                min_size=1, max_size=200))
+def test_histogram_mean_is_bounded(values):
+    hist = Histogram()
+    for v in values:
+        hist.add(v)
+    assert hist.count == len(values)
+    slack = 1e-9 * max(1.0, abs(hist.minimum), abs(hist.maximum))
+    assert hist.minimum - slack <= hist.mean <= hist.maximum + slack
+    assert hist.total == pytest.approx(math.fsum(values), rel=1e-9, abs=1e-6)

@@ -1,0 +1,117 @@
+"""Tests for system configuration, machine building and the run driver."""
+
+import pytest
+
+from repro.dram import DRAMSystem
+from repro.hmc import HMCMemorySystem
+from repro.system import (
+    CONFIG_ORDER,
+    SystemKind,
+    all_system_configs,
+    build_system,
+    make_system_config,
+    run_program,
+    run_workload,
+    table_4_1,
+)
+from repro.workloads import make_workload, WorkloadConfig
+
+from conftest import tiny_params
+
+
+def test_system_kind_properties():
+    assert SystemKind.DRAM.uses_hmc is False
+    assert SystemKind.HMC.uses_hmc and not SystemKind.HMC.uses_active_routing
+    assert SystemKind.ARF_TID.uses_active_routing
+    assert SystemKind.ART.scheme is not None
+    assert SystemKind.HMC.scheme is None
+    assert SystemKind.from_name("arf-addr") is SystemKind.ARF_ADDR
+    with pytest.raises(ValueError):
+        SystemKind.from_name("weird")
+
+
+def test_config_order_matches_paper():
+    assert [k.value for k in CONFIG_ORDER] == ["DRAM", "HMC", "ART", "ARF-tid", "ARF-addr"]
+    assert len(all_system_configs()) == 5
+
+
+def test_make_system_config_profiles():
+    paper = make_system_config("ARF-tid", profile="paper")
+    scaled = make_system_config("ARF-tid", profile="scaled")
+    assert paper.cmp.num_cores == 16
+    assert paper.cmp.cache.l2_size == 16 * 1024 * 1024
+    assert scaled.cmp.num_cores == 4
+    assert scaled.cmp.cache.l2_size < paper.cmp.cache.l2_size
+    with pytest.raises(ValueError):
+        make_system_config("HMC", profile="huge")
+
+
+def test_table_4_1_contents():
+    rows = dict(table_4_1())
+    assert "CPU Core" in rows and "16 O3cores" in rows["CPU Core"]
+    assert "HMC-Net" in rows and "dragonfly" in rows["HMC-Net"]
+    assert "DRAM Baseline" in rows
+
+
+def test_build_system_kinds():
+    dram = build_system("DRAM", num_cores=2)
+    assert isinstance(dram.memory, DRAMSystem)
+    assert dram.ar_host is None and dram.trace_mode == "baseline"
+    hmc = build_system("HMC", num_cores=2)
+    assert isinstance(hmc.memory, HMCMemorySystem)
+    assert hmc.ar_host is None
+    arf = build_system("ARF-tid", num_cores=2)
+    assert arf.ar_host is not None and arf.trace_mode == "active"
+    assert all(cube.are is not None for cube in arf.memory.cubes)
+
+
+def test_run_program_rejects_wrong_mode():
+    workload = make_workload("reduce", WorkloadConfig(num_threads=2), array_elements=128)
+    active_program = workload.generate("active")
+    config = make_system_config("DRAM", num_cores=2)
+    with pytest.raises(ValueError):
+        run_program(config, active_program)
+
+
+def test_run_workload_rejects_too_many_threads():
+    config = make_system_config("HMC", num_cores=2)
+    with pytest.raises(ValueError):
+        run_workload(config, "reduce", num_threads=4, array_elements=128)
+
+
+@pytest.mark.parametrize("kind", ["DRAM", "HMC", "ART", "ARF-tid", "ARF-addr"])
+def test_run_workload_mac_on_every_configuration(kind):
+    result = run_workload(kind, "mac", num_threads=2, array_elements=512)
+    assert result.cycles > 0
+    assert result.instructions > 0
+    assert result.energy.total_j > 0
+    assert result.flows_verified
+    assert result.config == kind
+    summary = result.summary()
+    assert summary["cycles"] == result.cycles
+    if kind in ("ART", "ARF-tid", "ARF-addr"):
+        assert result.mode == "active"
+        assert result.update_roundtrip > 0
+        checked, mismatched = result.flow_checks
+        assert checked >= 1 and mismatched == 0
+        assert result.data_movement["active_req"] > 0
+    else:
+        assert result.mode == "baseline"
+        assert result.data_movement["active_req"] == 0.0
+
+
+def test_speedup_and_result_helpers():
+    slow = run_workload("DRAM", "rand_mac", num_threads=2, array_elements=768)
+    fast = run_workload("ARF-tid", "rand_mac", num_threads=2, array_elements=768)
+    assert fast.speedup_over(slow) == pytest.approx(slow.cycles / fast.cycles)
+    assert fast.total_data_bytes > 0
+    assert fast.ipc > 0
+
+
+@pytest.mark.parametrize("name", ["pagerank", "lud", "sgemm", "spmv", "backprop"])
+def test_benchmarks_run_and_verify_on_arf(name):
+    result = run_workload("ARF-tid", name, num_threads=2, **tiny_params(name))
+    assert result.flows_verified
+    assert result.cycles > 0
+    per_cube_updates = result.per_cube["updates_received"]
+    assert sum(per_cube_updates.values()) > 0

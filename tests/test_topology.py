@@ -1,0 +1,66 @@
+"""Unit tests for memory-network topologies."""
+
+import networkx as nx
+import pytest
+
+from repro.network import build_chain, build_dragonfly, build_mesh, build_topology
+
+
+def test_dragonfly_structure():
+    topo = build_dragonfly(num_groups=4, routers_per_group=4, num_controllers=4)
+    assert topo.num_cubes == 16
+    assert len(topo.controller_nodes) == 4
+    topo.validate()
+    # Intra-group: complete graph of 4 -> 3 local links per router.
+    # Plus exactly one global link per group pair: 6 global links.
+    cube_graph = topo.graph.subgraph(range(16))
+    intra = 4 * (4 * 3 // 2)
+    assert cube_graph.number_of_edges() == intra + 6
+    # Every pair of cubes is reachable.
+    assert nx.is_connected(cube_graph)
+
+
+def test_dragonfly_controllers_attach_to_distinct_groups():
+    topo = build_dragonfly()
+    groups = {topo.controller_attach[c] // 4 for c in topo.controller_nodes}
+    assert groups == {0, 1, 2, 3}
+
+
+def test_dragonfly_validation_errors():
+    with pytest.raises(ValueError):
+        build_dragonfly(num_groups=1)
+    with pytest.raises(ValueError):
+        build_dragonfly(num_groups=6, routers_per_group=4, num_controllers=7)
+    with pytest.raises(ValueError):
+        build_dragonfly(num_groups=8, routers_per_group=2)
+
+
+def test_mesh_structure():
+    topo = build_mesh(rows=4, cols=4, num_controllers=4)
+    assert topo.num_cubes == 16
+    # 2*4*3 = 24 mesh edges plus 4 controller edges.
+    assert topo.graph.number_of_edges() == 24 + 4
+    corners = {topo.controller_attach[c] for c in topo.controller_nodes}
+    assert corners == {0, 3, 12, 15}
+
+
+def test_chain_structure():
+    topo = build_chain(num_cubes=4, num_controllers=1)
+    assert topo.num_cubes == 4
+    assert topo.graph.number_of_edges() == 3 + 1
+    assert topo.is_controller(4)
+    assert topo.is_cube(0) and not topo.is_cube(4)
+
+
+def test_build_topology_by_name():
+    assert build_topology("mesh", rows=2, cols=2, num_controllers=1).num_cubes == 4
+    with pytest.raises(ValueError):
+        build_topology("torus")
+
+
+def test_neighbors_sorted_and_edges_normalized():
+    topo = build_mesh(rows=2, cols=2, num_controllers=1)
+    for node in topo.graph.nodes:
+        assert topo.neighbors(node) == sorted(topo.neighbors(node))
+    for a, b in topo.edges():
+        assert a <= b
