@@ -61,6 +61,9 @@ def build_parser() -> argparse.ArgumentParser:
                           help="optional path to also write the report to")
     report_p.add_argument("--skip-dynamic-offload", action="store_true",
                           help="skip the Figure 5.8 case study (extra simulations)")
+    report_p.add_argument("--workers", type=int, default=1,
+                          help="worker processes for the (workload x config) suite "
+                               "(each pair is an independent simulation)")
     return parser
 
 
@@ -86,7 +89,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
-    suite = EvaluationSuite(args.scale)
+    suite = EvaluationSuite(args.scale, workers=args.workers)
+    if args.workers > 1:
+        # Pre-populate the result cache in parallel; the figures then consume it.
+        suite.run_all()
     report = full_report(suite, include_dynamic_offload=not args.skip_dynamic_offload)
     print(report)
     if args.output:

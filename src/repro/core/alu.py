@@ -77,12 +77,21 @@ class ALU(Component):
     def __init__(self, sim: Simulator, name: str, latency: float = 2.0) -> None:
         super().__init__(sim, name)
         self.latency = latency
+        # combine()/accumulate() run once per Update: pre-bind the counters
+        # (per-opcode cells are bound lazily, keyed by opcode string).
+        self._h_ops = self.counter_handle("ops")
+        self._h_reductions = self.counter_handle("reductions")
+        self._h_ops_by_opcode = {}
 
     def combine(self, opcode: str, a: float, b: float = 0.0) -> float:
         """Execute the data-processing part of an Update (e.g. the multiply of a MAC)."""
         spec = opcode_spec(opcode)
-        self.count("ops")
-        self.count(f"ops.{opcode}")
+        self._h_ops.value += 1
+        op_handle = self._h_ops_by_opcode.get(opcode)
+        if op_handle is None:
+            op_handle = self.counter_handle(f"ops.{opcode}")
+            self._h_ops_by_opcode[opcode] = op_handle
+        op_handle.value += 1
         return spec.combine(a, b)
 
     def accumulate(self, opcode: str, accumulator: Optional[float], value: float) -> float:
@@ -90,5 +99,5 @@ class ALU(Component):
         spec = opcode_spec(opcode)
         if accumulator is None:
             accumulator = spec.identity
-        self.count("reductions")
+        self._h_reductions.value += 1
         return spec.accumulate(accumulator, value)

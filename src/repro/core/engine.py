@@ -62,23 +62,51 @@ class ActiveRoutingEngine(Component):
                                                  capacity=self.config.operand_buffer_slots)
         self.alu = ALU(sim, f"{self.name}.alu", latency=self.config.alu_latency)
         self._stalled_updates: Deque[Tuple[UpdatePacket, float]] = deque()
+        # Forwarding decisions index the dense next-hop row for this cube.
+        self._next_row = network.routing.next_hop_table[self.node_id]
+        # Dense dispatch indexed by the packet type's small int code (cheaper
+        # than a chain of enum comparisons or an enum-hashed dict lookup).
+        self._dispatch = [None] * len(PacketType)
+        for ptype, handler in (
+                (PacketType.UPDATE, self._handle_update),
+                (PacketType.OPERAND_REQ, self._handle_operand_request),
+                (PacketType.OPERAND_RESP, self._handle_operand_response),
+                (PacketType.GATHER_REQ, self._handle_gather_request),
+                (PacketType.GATHER_RESP, self._handle_gather_response)):
+            self._dispatch[ptype._code] = handler
+        # handle_packet() fires for every active packet that crosses this cube;
+        # bind every hot-path counter and latency histogram at construction.
+        self._h_active_packets = self.counter_handle("active_packets")
+        self._h_updates_seen = self.counter_handle("updates_seen")
+        self._h_updates_forwarded = self.counter_handle("updates_forwarded")
+        self._h_updates_received = self.counter_handle("updates_received")
+        self._h_stores_forwarded = self.counter_handle("stores_forwarded")
+        self._h_stores_received = self.counter_handle("stores_received")
+        self._h_operand_buffer_stalls = self.counter_handle("operand_buffer_stalls")
+        self._h_local_operand_reads = self.counter_handle("local_operand_reads")
+        self._h_operand_reads_served = self.counter_handle("operand_reads_served")
+        self._h_remote_operand_requests = self.counter_handle("remote_operand_requests")
+        self._h_operands_arrived = self.counter_handle("operands_arrived")
+        self._h_updates_committed = self.counter_handle("updates_committed")
+        self._h_store_writes = self.counter_handle("store_writes")
+        self._h_stores_committed = self.counter_handle("stores_committed")
+        self._h_gathers_received = self.counter_handle("gathers_received")
+        self._h_gathers_replicated = self.counter_handle("gathers_replicated")
+        self._h_gather_responses_merged = self.counter_handle("gather_responses_merged")
+        self._h_gather_responses_sent = self.counter_handle("gather_responses_sent")
+        self._hist_latency_request = sim.stats.histogram("ar.update_latency.request")
+        self._hist_latency_stall = sim.stats.histogram("ar.update_latency.stall")
+        self._hist_latency_response = sim.stats.histogram("ar.update_latency.response")
+        self._hist_latency_total = sim.stats.histogram("ar.update_latency.total")
 
     # ------------------------------------------------------------------ dispatch
     def handle_packet(self, packet: Packet, from_node: int) -> None:
         """Entry point called by the cube for every active packet that arrives."""
-        self.count("active_packets")
-        if packet.ptype == PacketType.UPDATE:
-            self._handle_update(packet, from_node)  # type: ignore[arg-type]
-        elif packet.ptype == PacketType.OPERAND_REQ:
-            self._handle_operand_request(packet, from_node)  # type: ignore[arg-type]
-        elif packet.ptype == PacketType.OPERAND_RESP:
-            self._handle_operand_response(packet, from_node)  # type: ignore[arg-type]
-        elif packet.ptype == PacketType.GATHER_REQ:
-            self._handle_gather_request(packet, from_node)  # type: ignore[arg-type]
-        elif packet.ptype == PacketType.GATHER_RESP:
-            self._handle_gather_response(packet, from_node)  # type: ignore[arg-type]
-        else:
+        self._h_active_packets.value += 1
+        handler = self._dispatch[packet.ptype._code]
+        if handler is None:
             raise RuntimeError(f"{self.name} cannot handle packet type {packet.ptype}")
+        handler(packet, from_node)
 
     # ---------------------------------------------------------------- update phase
     def _handle_update(self, packet: UpdatePacket, from_node: int) -> None:
@@ -87,24 +115,24 @@ class ActiveRoutingEngine(Component):
             entry = self.flow_table.get_or_create(packet.flow_id, packet.root_node,
                                                   packet.opcode, parent=from_node)
             entry.req_counter += 1
-            self.count("updates_seen")
+            self._h_updates_seen.value += 1
             if packet.dst != self.node_id:
-                next_hop = self.network.next_hop(self.node_id, packet.dst)
+                next_hop = self._next_row[packet.dst]
                 entry.record_child(next_hop)
-                self.count("updates_forwarded")
+                self._h_updates_forwarded.value += 1
                 self.network.forward(packet, self.node_id)
                 return
-            self.count("updates_received")
-            self._start_update_processing(packet, arrival=self.now)
+            self._h_updates_received.value += 1
+            self._start_update_processing(packet, arrival=self.sim.now)
             return
 
         # Store-class Updates (mov / const_assign): no flow bookkeeping needed.
         if packet.dst != self.node_id:
-            self.count("stores_forwarded")
+            self._h_stores_forwarded.value += 1
             self.network.forward(packet, self.node_id)
             return
-        self.count("stores_received")
-        self._start_store_processing(packet, arrival=self.now)
+        self._h_stores_received.value += 1
+        self._start_store_processing(packet, arrival=self.sim.now)
 
     def _start_update_processing(self, packet: UpdatePacket, arrival: float) -> None:
         spec = opcode_spec(packet.opcode)
@@ -115,7 +143,7 @@ class ActiveRoutingEngine(Component):
                                              packet.opcode, packet, arrival,
                                              num_operands=2)
         if entry is None:
-            self.count("operand_buffer_stalls")
+            self._h_operand_buffer_stalls.value += 1
             self._stalled_updates.append((packet, arrival))
             return
         self._issue_operand_fetches(entry)
@@ -126,7 +154,7 @@ class ActiveRoutingEngine(Component):
             # const_assign: write the immediate to the (local) target.
             finish = self.cube.local_access(packet.target_addr,
                                             self.config.store_write_bytes, is_write=True)
-            self.count("store_writes")
+            self._h_store_writes.value += 1
             self.sim.schedule_at(finish, lambda: self._commit_store(packet, arrival),
                                  label=f"{self.name}.store")
             return
@@ -135,7 +163,7 @@ class ActiveRoutingEngine(Component):
                                              packet.opcode, packet, arrival,
                                              num_operands=1)
         if entry is None:
-            self.count("operand_buffer_stalls")
+            self._h_operand_buffer_stalls.value += 1
             self._stalled_updates.append((packet, arrival))
             return
         entry.extra["is_store"] = 1.0
@@ -155,13 +183,13 @@ class ActiveRoutingEngine(Component):
                                                  packet.opcode, packet, arrival,
                                                  num_operands=1)
             if entry is None:
-                self.count("operand_buffer_stalls")
+                self._h_operand_buffer_stalls.value += 1
                 self._stalled_updates.append((packet, arrival))
                 return
             self._issue_operand_fetches(entry)
             return
         finish = self.cube.local_access(addr, self.config.operand_read_bytes, is_write=False)
-        self.count("local_operand_reads")
+        self._h_local_operand_reads.value += 1
         value = self.alu.combine(packet.opcode, packet.src1_value)
         commit_time = finish + self.config.alu_latency
         self.sim.schedule_at(commit_time,
@@ -169,7 +197,7 @@ class ActiveRoutingEngine(Component):
                              label=f"{self.name}.commit1op")
 
     def _issue_operand_fetches(self, entry: OperandBufferEntry) -> None:
-        entry.operand_issue_time = self.now
+        entry.operand_issue_time = self.sim.now
         packet = entry.update
         operands = [(0, packet.src1_addr, packet.src1_value)]
         if entry.num_operands == 2:
@@ -182,8 +210,8 @@ class ActiveRoutingEngine(Component):
             if owner == self.node_id:
                 finish = self.cube.local_access(addr, self.config.operand_read_bytes,
                                                 is_write=False)
-                self.count("local_operand_reads")
-                self.count("operand_reads_served")
+                self._h_local_operand_reads.value += 1
+                self._h_operand_reads_served.value += 1
                 slot, op_index, op_value = entry.slot, index, value
                 self.sim.schedule_at(
                     finish,
@@ -194,7 +222,7 @@ class ActiveRoutingEngine(Component):
                                                buffer_slot=entry.slot, operand_index=index,
                                                compute_node=self.node_id, value=value,
                                                flow_id=packet.flow_id)
-                self.count("remote_operand_requests")
+                self._h_remote_operand_requests.value += 1
                 self.network.inject(request, self.node_id)
         if entry.ready:
             self._commit_buffered(entry)
@@ -206,7 +234,7 @@ class ActiveRoutingEngine(Component):
             return
         finish = self.cube.local_access(packet.addr, self.config.operand_read_bytes,
                                         is_write=False)
-        self.count("operand_reads_served")
+        self._h_operand_reads_served.value += 1
 
         def _respond() -> None:
             response = OperandResponsePacket(src=self.node_id, dst=packet.compute_node,
@@ -226,7 +254,7 @@ class ActiveRoutingEngine(Component):
     def _operand_arrived(self, slot: int, index: int, value: float) -> None:
         entry = self.operand_buffers.get(slot)
         entry.set_operand(index, value)
-        self.count("operands_arrived")
+        self._h_operands_arrived.value += 1
         if entry.ready:
             self._commit_buffered(entry)
 
@@ -237,7 +265,7 @@ class ActiveRoutingEngine(Component):
         if entry.extra.get("is_store"):
             finish = self.cube.local_access(packet.target_addr,
                                             self.config.store_write_bytes, is_write=True)
-            self.count("store_writes")
+            self._h_store_writes.value += 1
             self.sim.schedule_at(finish,
                                  lambda: self._commit_store(packet, entry.arrival_time),
                                  label=f"{self.name}.store")
@@ -265,30 +293,35 @@ class ActiveRoutingEngine(Component):
             )
         entry.result = self.alu.accumulate(packet.opcode, entry.result, value)
         entry.resp_counter += 1
-        self.count("updates_committed")
+        self._h_updates_committed.value += 1
         self._record_roundtrip(packet, arrival, operand_issue)
         self.host.notify_update_commit(packet.update_id)
         self._check_flow_completion(entry)
 
     def _commit_store(self, packet: UpdatePacket, arrival: float) -> None:
-        self.count("stores_committed")
+        self._h_stores_committed.value += 1
         self._record_roundtrip(packet, arrival, arrival)
         self.host.notify_update_commit(packet.update_id)
 
     def _record_roundtrip(self, packet: UpdatePacket, arrival: float,
                           operand_issue: float) -> None:
-        request_latency = max(0.0, arrival - packet.issue_time)
-        stall_latency = max(0.0, operand_issue - arrival)
-        response_latency = max(0.0, self.now + self.config.alu_latency - operand_issue)
-        self.sim.stats.observe("ar.update_latency.request", request_latency)
-        self.sim.stats.observe("ar.update_latency.stall", stall_latency)
-        self.sim.stats.observe("ar.update_latency.response", response_latency)
-        self.sim.stats.observe("ar.update_latency.total",
-                               request_latency + stall_latency + response_latency)
+        request_latency = arrival - packet.issue_time
+        if request_latency < 0.0:
+            request_latency = 0.0
+        stall_latency = operand_issue - arrival
+        if stall_latency < 0.0:
+            stall_latency = 0.0
+        response_latency = self.sim.now + self.config.alu_latency - operand_issue
+        if response_latency < 0.0:
+            response_latency = 0.0
+        self._hist_latency_request.add(request_latency)
+        self._hist_latency_stall.add(stall_latency)
+        self._hist_latency_response.add(response_latency)
+        self._hist_latency_total.add(request_latency + stall_latency + response_latency)
 
     # ----------------------------------------------------------------- gather phase
     def _handle_gather_request(self, packet: GatherRequestPacket, from_node: int) -> None:
-        self.count("gathers_received")
+        self._h_gathers_received.value += 1
         entry = self.flow_table.lookup(packet.flow_id, packet.root_node)
         if entry is None:
             # No Update of this flow ever crossed this cube through this tree:
@@ -311,7 +344,7 @@ class ActiveRoutingEngine(Component):
                                               num_threads=packet.num_threads,
                                               root_node=packet.root_node,
                                               flow_id=packet.flow_id)
-                self.count("gathers_replicated")
+                self._h_gathers_replicated.value += 1
                 self.network.inject(request, self.node_id)
             entry.children.clear()
         self._check_flow_completion(entry)
@@ -329,7 +362,7 @@ class ActiveRoutingEngine(Component):
         entry.resp_counter += packet.completed_updates
         entry.result = self.alu.accumulate(entry.opcode, entry.result, packet.partial_result)
         entry.pending_children.discard(from_node)
-        self.count("gather_responses_merged")
+        self._h_gather_responses_merged.value += 1
         self._check_flow_completion(entry)
 
     def _check_flow_completion(self, entry: FlowTableEntry) -> None:
@@ -342,6 +375,6 @@ class ActiveRoutingEngine(Component):
                                         partial_result=entry.result,
                                         completed_updates=entry.resp_counter,
                                         root_node=entry.root, flow_id=entry.flow_id)
-        self.count("gather_responses_sent")
+        self._h_gather_responses_sent.value += 1
         self.flow_table.release(entry.key)
         self.network.inject(response, self.node_id)

@@ -61,6 +61,11 @@ class FlowTable(Component):
         self.capacity = capacity
         self.entries: Dict[FlowKey, FlowTableEntry] = {}
         self._peak = 0
+        # get_or_create()/release() run once per Update hop: pre-bind.
+        self._h_overflows = self.counter_handle("overflows")
+        self._h_registered = self.counter_handle("registered")
+        self._h_released = self.counter_handle("released")
+        self._peak_gauge_name = f"{name}.peak_occupancy"
 
     def lookup(self, flow_id: int, root: int) -> Optional[FlowTableEntry]:
         return self.entries.get((flow_id, root))
@@ -72,14 +77,15 @@ class FlowTable(Component):
         entry = self.entries.get(key)
         if entry is None:
             if len(self.entries) >= self.capacity:
-                self.count("overflows")
+                self._h_overflows.value += 1
             entry = FlowTableEntry(flow_id=flow_id, root=root, opcode=opcode,
                                    result=opcode_spec(opcode).identity,
                                    parent=parent, created_at=self.now)
             self.entries[key] = entry
-            self.count("registered")
-            self._peak = max(self._peak, len(self.entries))
-            self.gauge("peak_occupancy", self._peak)
+            self._h_registered.value += 1
+            if len(self.entries) > self._peak:
+                self._peak = len(self.entries)
+                self.sim.stats.set_gauge(self._peak_gauge_name, self._peak)
         else:
             entry.record_parent(parent) if parent is not None else None
         return entry
@@ -88,7 +94,7 @@ class FlowTable(Component):
         """Free the entry once its Gather response has been sent to the parent."""
         if key in self.entries:
             del self.entries[key]
-            self.count("released")
+            self._h_released.value += 1
 
     @property
     def occupancy(self) -> int:

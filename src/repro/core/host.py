@@ -70,6 +70,11 @@ class ActiveRoutingHost(Component):
             controller.set_gather_listener(self._on_gather_response)
 
         self._update_ids = itertools.count()
+        # offload_update()/notify_update_commit() run once per Update packet:
+        # pre-bind their counters (per-port cells are bound lazily by port id).
+        self._h_updates_offloaded = self.counter_handle("updates_offloaded")
+        self._h_updates_committed = self.counter_handle("updates_committed")
+        self._h_updates_by_port = {}
         self._update_commits: Dict[int, Callable[[], None]] = {}
         self._flows: Dict[int, _FlowState] = {}
         #: Final reduction results, kept for functional verification.
@@ -99,8 +104,12 @@ class ActiveRoutingHost(Component):
                               imm_value=op.imm, thread_id=core_id, root_node=root,
                               update_id=update_id, issue_time=self.now,
                               flow_id=op.target)
-        self.count("updates_offloaded")
-        self.count(f"updates_port{port}")
+        self._h_updates_offloaded.value += 1
+        port_handle = self._h_updates_by_port.get(port)
+        if port_handle is None:
+            port_handle = self.counter_handle(f"updates_port{port}")
+            self._h_updates_by_port[port] = port_handle
+        port_handle.value += 1
         controller.inject(packet)
 
     def _compute_destination(self, op: UpdateOp, root: int, op_class: OpClass,
@@ -120,7 +129,7 @@ class ActiveRoutingHost(Component):
         callback = self._update_commits.pop(update_id, None)
         if callback is None:
             raise RuntimeError(f"commit notification for unknown update {update_id}")
-        self.count("updates_committed")
+        self._h_updates_committed.value += 1
         callback()
 
     # -------------------------------------------------------------- Gather handling

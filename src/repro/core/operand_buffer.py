@@ -65,6 +65,11 @@ class OperandBufferPool(Component):
         self._free: List[int] = list(range(capacity))
         self.entries: Dict[int, OperandBufferEntry] = {}
         self._peak_used = 0
+        # reserve()/release() run once per buffered Update: pre-bind.
+        self._h_reserve_failures = self.counter_handle("reserve_failures")
+        self._h_reservations = self.counter_handle("reservations")
+        self._h_releases = self.counter_handle("releases")
+        self._peak_gauge_name = f"{name}.peak_used"
 
     @property
     def free_slots(self) -> int:
@@ -78,16 +83,18 @@ class OperandBufferPool(Component):
                 arrival_time: float, num_operands: int) -> Optional[OperandBufferEntry]:
         """Allocate a slot, or return ``None`` when the pool is exhausted."""
         if not self._free:
-            self.count("reserve_failures")
+            self._h_reserve_failures.value += 1
             return None
         slot = self._free.pop()
         entry = OperandBufferEntry(slot=slot, flow_id=flow_id, root=root, opcode=opcode,
                                    update=update, arrival_time=arrival_time,
                                    num_operands=num_operands)
         self.entries[slot] = entry
-        self.count("reservations")
-        self._peak_used = max(self._peak_used, self.in_use)
-        self.gauge("peak_used", self._peak_used)
+        self._h_reservations.value += 1
+        used = self.capacity - len(self._free)
+        if used > self._peak_used:
+            self._peak_used = used
+            self.sim.stats.set_gauge(self._peak_gauge_name, used)
         return entry
 
     def get(self, slot: int) -> OperandBufferEntry:
@@ -98,4 +105,4 @@ class OperandBufferPool(Component):
             raise KeyError(f"operand buffer slot {slot} is not in use")
         del self.entries[slot]
         self._free.append(slot)
-        self.count("releases")
+        self._h_releases.value += 1

@@ -138,6 +138,15 @@ class CacheHierarchy(Component):
         self._mshrs: Dict[int, List[Tuple[MissCallback, float, int]]] = {}
         # Per-block serializers used by atomic read-modify-writes.
         self._atomic_locks: Dict[int, SharedResource] = {}
+        # access() runs once per load/store: pre-bind its counters.
+        self._h_accesses = self.counter_handle("accesses")
+        self._h_l1_accesses = self.counter_handle("l1_accesses")
+        self._h_l1_hits = self.counter_handle("l1_hits")
+        self._h_l1_misses = self.counter_handle("l1_misses")
+        self._h_l2_accesses = self.counter_handle("l2_accesses")
+        self._h_l2_hits = self.counter_handle("l2_hits")
+        self._h_l2_misses = self.counter_handle("l2_misses")
+        self._h_energy_pj = self.counter_handle("energy_pj")
 
     # -- address helpers ---------------------------------------------------------
     def block_of(self, addr: int) -> int:
@@ -164,9 +173,9 @@ class CacheHierarchy(Component):
         cc = self.cache_config
         block = self.block_of(addr)
         l1 = self.l1s[core_id]
-        self.count("accesses")
-        self.count("l1_accesses")
-        self.count("energy_pj", cc.l1_energy_pj)
+        self._h_accesses.value += 1
+        self._h_l1_accesses.value += 1
+        self._h_energy_pj.value += cc.l1_energy_pj
 
         coherence_penalty = 0.0
         if is_write:
@@ -178,21 +187,21 @@ class CacheHierarchy(Component):
                     self.l1s[victim_core].invalidate(block)
 
         if l1.lookup(block, mark_dirty=is_write):
-            self.count("l1_hits")
+            self._h_l1_hits.value += 1
             return cc.l1_latency + coherence_penalty
 
-        self.count("l1_misses")
+        self._h_l1_misses.value += 1
         # L2 probe (S-NUCA bank across the mesh).
         noc_latency = self._l2_round_trip(core_id, block)
-        self.count("l2_accesses")
-        self.count("energy_pj", cc.l2_energy_pj)
+        self._h_l2_accesses.value += 1
+        self._h_energy_pj.value += cc.l2_energy_pj
         if self.l2.lookup(block, mark_dirty=is_write):
-            self.count("l2_hits")
+            self._h_l2_hits.value += 1
             self._fill_l1(core_id, block, dirty=is_write)
             self.directory.add_sharer(block, core_id)
             return cc.l1_latency + cc.l2_latency + noc_latency + coherence_penalty
 
-        self.count("l2_misses")
+        self._h_l2_misses.value += 1
         on_chip = cc.l1_latency + cc.l2_latency + noc_latency + coherence_penalty
         self._miss_to_memory(core_id, block, addr, is_write, on_chip, on_complete)
         if cc.prefetch_degree > 0:

@@ -63,6 +63,8 @@ class Core(Component):
         self._waiting_for_mi_slot = False
         self._advance_scheduled = False
 
+        #: Bound histogram: one sample per completed memory miss.
+        self._hist_mem_latency = sim.stats.histogram(f"{self.name}.mem_latency")
         #: (instructions, cycle) samples for IPC-over-time analysis (Fig. 5.8).
         self.ipc_samples: List[Tuple[int, float]] = []
         self._next_sample = config.ipc_sample_interval
@@ -116,7 +118,7 @@ class Core(Component):
     # -- completion callbacks ----------------------------------------------------------
     def _mem_done(self, latency: float) -> None:
         self.outstanding_mem -= 1
-        self.observe("mem_latency", latency)
+        self._hist_mem_latency.add(latency)
         if self._waiting_for_mem_slot:
             self._waiting_for_mem_slot = False
             self._unblock()

@@ -42,6 +42,9 @@ class MessageInterface(Component):
         self.max_outstanding_updates = max_outstanding_updates
         self.outstanding_updates = 0
         self._space_waiters: List[Callable[[], None]] = []
+        # One offload/commit pair per Update: pre-bind the counters.
+        self._h_updates = self.counter_handle("updates")
+        self._h_update_commits = self.counter_handle("update_commits")
 
     @property
     def enabled(self) -> bool:
@@ -60,12 +63,12 @@ class MessageInterface(Component):
         if not self.can_offload():
             raise RuntimeError("Message Interface window overflow; core must stall first")
         self.outstanding_updates += 1
-        self.count("updates")
+        self._h_updates.value += 1
         self.backend.offload_update(self.core_id, op, self._on_update_commit)
 
     def _on_update_commit(self) -> None:
         self.outstanding_updates -= 1
-        self.count("update_commits")
+        self._h_update_commits.value += 1
         if self._space_waiters:
             waiters, self._space_waiters = self._space_waiters, []
             for callback in waiters:

@@ -24,6 +24,11 @@ class MeshNoC(Component):
         self.cols = cols
         self.hop_latency = hop_latency
         self.energy_pj_per_byte_hop = energy_pj_per_byte_hop
+        # transfer() runs twice per L2 probe: pre-bind its counters.
+        self._h_transfers = self.counter_handle("transfers")
+        self._h_byte_hops = self.counter_handle("byte_hops")
+        self._h_bytes = self.counter_handle("bytes")
+        self._h_energy_pj = self.counter_handle("energy_pj")
 
     @property
     def num_tiles(self) -> int:
@@ -63,13 +68,26 @@ class MeshNoC(Component):
         """Account a one-way transfer and return its latency in cycles."""
         hops = self.hops(src_tile, dst_tile)
         latency = hops * self.hop_latency
-        self.count("transfers")
-        self.count("byte_hops", size_bytes * hops)
-        self.count("bytes", size_bytes)
-        self.count("energy_pj", size_bytes * hops * self.energy_pj_per_byte_hop)
+        self._h_transfers.value += 1
+        self._h_byte_hops.value += size_bytes * hops
+        self._h_bytes.value += size_bytes
+        self._h_energy_pj.value += size_bytes * hops * self.energy_pj_per_byte_hop
         return latency
 
     def round_trip(self, src_tile: int, dst_tile: int, req_bytes: int, resp_bytes: int) -> float:
-        """Request/response pair latency between two tiles."""
-        return (self.transfer(src_tile, dst_tile, req_bytes)
-                + self.transfer(dst_tile, src_tile, resp_bytes))
+        """Request/response pair latency between two tiles.
+
+        Equivalent to two :meth:`transfer` calls (the stat updates are kept as
+        separate additions so the accumulated floats match exactly), fused
+        because this runs once per L2 probe.
+        """
+        hops = self.hops(src_tile, dst_tile)
+        latency = hops * self.hop_latency
+        self._h_transfers.value += 2
+        self._h_byte_hops.value += req_bytes * hops
+        self._h_byte_hops.value += resp_bytes * hops
+        self._h_bytes.value += req_bytes
+        self._h_bytes.value += resp_bytes
+        self._h_energy_pj.value += req_bytes * hops * self.energy_pj_per_byte_hop
+        self._h_energy_pj.value += resp_bytes * hops * self.energy_pj_per_byte_hop
+        return latency + latency

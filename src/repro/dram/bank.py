@@ -19,18 +19,23 @@ class DRAMBank(SharedResource):
         super().__init__(sim, name)
         self.timing = timing
         self.open_row: Optional[int] = None
+        # access() runs once per DRAM access: pre-bind its counters.
+        self._h_row_closed = self.counter_handle("row_closed")
+        self._h_row_hit = self.counter_handle("row_hit")
+        self._h_row_miss = self.counter_handle("row_miss")
+        self._h_accesses = self.counter_handle("accesses")
 
     def access_latency(self, row: int) -> float:
         """Service time of the next access to ``row`` given the open-row state."""
         if self.open_row is None:
             latency = self.timing.row_closed_cycles
-            self.count("row_closed")
+            self._h_row_closed.value += 1
         elif self.open_row == row:
             latency = self.timing.row_hit_cycles
-            self.count("row_hit")
+            self._h_row_hit.value += 1
         else:
             latency = self.timing.row_miss_cycles
-            self.count("row_miss")
+            self._h_row_miss.value += 1
         return latency
 
     def access(self, row: int, earliest: Optional[float] = None) -> Tuple[float, float]:
@@ -42,7 +47,7 @@ class DRAMBank(SharedResource):
         latency = self.access_latency(row)
         start, finish = self.reserve(latency, earliest=earliest)
         self.open_row = row
-        self.count("accesses")
+        self._h_accesses.value += 1
         return start, finish
 
     def precharge(self) -> None:

@@ -19,7 +19,8 @@ import os
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Tuple
 
-from ..system import CONFIG_ORDER, RunResult, SystemKind, make_system_config, run_workload
+from ..system import (CONFIG_ORDER, RunResult, SystemKind, make_system_config,
+                      run_jobs, run_workload)
 from ..workloads import ALL_WORKLOADS, BENCHMARKS, MICROBENCHMARKS
 
 
@@ -83,13 +84,15 @@ class EvaluationSuite:
     def __init__(self, scale: "ExperimentScale | str" = "small",
                  profile: str = "scaled",
                  workloads: Optional[Iterable[str]] = None,
-                 kinds: Optional[Iterable[SystemKind]] = None) -> None:
+                 kinds: Optional[Iterable[SystemKind]] = None,
+                 workers: int = 1) -> None:
         if isinstance(scale, str):
             scale = SCALES[scale]
         self.scale = scale
         self.profile = profile
         self.workloads: List[str] = list(workloads) if workloads is not None else list(ALL_WORKLOADS)
         self.kinds: List[SystemKind] = list(kinds) if kinds is not None else list(CONFIG_ORDER)
+        self.workers = workers
         self._results: Dict[Tuple[str, str], RunResult] = {}
 
     # -- running -----------------------------------------------------------------
@@ -108,10 +111,28 @@ class EvaluationSuite:
         self._results[key] = result
         return result
 
-    def run_all(self) -> Dict[Tuple[str, str], RunResult]:
-        """Force every (workload, configuration) pair to run; returns the cache."""
-        for workload in self.workloads:
-            for kind in self.kinds:
+    def run_all(self, workers: Optional[int] = None) -> Dict[Tuple[str, str], RunResult]:
+        """Force every (workload, configuration) pair to run; returns the cache.
+
+        With ``workers > 1`` the not-yet-cached pairs are farmed out to a
+        process pool (each pair is an independent simulation); the merged
+        results are identical to a serial run.
+        """
+        workers = self.workers if workers is None else workers
+        pending = [(workload, kind) for workload in self.workloads
+                   for kind in self.kinds
+                   if (workload, kind.value) not in self._results]
+        if workers > 1 and len(pending) > 1:
+            jobs = []
+            for workload, kind in pending:
+                config = make_system_config(kind, profile=self.profile,
+                                            num_cores=self.scale.num_threads)
+                jobs.append(((workload, config.label), config, workload,
+                             self.scale.params_for(workload)))
+            self._results.update(run_jobs(jobs, num_threads=self.scale.num_threads,
+                                          workers=workers))
+        else:
+            for workload, kind in pending:
                 self.result(workload, kind)
         return dict(self._results)
 

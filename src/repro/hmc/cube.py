@@ -42,6 +42,8 @@ class HMCCube(Component):
         ]
         self.network: Optional["MemoryNetwork"] = None
         self.are: Optional["ActiveRoutingEngine"] = None
+        # local_access() runs once per vault access: pre-bind its counter.
+        self._h_local_accesses = self.counter_handle("local_accesses")
 
     # -- wiring ---------------------------------------------------------------
     def connect(self, network: "MemoryNetwork") -> None:
@@ -58,7 +60,7 @@ class HMCCube(Component):
         """Access the vault holding ``addr``; returns the completion cycle."""
         vault = self.vaults[self.mapping.vault_of(addr)]
         finish = vault.service(addr, size, is_write) + self.config.crossbar_latency
-        self.count("local_accesses")
+        self._h_local_accesses.value += 1
         return finish
 
     # -- network endpoint -----------------------------------------------------

@@ -37,6 +37,12 @@ class HMCController(Component):
         self.network: Optional["MemoryNetwork"] = None
         self._outstanding: Dict[int, MemoryRequest] = {}
         self._gather_listener: Optional[GatherListener] = None
+        # access()/inject() run once per miss/offload: pre-bind the counters.
+        self._h_requests = self.counter_handle("requests")
+        self._h_reads = self.counter_handle("reads")
+        self._h_writes = self.counter_handle("writes")
+        self._h_active_injected = self.counter_handle("active_injected")
+        self._h_responses = self.counter_handle("responses")
 
     # -- wiring ---------------------------------------------------------------
     def connect(self, network: "MemoryNetwork") -> None:
@@ -60,8 +66,8 @@ class HMCController(Component):
             packet = MemReadPacket(src=self.node_id, dst=dst_cube,
                                    addr=request.addr, req_id=request.req_id)
         self._outstanding[request.req_id] = request
-        self.count("requests")
-        self.count("writes" if request.is_write else "reads")
+        self._h_requests.value += 1
+        (self._h_writes if request.is_write else self._h_reads).value += 1
         self.sim.schedule(self.config.controller_latency,
                           lambda: self.network.inject(packet, self.node_id),
                           label=f"{self.name}.inject")
@@ -70,7 +76,7 @@ class HMCController(Component):
     def inject(self, packet: Packet) -> None:
         """Inject an already-built (active) packet after the controller latency."""
         assert self.network is not None, "controller is not connected to a network"
-        self.count("active_injected")
+        self._h_active_injected.value += 1
         self.sim.schedule(self.config.controller_latency,
                           lambda: self.network.inject(packet, self.node_id),
                           label=f"{self.name}.inject_active")
@@ -93,7 +99,7 @@ class HMCController(Component):
         request = self._outstanding.pop(req_id, None)
         if request is None:
             raise RuntimeError(f"{self.name} got a response for unknown request {req_id}")
-        self.count("responses")
+        self._h_responses.value += 1
         self.observe("roundtrip", self.now - request.issue_time)
         request.complete(self.now)
 

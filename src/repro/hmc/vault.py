@@ -26,6 +26,21 @@ class VaultController(Component):
         self.config = config
         self.tsv = SharedResource(sim, f"{self.name}.tsv")
         self._banks: Dict[int, DRAMBank] = {}
+        # service() runs once per vault access: hoist the address-decode
+        # strides (same math as HMCAddressMapping.bank_of/row_of) and bind its
+        # counters up front.
+        self._bank_stride = mapping.block_size * mapping.num_vaults
+        self._banks_per_vault = mapping.banks_per_vault
+        self._row_stride = self._bank_stride * mapping.banks_per_vault
+        self._blocks_per_row = mapping.row_size // mapping.block_size
+        self._bytes_per_cycle = config.vault_bytes_per_cycle
+        self._controller_latency = config.vault_controller_latency
+        self._energy_pj_per_bit = config.energy_pj_per_bit
+        self._h_accesses = self.counter_handle("accesses")
+        self._h_reads = self.counter_handle("reads")
+        self._h_writes = self.counter_handle("writes")
+        self._h_bytes = self.counter_handle("bytes")
+        self._h_energy_pj = self.counter_handle("energy_pj")
 
     def _bank(self, index: int) -> DRAMBank:
         bank = self._banks.get(index)
@@ -36,17 +51,19 @@ class VaultController(Component):
 
     def service(self, addr: int, size: int, is_write: bool) -> float:
         """Reserve bank + TSV for one access starting now; returns finish time."""
-        bank_idx = self.mapping.bank_of(addr)
-        row = self.mapping.row_of(addr)
-        bank = self._bank(bank_idx)
-        earliest = self.now + self.config.vault_controller_latency
+        bank_idx = (addr // self._bank_stride) % self._banks_per_vault
+        row = (addr // self._row_stride) // self._blocks_per_row
+        bank = self._banks.get(bank_idx)
+        if bank is None:
+            bank = self._bank(bank_idx)
+        earliest = self.sim.now + self._controller_latency
         _, bank_finish = bank.access(row, earliest=earliest)
-        occupancy = size / self.config.vault_bytes_per_cycle
+        occupancy = size / self._bytes_per_cycle
         _, tsv_finish = self.tsv.reserve(occupancy, earliest=bank_finish)
-        self.count("accesses")
-        self.count("writes" if is_write else "reads")
-        self.count("bytes", size)
-        self.count("energy_pj", size * 8 * self.config.energy_pj_per_bit)
+        self._h_accesses.value += 1
+        (self._h_writes if is_write else self._h_reads).value += 1
+        self._h_bytes.value += size
+        self._h_energy_pj.value += size * 8 * self._energy_pj_per_bit
         return tsv_finish
 
     @property

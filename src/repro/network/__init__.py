@@ -5,6 +5,7 @@ from .network import MemoryNetwork, NetworkEndpoint
 from .packet import (
     DATA_BYTES,
     HEADER_BYTES,
+    MOVEMENT_CATEGORIES,
     PACKET_SIZES,
     GatherRequestPacket,
     GatherResponsePacket,
@@ -27,6 +28,7 @@ __all__ = [
     "NetworkEndpoint",
     "DATA_BYTES",
     "HEADER_BYTES",
+    "MOVEMENT_CATEGORIES",
     "PACKET_SIZES",
     "GatherRequestPacket",
     "GatherResponsePacket",

@@ -13,7 +13,7 @@ from dataclasses import dataclass
 from typing import Tuple
 
 from ..sim import SharedResource, Simulator
-from .packet import Packet
+from .packet import MOVEMENT_CATEGORIES, Packet
 
 
 @dataclass(frozen=True)
@@ -42,6 +42,18 @@ class Link(SharedResource):
         self.src = src
         self.dst = dst
         self.config = config or LinkConfig()
+        # transmit() runs once per hop; hoist the config scalars and bind every
+        # counter up front so the hot path is pure arithmetic + cell updates.
+        self._bandwidth = self.config.bandwidth_bytes_per_cycle
+        self._latency = self.config.latency_cycles
+        self._energy_pj_per_bit = self.config.energy_pj_per_bit
+        self._h_packets = self.counter_handle("packets")
+        self._h_bytes = self.counter_handle("bytes")
+        self._h_energy_pj = self.counter_handle("energy_pj")
+        self._h_bytes_by_category = {
+            category: self.counter_handle(f"bytes.{category}")
+            for category in MOVEMENT_CATEGORIES
+        }
 
     def transmit(self, packet: Packet, earliest: float | None = None) -> Tuple[float, float]:
         """Send ``packet`` over the link.
@@ -50,12 +62,21 @@ class Link(SharedResource):
         the packet reaches the far end; queue delay is the time spent waiting
         for the link to become free.
         """
-        serialization = self.config.serialization_cycles(packet.size)
-        start, finish = self.reserve(serialization, earliest=earliest)
-        queue_delay = start - (self.now if earliest is None else earliest)
-        arrival = finish + self.config.latency_cycles
-        self.count("packets")
-        self.count("bytes", packet.size)
-        self.count("bytes." + packet.movement_category(), packet.size)
-        self.count("energy_pj", packet.size * 8 * self.config.energy_pj_per_bit)
-        return arrival, queue_delay
+        size = packet.size
+        serialization = size / self._bandwidth
+        if earliest is None:
+            earliest = self.sim.now
+        start = self.busy_until
+        if start < earliest:
+            start = earliest
+        finish = start + serialization
+        self.busy_until = finish
+        queue_delay = start - earliest
+        if queue_delay > 0:
+            self._queue_wait_cycles.value += queue_delay
+        self._busy_cycles.value += serialization
+        self._h_packets.value += 1
+        self._h_bytes.value += size
+        self._h_bytes_by_category[packet._category].value += size
+        self._h_energy_pj.value += size * 8 * self._energy_pj_per_bit
+        return finish + self._latency, queue_delay

@@ -13,7 +13,7 @@ from typing import Dict, Optional, Protocol, Tuple
 
 from ..sim import Component, Simulator
 from .link import Link, LinkConfig
-from .packet import Packet
+from .packet import MOVEMENT_CATEGORIES, Packet
 from .routing import RoutingTable
 from .topology import Topology
 
@@ -43,6 +43,18 @@ class MemoryNetwork(Component):
         for a, b in topology.edges():
             self.links[(a, b)] = Link(sim, a, b, self.link_config)
             self.links[(b, a)] = Link(sim, b, a, self.link_config)
+        # _hop() runs once per network hop: pre-bind every counter it touches
+        # and keep a direct reference to the dense next-hop matrix.
+        self._next_rows = self.routing.next_hop_table
+        self._h_injected = self.counter_handle("injected")
+        self._h_hops = self.counter_handle("hops")
+        self._h_bytes = self.counter_handle("bytes")
+        self._h_bit_hops = self.counter_handle("bit_hops")
+        self._h_queue_delay = self.counter_handle("queue_delay_cycles")
+        self._h_bytes_by_category = {
+            category: self.counter_handle(f"bytes.{category}")
+            for category in MOVEMENT_CATEGORIES
+        }
 
     # -- construction ---------------------------------------------------------
     def register_endpoint(self, node_id: int, endpoint: NetworkEndpoint) -> None:
@@ -72,8 +84,11 @@ class MemoryNetwork(Component):
     # -- packet movement ------------------------------------------------------
     def inject(self, packet: Packet, at_node: int) -> None:
         """Insert ``packet`` into the network at ``at_node`` and start routing it."""
-        packet.created_at = packet.created_at or self.now
-        self.count("injected")
+        if packet.created_at is None:
+            # First time this packet enters the fabric; intermediate cubes that
+            # re-inject it must not re-stamp (0.0 is a legitimate creation time).
+            packet.created_at = self.sim.now
+        self._h_injected.value += 1
         if packet.dst == at_node:
             # Local delivery (e.g. operand request for data in the same cube).
             self.schedule(0.0, lambda: self._deliver(packet, at_node, at_node))
@@ -87,18 +102,34 @@ class MemoryNetwork(Component):
         self._hop(packet, from_node)
 
     def _hop(self, packet: Packet, current: int) -> None:
-        nxt = self.routing.next_hop(current, packet.dst)
+        nxt = self._next_rows[current][packet.dst]
         link = self.links[(current, nxt)]
-        arrival, queue_delay = link.transmit(packet)
-        self.count("hops")
-        self.count("bytes", packet.size)
-        self.count("bytes." + packet.movement_category(), packet.size)
-        self.count("bit_hops", packet.size * 8)
+        # Inlined Link.transmit(): one hop is the innermost simulator loop and
+        # the extra call frame + result tuple are measurable.  Keep the stat
+        # updates in the exact order transmit() performs them.
+        size = packet.size
+        serialization = size / link._bandwidth
+        now = self.sim.now
+        start = link.busy_until
+        if start < now:
+            start = now
+        finish = start + serialization
+        link.busy_until = finish
+        queue_delay = start - now
         if queue_delay > 0:
-            self.count("queue_delay_cycles", queue_delay)
-        self.sim.schedule_at(arrival + self.router_delay,
-                             lambda: self._deliver(packet, nxt, current),
-                             label="net.deliver")
+            link._queue_wait_cycles.value += queue_delay
+            self._h_queue_delay.value += queue_delay
+        link._busy_cycles.value += serialization
+        link._h_packets.value += 1
+        link._h_bytes.value += size
+        link._h_bytes_by_category[packet._category].value += size
+        link._h_energy_pj.value += size * 8 * link._energy_pj_per_bit
+        self._h_hops.value += 1
+        self._h_bytes.value += size
+        self._h_bytes_by_category[packet._category].value += size
+        self._h_bit_hops.value += size * 8
+        self.sim.events.push(finish + link._latency + self.router_delay,
+                             lambda: self._deliver(packet, nxt, current))
 
     def _deliver(self, packet: Packet, node: int, from_node: int) -> None:
         packet.hops += 1
@@ -122,12 +153,11 @@ class MemoryNetwork(Component):
         traffic of Figure 5.4, as opposed to traffic staying inside the memory
         network (operand fetches between cubes, tree reductions, ...).
         """
-        categories = ("norm_req", "norm_resp", "active_req", "active_resp")
-        totals = {cat: 0.0 for cat in categories}
+        totals = {cat: 0.0 for cat in MOVEMENT_CATEGORIES}
         controller_nodes = set(self.topology.controller_nodes)
         for (src, dst), link in self.links.items():
             if src in controller_nodes or dst in controller_nodes:
-                for cat in categories:
+                for cat in MOVEMENT_CATEGORIES:
                     totals[cat] += self.sim.stats.counter(f"{link.name}.bytes.{cat}")
         return totals
 

@@ -74,30 +74,60 @@ PACKET_SIZES = {
 
 _packet_ids = itertools.count()
 
+#: Figure 5.4 traffic buckets, in presentation order.
+MOVEMENT_CATEGORIES = ("norm_req", "norm_resp", "active_req", "active_resp")
+
+# Per-type derived data cached as plain attributes on the enum members (packets
+# are created and dispatched on the hot path, and ``Enum.__hash__`` is a
+# Python-level call, so even a dict keyed by PacketType is measurable):
+#   ``_code``         small dense int for list-based dispatch tables,
+#   ``_default_size`` the PACKET_SIZES entry,
+#   ``_flags``        ``(is_active, is_request, movement category)``.
+for _index, _ptype in enumerate(PacketType):
+    _ptype._code = _index
+    _ptype._default_size = PACKET_SIZES[_ptype]
+    _ptype._flags = (
+        _ptype.is_active,
+        _ptype.is_request,
+        (("active_req" if _ptype.is_request else "active_resp") if _ptype.is_active
+         else ("norm_req" if _ptype.is_request else "norm_resp")),
+    )
+del _index, _ptype
+
 
 @dataclass
 class Packet:
-    """Base network packet (node ids are memory-network node indices)."""
+    """Base network packet (node ids are memory-network node indices).
+
+    ``created_at`` is ``None`` until the packet first enters the network
+    fabric; ``MemoryNetwork.inject`` stamps it exactly once (``0.0`` is a
+    legitimate creation time, so ``None`` is the only safe sentinel).
+    """
 
     ptype: PacketType
     src: int
     dst: int
     size: int = 0
     flow_id: Optional[int] = None
-    created_at: float = 0.0
+    created_at: Optional[float] = None
     hops: int = 0
     pkt_id: int = field(default_factory=lambda: next(_packet_ids))
 
-    def __post_init__(self) -> None:
-        if self.size <= 0:
-            self.size = PACKET_SIZES[self.ptype]
+    # Hand-written so construction is one frame (packets are created on the hot
+    # path; the generated dataclass __init__ plus __post_init__ costs two).
+    def __init__(self, ptype: PacketType, src: int, dst: int, size: int = 0,
+                 flow_id: Optional[int] = None, created_at: Optional[float] = None,
+                 hops: int = 0, pkt_id: Optional[int] = None) -> None:
+        self.ptype = ptype
+        self.src = src
+        self.dst = dst
+        self.size = size if size > 0 else ptype._default_size
+        self.flow_id = flow_id
+        self.created_at = created_at
+        self.hops = hops
+        self.pkt_id = next(_packet_ids) if pkt_id is None else pkt_id
         # Cache derived attributes: packets cross many links and these are hot.
-        self.is_active = self.ptype.is_active
-        self.is_request = self.ptype.is_request
-        if self.is_active:
-            self._category = "active_req" if self.is_request else "active_resp"
-        else:
-            self._category = "norm_req" if self.is_request else "norm_resp"
+        self.is_active, self.is_request, self._category = ptype._flags
 
     def movement_category(self) -> str:
         """Bucket used by the Figure 5.4 data-movement breakdown."""

@@ -1,11 +1,17 @@
 """Deterministic minimal routing over a memory-network topology.
 
-The table is computed once with a breadth-first search that always explores
+Routes are computed once with a breadth-first search that always explores
 neighbours in ascending node order, so that for every (source, destination)
 pair there is exactly one path and it is stable across runs.  Active-Routing's
 split-point computation relies on this determinism: the split point of two
 operands is the last cube shared by the two deterministic paths from the tree
 root toward each operand.
+
+Because the topology is static, the table materializes *dense* next-hop and
+distance matrices at construction time (node ids are small contiguous ints, so
+a list-of-lists indexed ``[current][dst]`` suffices): the per-hop lookup on the
+packet fast path is two list indexings instead of a lazy path reconstruction
+and per-pair cache probe.
 """
 
 from __future__ import annotations
@@ -15,16 +21,32 @@ from typing import Dict, List, Tuple
 
 from .topology import Topology
 
+#: Dense-table marker for an unreachable (or non-existent) destination.
+NO_ROUTE = -1
+
 
 class RoutingTable:
-    """Next-hop table with path reconstruction helpers."""
+    """Dense next-hop/distance tables with path reconstruction helpers."""
 
     def __init__(self, topology: Topology) -> None:
         self.topology = topology
-        self._parent: Dict[int, Dict[int, int]] = {}
+        nodes = sorted(topology.graph.nodes)
+        size = (max(nodes) + 1) if nodes else 0
+        #: ``next_hop_table[current][dst]`` -> neighbour toward ``dst``
+        #: (``current`` itself when ``current == dst``, :data:`NO_ROUTE` when
+        #: unreachable).  Exposed for hot loops that index it directly.
+        self.next_hop_table: List[List[int]] = [[NO_ROUTE] * size for _ in range(size)]
+        self._dist: List[List[int]] = [[NO_ROUTE] * size for _ in range(size)]
         self._paths: Dict[Tuple[int, int], List[int]] = {}
-        for root in topology.graph.nodes:
-            self._parent[root] = self._bfs_tree(root)
+        for root in nodes:
+            parent = self._bfs_tree(root)
+            next_row = self.next_hop_table[root]
+            dist_row = self._dist[root]
+            for dst in parent:
+                path = self._reconstruct(root, dst, parent)
+                self._paths[(root, dst)] = path
+                next_row[dst] = path[1] if len(path) > 1 else root
+                dist_row[dst] = len(path) - 1
 
     def _bfs_tree(self, root: int) -> Dict[int, int]:
         """Deterministic BFS parents: ``parent[node]`` on the path back to ``root``."""
@@ -38,38 +60,51 @@ class RoutingTable:
                     queue.append(neighbor)
         return parent
 
+    @staticmethod
+    def _reconstruct(root: int, dst: int, parent: Dict[int, int]) -> List[int]:
+        """Walk ``dst -> root`` through the BFS tree, then reverse."""
+        if dst == root:
+            return [root]
+        reverse = [dst]
+        node = dst
+        while node != root:
+            node = parent[node]
+            reverse.append(node)
+        reverse.reverse()
+        return reverse
+
     def path(self, src: int, dst: int) -> List[int]:
         """Full node path from ``src`` to ``dst`` inclusive."""
-        key = (src, dst)
-        cached = self._paths.get(key)
-        if cached is not None:
-            return cached
-        if src == dst:
-            path = [src]
-        else:
-            # Walk dst -> src using the BFS tree rooted at src, then reverse.
-            parent = self._parent[src]
-            if dst not in parent:
-                raise ValueError(f"no route from {src} to {dst}")
-            reverse = [dst]
-            node = dst
-            while node != src:
-                node = parent[node]
-                reverse.append(node)
-            path = list(reversed(reverse))
-        self._paths[key] = path
+        path = self._paths.get((src, dst))
+        if path is None:
+            raise ValueError(f"no route from {src} to {dst}")
         return path
 
     def next_hop(self, current: int, dst: int) -> int:
         """The neighbour to forward to from ``current`` toward ``dst``."""
-        if current == dst:
-            return current
-        path = self.path(current, dst)
-        return path[1]
+        # Reject negative ids explicitly: Python's negative indexing would
+        # otherwise read the wrong row/column (and NO_ROUTE itself is -1).
+        if current < 0 or dst < 0:
+            raise ValueError(f"no route from {current} to {dst}")
+        try:
+            nxt = self.next_hop_table[current][dst]
+        except IndexError:
+            raise ValueError(f"no route from {current} to {dst}") from None
+        if nxt == NO_ROUTE:
+            raise ValueError(f"no route from {current} to {dst}")
+        return nxt
 
     def distance(self, src: int, dst: int) -> int:
         """Hop count between two nodes."""
-        return len(self.path(src, dst)) - 1
+        if src < 0 or dst < 0:
+            raise ValueError(f"no route from {src} to {dst}")
+        try:
+            dist = self._dist[src][dst]
+        except IndexError:
+            raise ValueError(f"no route from {src} to {dst}") from None
+        if dist == NO_ROUTE:
+            raise ValueError(f"no route from {src} to {dst}")
+        return dist
 
     def split_point(self, root: int, dst_a: int, dst_b: int) -> int:
         """Last cube common to the deterministic routes ``root→dst_a`` and ``root→dst_b``.
@@ -87,7 +122,12 @@ class RoutingTable:
         return split
 
     def nearest(self, node: int, candidates: List[int]) -> int:
-        """The candidate closest to ``node`` (ties broken by node id)."""
+        """The candidate closest to ``node`` (ties broken by node id).
+
+        Goes through :meth:`distance` so an unreachable candidate raises
+        ``ValueError`` instead of its :data:`NO_ROUTE` marker winning the
+        comparison.
+        """
         if not candidates:
             raise ValueError("candidates must be non-empty")
         return min(candidates, key=lambda c: (self.distance(node, c), c))

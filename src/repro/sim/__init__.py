@@ -1,14 +1,15 @@
 """Discrete-event simulation kernel: event queue, simulator, components, stats."""
 
 from .component import Component, SharedResource
-from .event_queue import Event, EventQueue
+from .event_queue import EventHandle, EventQueue
 from .simulator import SimulationError, Simulator
-from .stats import Histogram, StatsRegistry, geometric_mean
+from .stats import CounterHandle, Histogram, StatsRegistry, geometric_mean
 
 __all__ = [
     "Component",
     "SharedResource",
-    "Event",
+    "CounterHandle",
+    "EventHandle",
     "EventQueue",
     "SimulationError",
     "Simulator",

@@ -5,6 +5,7 @@ from __future__ import annotations
 from typing import Optional
 
 from .simulator import Simulator
+from .stats import CounterHandle
 
 
 class Component:
@@ -19,17 +20,26 @@ class Component:
             raise ValueError("component name must be non-empty")
         self.sim = sim
         self.name = name
-        # Cache of fully-qualified stat names; counting is on the hot path.
-        self._stat_keys: dict = {}
+        # Cache of bound counter cells; counting is on the hot path and the
+        # dotted key must only be resolved once per (component, stat).
+        self._stat_handles: dict[str, CounterHandle] = {}
 
     # -- stats shortcuts ------------------------------------------------------
+    def counter_handle(self, stat: str) -> CounterHandle:
+        """Bound counter cell for ``<name>.<stat>`` (resolve once, then mutate)."""
+        handle = self._stat_handles.get(stat)
+        if handle is None:
+            handle = self.sim.stats.counter_handle(f"{self.name}.{stat}")
+            self._stat_handles[stat] = handle
+        return handle
+
     def count(self, stat: str, amount: float = 1.0) -> None:
         """Increment ``<name>.<stat>`` in the global registry."""
-        key = self._stat_keys.get(stat)
-        if key is None:
-            key = f"{self.name}.{stat}"
-            self._stat_keys[stat] = key
-        self.sim.stats.add(key, amount)
+        handle = self._stat_handles.get(stat)
+        if handle is None:
+            handle = self.sim.stats.counter_handle(f"{self.name}.{stat}")
+            self._stat_handles[stat] = handle
+        handle.value += amount
 
     def observe(self, stat: str, value: float) -> None:
         """Record a histogram sample under ``<name>.<stat>``."""
@@ -67,6 +77,9 @@ class SharedResource(Component):
     def __init__(self, sim: Simulator, name: str) -> None:
         super().__init__(sim, name)
         self.busy_until: float = 0.0
+        # reserve() runs once per packet/access; bind its counters up front.
+        self._busy_cycles = self.counter_handle("busy_cycles")
+        self._queue_wait_cycles = self.counter_handle("queue_wait_cycles")
 
     def reserve(self, occupancy: float, earliest: Optional[float] = None) -> tuple[float, float]:
         """Reserve the resource for ``occupancy`` cycles.
@@ -76,14 +89,17 @@ class SharedResource(Component):
         """
         if occupancy < 0:
             raise ValueError("occupancy must be non-negative")
-        earliest = self.now if earliest is None else earliest
-        start = max(earliest, self.busy_until)
+        if earliest is None:
+            earliest = self.sim.now
+        start = self.busy_until
+        if start < earliest:
+            start = earliest
         finish = start + occupancy
         self.busy_until = finish
         wait = start - earliest
         if wait > 0:
-            self.count("queue_wait_cycles", wait)
-        self.count("busy_cycles", occupancy)
+            self._queue_wait_cycles.value += wait
+        self._busy_cycles.value += occupancy
         return start, finish
 
     def utilization(self, elapsed: Optional[float] = None) -> float:
@@ -91,4 +107,4 @@ class SharedResource(Component):
         elapsed = self.now if elapsed is None else elapsed
         if elapsed <= 0:
             return 0.0
-        return min(1.0, self.stat("busy_cycles") / elapsed)
+        return min(1.0, self._busy_cycles.value / elapsed)

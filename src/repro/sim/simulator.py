@@ -7,9 +7,10 @@ other frequencies convert their own latencies into host cycles.
 
 from __future__ import annotations
 
+import heapq
 from typing import Callable, Optional
 
-from .event_queue import Event, EventQueue
+from .event_queue import EventHandle, EventQueue
 from .stats import StatsRegistry
 
 
@@ -31,45 +32,75 @@ class Simulator:
         self._finished = False
 
     # -- scheduling ----------------------------------------------------------
-    def schedule(self, delay: float, callback: Callable[[], None], label: str = "") -> Event:
+    def schedule(self, delay: float, callback: Callable[[], None], label: str = "") -> None:
         """Run ``callback`` after ``delay`` cycles (relative to ``now``)."""
         if delay < 0:
             raise ValueError(f"delay must be non-negative, got {delay}")
-        return self.events.push(self.now + delay, callback, label=label)
+        # Inlined EventQueue.push: scheduling runs once per event and the
+        # wrapper's negative-time check is subsumed by the delay check above.
+        events = self.events
+        heapq.heappush(events._heap, [self.now + delay, events._seq, callback])
+        events._seq += 1
+        events._live += 1
 
-    def schedule_at(self, time: float, callback: Callable[[], None], label: str = "") -> Event:
+    def schedule_at(self, time: float, callback: Callable[[], None], label: str = "") -> None:
         """Run ``callback`` at absolute ``time`` (must not be in the past)."""
         if time < self.now:
             raise ValueError(f"cannot schedule at {time} before now={self.now}")
-        return self.events.push(time, callback, label=label)
+        events = self.events
+        heapq.heappush(events._heap, [time, events._seq, callback])
+        events._seq += 1
+        events._live += 1
+
+    def schedule_cancellable(self, delay: float, callback: Callable[[], None],
+                             label: str = "") -> EventHandle:
+        """Like :meth:`schedule`, but returns an :class:`EventHandle` so the
+        caller can cancel the event before it fires."""
+        if delay < 0:
+            raise ValueError(f"delay must be non-negative, got {delay}")
+        return self.events.push_handle(self.now + delay, callback)
 
     # -- execution -----------------------------------------------------------
     def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> float:
         """Execute events until the queue drains, ``until`` is reached or
-        ``max_events`` have been processed.  Returns the final simulated time."""
+        ``max_events`` have been processed.  Returns the final simulated time.
+
+        This is the simulator's innermost loop: it walks the event heap
+        directly (peek, pop, dispatch fused into one pass) instead of going
+        through the :class:`EventQueue` wrappers.
+        """
+        events = self.events
+        heap = events._heap
+        heappop = heapq.heappop
         processed = 0
-        while self.events:
-            next_time = self.events.peek_time()
-            if next_time is None:
-                break
-            if until is not None and next_time > until:
-                self.now = until
-                return self.now
-            event = self.events.pop()
-            if event is None:
-                break
-            if event.time < self.now - 1e-9:
-                raise SimulationError(
-                    f"event {event.label!r} scheduled at {event.time} is in the past "
-                    f"(now={self.now})"
-                )
-            self.now = max(self.now, event.time)
-            event.callback()
-            self._executed_events += 1
-            processed += 1
-            if max_events is not None and processed >= max_events:
-                break
-        self._finished = not self.events
+        try:
+            while heap:
+                entry = heap[0]
+                time = entry[0]
+                if until is not None and time > until:
+                    self.now = until
+                    return until
+                heappop(heap)
+                callback = entry[2]
+                if callback is None:  # cancelled
+                    continue
+                entry[2] = None  # make a late cancel() a no-op
+                events._live -= 1
+                if time < self.now:
+                    if time < self.now - 1e-9:
+                        raise SimulationError(
+                            f"event {callback!r} scheduled at {time} is in the past "
+                            f"(now={self.now})"
+                        )
+                else:
+                    self.now = time
+                processed += 1
+                callback()
+                if max_events is not None and processed >= max_events:
+                    break
+        finally:
+            self._executed_events += processed
+        self._finished = not events
         return self.now
 
     def run_until_idle(self, max_events: int = 50_000_000) -> float:

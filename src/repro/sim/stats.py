@@ -4,6 +4,17 @@ The registry is intentionally simple: counters (monotonic sums), scalar gauges,
 and histograms with summary statistics.  Components register their stats under a
 dotted name (``"network.link.cube3->cube7.bytes"``) so the experiment harness can
 aggregate by prefix.
+
+Counters have two access paths:
+
+* the string-keyed slow path (:meth:`StatsRegistry.add`) used by cold code and
+  by anything that only increments occasionally, and
+* bound :class:`CounterHandle` cells (:meth:`StatsRegistry.counter_handle`)
+  resolved once at component construction, gem5-style, so hot loops increment
+  a plain attribute instead of hashing a dotted string per event.
+
+Both paths are transparently visible to every reader (``counter()``,
+``counters()``, ``sum()``, ``snapshot()``, ``merge()``).
 """
 
 from __future__ import annotations
@@ -13,10 +24,40 @@ from collections import defaultdict
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Tuple
 
+#: Default retained-sample cap for histograms (see :class:`Histogram`).
+DEFAULT_HISTOGRAM_SAMPLES = 65_536
+
+
+class CounterHandle:
+    """A mutable counter cell bound to one registry name.
+
+    Hot code increments ``handle.value`` directly; the owning registry reads
+    the cell back whenever the counter is queried by name.
+    """
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str, value: float = 0.0) -> None:
+        self.name = name
+        self.value = value
+
+    def add(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<CounterHandle {self.name}={self.value}>"
+
 
 @dataclass
 class Histogram:
-    """Streaming summary of a sample population (mean, min, max, percentiles)."""
+    """Streaming summary of a sample population (mean, min, max, percentiles).
+
+    ``count``/``total``/``min``/``max`` (and therefore ``mean``) are always
+    exact.  Retained samples are capped at ``max_samples`` so long simulations
+    cannot grow memory without bound; once the cap is hit ``truncated`` is set
+    and :meth:`percentile` becomes approximate (it only sees the first
+    ``max_samples`` observations).
+    """
 
     samples: List[float] = field(default_factory=list)
     keep_samples: bool = True
@@ -24,6 +65,8 @@ class Histogram:
     total: float = 0.0
     minimum: float = math.inf
     maximum: float = -math.inf
+    max_samples: Optional[int] = DEFAULT_HISTOGRAM_SAMPLES
+    truncated: bool = False
 
     def add(self, value: float) -> None:
         self.count += 1
@@ -33,14 +76,21 @@ class Histogram:
         if value > self.maximum:
             self.maximum = value
         if self.keep_samples:
-            self.samples.append(value)
+            if self.max_samples is None or len(self.samples) < self.max_samples:
+                self.samples.append(value)
+            else:
+                self.truncated = True
 
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
     def percentile(self, fraction: float) -> float:
-        """Return the ``fraction`` percentile (0..1) of the retained samples."""
+        """Return the ``fraction`` percentile (0..1) of the retained samples.
+
+        Exact while every observation is retained; once ``truncated`` is set
+        the result is approximate (computed over the retained prefix only).
+        """
         if not self.samples:
             return 0.0
         if not 0.0 <= fraction <= 1.0:
@@ -54,8 +104,12 @@ class Histogram:
         self.total += other.total
         self.minimum = min(self.minimum, other.minimum)
         self.maximum = max(self.maximum, other.maximum)
+        self.truncated = self.truncated or other.truncated
         if self.keep_samples and other.keep_samples:
             self.samples.extend(other.samples)
+            if self.max_samples is not None and len(self.samples) > self.max_samples:
+                del self.samples[self.max_samples:]
+                self.truncated = True
 
     def as_dict(self) -> Dict[str, float]:
         return {
@@ -72,24 +126,60 @@ class StatsRegistry:
 
     def __init__(self) -> None:
         self._counters: Dict[str, float] = defaultdict(float)
+        self._handles: Dict[str, CounterHandle] = {}
         self._gauges: Dict[str, float] = {}
         self._histograms: Dict[str, Histogram] = {}
 
     # -- counters -----------------------------------------------------------
     def add(self, name: str, amount: float = 1.0) -> None:
         """Increment counter ``name`` by ``amount``."""
-        self._counters[name] += amount
+        handle = self._handles.get(name)
+        if handle is not None:
+            handle.value += amount
+        else:
+            self._counters[name] += amount
+
+    def counter_handle(self, name: str) -> CounterHandle:
+        """Return the bound counter cell for ``name``, creating it on first use.
+
+        Any value already accumulated through the string-keyed path migrates
+        into the cell, so there is exactly one storage location per name.
+        """
+        handle = self._handles.get(name)
+        if handle is None:
+            handle = CounterHandle(name, self._counters.pop(name, 0.0))
+            self._handles[name] = handle
+        return handle
 
     def counter(self, name: str) -> float:
+        handle = self._handles.get(name)
+        if handle is not None:
+            return handle.value
         return self._counters.get(name, 0.0)
+
+    def _iter_counters(self) -> Iterator[Tuple[str, float]]:
+        """Every counter (slow-path and bound-handle) as ``(name, value)``.
+
+        Bound cells whose accumulated total is 0.0 are skipped, so pre-binding
+        a handle at construction does not make the counter visible to readers
+        (``counters()``/``sum()``/``snapshot()``) before it counts anything.
+        Known corner: a counter fed *only* zero-amount increments is visible
+        through the string-keyed path (the dict materializes the key) but not
+        through a handle; a zero total is treated as "never counted", which is
+        the meaningful reading for monotonic counters.
+        """
+        yield from self._counters.items()
+        for name, handle in self._handles.items():
+            if handle.value != 0.0:
+                yield name, handle.value
 
     def counters(self, prefix: str = "") -> Dict[str, float]:
         """Return all counters whose name starts with ``prefix``."""
-        return {k: v for k, v in self._counters.items() if k.startswith(prefix)}
+        return {k: v for k, v in self._iter_counters() if k.startswith(prefix)}
 
     def sum(self, prefix: str) -> float:
         """Sum every counter whose name starts with ``prefix``."""
-        return sum(v for k, v in self._counters.items() if k.startswith(prefix))
+        return sum(v for k, v in self._iter_counters() if k.startswith(prefix))
 
     # -- gauges -------------------------------------------------------------
     def set_gauge(self, name: str, value: float) -> None:
@@ -122,8 +212,8 @@ class StatsRegistry:
     # -- bulk helpers ---------------------------------------------------------
     def merge(self, other: "StatsRegistry") -> None:
         """Fold another registry into this one (used to combine per-run stats)."""
-        for name, value in other._counters.items():
-            self._counters[name] += value
+        for name, value in other._iter_counters():
+            self.add(name, value)
         for name, value in other._gauges.items():
             self._gauges[name] = value
         for name, hist in other._histograms.items():
@@ -131,9 +221,13 @@ class StatsRegistry:
 
     def snapshot(self) -> Dict[str, float]:
         """Flatten everything into a single scalar mapping (histograms -> mean)."""
-        flat: Dict[str, float] = dict(self._counters)
+        flat: Dict[str, float] = dict(self._iter_counters())
         flat.update(self._gauges)
         for name, hist in self._histograms.items():
+            if hist.count == 0:
+                # Pre-bound but never-sampled histograms stay invisible, like
+                # never-incremented counter handles.
+                continue
             flat[f"{name}.mean"] = hist.mean
             flat[f"{name}.count"] = float(hist.count)
         return flat
@@ -143,8 +237,21 @@ class StatsRegistry:
 
     def clear(self) -> None:
         self._counters.clear()
+        # Bound cells stay registered (components hold references to them) but
+        # restart from zero, matching the string-keyed counters.
+        for handle in self._handles.values():
+            handle.value = 0.0
         self._gauges.clear()
-        self._histograms.clear()
+        # Histograms are likewise reset in place rather than dropped, so a
+        # component-bound Histogram and the registry never diverge into two
+        # stores for the same name.
+        for hist in self._histograms.values():
+            hist.samples.clear()
+            hist.count = 0
+            hist.total = 0.0
+            hist.minimum = math.inf
+            hist.maximum = -math.inf
+            hist.truncated = False
 
 
 def geometric_mean(values: Iterable[float]) -> float:

@@ -68,31 +68,70 @@ def run_workload(config: Union[SystemConfig, SystemKind, str],
     return run_program(config, program, max_events=max_events)
 
 
+def _run_suite_job(config: SystemConfig, workload: str, num_threads: int,
+                   max_events: int, params: Dict[str, int]) -> RunResult:
+    """One (workload, configuration) simulation; module-level so worker
+    processes can unpickle it."""
+    return run_workload(config, workload, num_threads=num_threads,
+                        max_events=max_events, **params)
+
+
+def run_jobs(jobs: List[Tuple[Tuple[str, str], SystemConfig, str, Dict[str, int]]],
+             num_threads: int = 4,
+             max_events: int = DEFAULT_MAX_EVENTS,
+             workers: int = 1) -> Dict[Tuple[str, str], RunResult]:
+    """Execute independent simulation jobs, optionally across processes.
+
+    ``jobs`` is a list of ``(key, config, workload_name, params)``; the result
+    dict is keyed and ordered by ``key`` in job order regardless of which
+    worker finishes first, so parallel runs merge deterministically.
+    ``workers=1`` runs everything serially in-process (no executor).
+    """
+    results: Dict[Tuple[str, str], RunResult] = {}
+    if workers <= 1 or len(jobs) <= 1:
+        for key, config, workload, params in jobs:
+            results[key] = _run_suite_job(config, workload, num_threads,
+                                          max_events, params)
+        return results
+    from concurrent.futures import ProcessPoolExecutor
+
+    with ProcessPoolExecutor(max_workers=min(workers, len(jobs))) as pool:
+        futures = [(key, pool.submit(_run_suite_job, config, workload,
+                                     num_threads, max_events, params))
+                   for key, config, workload, params in jobs]
+        # Collect in submission (key) order, not completion order.
+        for key, future in futures:
+            results[key] = future.result()
+    return results
+
+
 def run_suite(workload_names: Iterable[str],
               kinds: Optional[Iterable[Union[SystemKind, str]]] = None,
               num_threads: int = 4,
               profile: str = "scaled",
               max_events: int = DEFAULT_MAX_EVENTS,
               workload_params: Optional[Dict[str, Dict[str, int]]] = None,
+              workers: int = 1,
               ) -> Dict[Tuple[str, str], RunResult]:
     """Run every (workload, configuration) pair and return results keyed by
     ``(workload_name, config_label)``.
 
     This is the primitive every evaluation figure is derived from; figures
-    share one suite run instead of re-simulating.
+    share one suite run instead of re-simulating.  Each pair is an independent
+    simulation, so ``workers > 1`` farms them out to a process pool; results
+    are identical to (and ordered like) a ``workers=1`` serial run.
     """
     kinds = list(kinds) if kinds is not None else list(CONFIG_ORDER)
     workload_params = workload_params or {}
-    results: Dict[Tuple[str, str], RunResult] = {}
+    jobs: List[Tuple[Tuple[str, str], SystemConfig, str, Dict[str, int]]] = []
     for name in workload_names:
         params = workload_params.get(name, {})
         for kind in kinds:
             config = (kind if isinstance(kind, SystemConfig)
                       else make_system_config(kind, profile=profile, num_cores=num_threads))
-            result = run_workload(config, name, num_threads=num_threads,
-                                  max_events=max_events, **params)
-            results[(name, config.label)] = result
-    return results
+            jobs.append(((name, config.label), config, name, params))
+    return run_jobs(jobs, num_threads=num_threads, max_events=max_events,
+                    workers=workers)
 
 
 def speedups_over(results: Dict[Tuple[str, str], RunResult],

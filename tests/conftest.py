@@ -8,18 +8,7 @@ from repro.sim import Simulator
 from repro.hmc import HMCMemorySystem
 from repro.workloads import WorkloadConfig
 
-#: Tiny workload overrides so integration tests finish in a couple of seconds.
-TINY_WORKLOAD_PARAMS = {
-    "reduce": {"array_elements": 512},
-    "rand_reduce": {"array_elements": 512},
-    "mac": {"array_elements": 512},
-    "rand_mac": {"array_elements": 512},
-    "sgemm": {"matrix_dim": 12, "sim_rows": 2},
-    "backprop": {"hidden_units": 4, "input_units": 48},
-    "lud": {"matrix_dim": 16, "cols_per_row": 4, "rows_per_phase": 4},
-    "pagerank": {"num_vertices": 96, "avg_degree": 4},
-    "spmv": {"num_rows": 24, "num_cols": 24, "density": 0.25},
-}
+from helpers import TINY_WORKLOAD_PARAMS, tiny_params  # noqa: F401  (re-export)
 
 
 @pytest.fixture
@@ -35,8 +24,3 @@ def hmc_memory(sim: Simulator) -> HMCMemorySystem:
 @pytest.fixture
 def tiny_config() -> WorkloadConfig:
     return WorkloadConfig(num_threads=2, seed=3)
-
-
-def tiny_params(workload: str) -> dict:
-    """Tiny problem sizes for a workload (helper used by integration tests)."""
-    return dict(TINY_WORKLOAD_PARAMS.get(workload, {}))

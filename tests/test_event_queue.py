@@ -13,7 +13,7 @@ def test_push_pop_orders_by_time():
     q.push(1.0, lambda: order.append("a"))
     q.push(9.0, lambda: order.append("c"))
     while q:
-        q.pop().callback()
+        q.pop()[2]()
     assert order == ["a", "b", "c"]
 
 
@@ -23,7 +23,7 @@ def test_same_time_preserves_insertion_order():
     for i in range(10):
         q.push(4.0, lambda i=i: order.append(i))
     while q:
-        q.pop().callback()
+        q.pop()[2]()
     assert order == list(range(10))
 
 
@@ -31,21 +31,52 @@ def test_negative_time_rejected():
     q = EventQueue()
     with pytest.raises(ValueError):
         q.push(-1.0, lambda: None)
+    with pytest.raises(ValueError):
+        q.push_handle(-1.0, lambda: None)
+
+
+def test_push_returns_nothing_on_fast_path():
+    q = EventQueue()
+    assert q.push(1.0, lambda: None) is None
 
 
 def test_cancelled_events_are_skipped():
     q = EventQueue()
     fired = []
-    event = q.push(1.0, lambda: fired.append("cancelled"))
+    handle = q.push_handle(1.0, lambda: fired.append("cancelled"))
     q.push(2.0, lambda: fired.append("kept"))
-    event.cancel()
+    assert not handle.cancelled
+    handle.cancel()
+    assert handle.cancelled
+    assert len(q) == 1
     popped = []
     while q:
-        e = q.pop()
-        popped.append(e)
-        e.callback()
+        entry = q.pop()
+        popped.append(entry)
+        entry[2]()
     assert fired == ["kept"]
     assert len(popped) == 1
+
+
+def test_cancel_is_idempotent_and_safe_after_fire():
+    q = EventQueue()
+    fired = []
+    handle = q.push_handle(1.0, lambda: fired.append("ran"))
+    handle.cancel()
+    handle.cancel()  # double cancel must not corrupt the live count
+    assert len(q) == 0
+
+    other = q.push_handle(2.0, lambda: fired.append("other"))
+    q.pop()[2]()
+    other.cancel()  # cancelling after the event fired is a no-op
+    assert fired == ["other"]
+    assert len(q) == 0
+
+
+def test_handle_reports_time():
+    q = EventQueue()
+    handle = q.push_handle(3.5, lambda: None)
+    assert handle.time == 3.5
 
 
 def test_peek_time_and_len():
@@ -61,6 +92,15 @@ def test_peek_time_and_len():
     assert not q
 
 
+def test_peek_time_skips_cancelled_head():
+    q = EventQueue()
+    head = q.push_handle(1.0, lambda: None)
+    q.push(2.0, lambda: None)
+    head.cancel()
+    assert q.peek_time() == 2.0
+    assert len(q) == 1
+
+
 def test_pop_empty_returns_none():
     assert EventQueue().pop() is None
 
@@ -72,6 +112,17 @@ def test_pop_order_is_always_nondecreasing(times):
         q.push(t, lambda: None)
     popped = []
     while q:
-        popped.append(q.pop().time)
+        popped.append(q.pop()[0])
     assert popped == sorted(popped)
     assert len(popped) == len(times)
+
+
+def test_cancel_after_clear_is_safe():
+    q = EventQueue()
+    handle = q.push_handle(1.0, lambda: None)
+    q.clear()
+    handle.cancel()          # must not corrupt the live count
+    assert len(q) == 0
+    q.push(2.0, lambda: None)
+    assert len(q) == 1
+    assert q

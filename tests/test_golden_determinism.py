@@ -1,0 +1,95 @@
+"""Golden determinism tests for the event-kernel fast path.
+
+The kernel optimizations (bound stat counters, tuple-slimmed event heap, dense
+next-hop tables, inlined dispatch) must not change simulation results *at all*:
+the golden values below — final cycle count, executed event count and a SHA-256
+digest over the full stats snapshot — were captured from the pre-optimization
+seed code and every scheme must keep reproducing them bit-for-bit.
+"""
+
+import hashlib
+
+import pytest
+
+from repro.system import CONFIG_ORDER, run_suite
+from repro.system.builder import build_system
+from repro.system.config import make_system_config
+from repro.workloads import WorkloadConfig, make_workload
+
+TINY_PAGERANK = {"num_vertices": 96, "avg_degree": 4}
+
+#: (final sim.now, executed events, sha256 of the sorted stats snapshot),
+#: captured from the seed implementation (pre fast-path) for pagerank/tiny.
+GOLDEN = {
+    "DRAM": (421.0, 156,
+             "e6e5a5852cae822af5f448c7de569649c4ffbb46f829c93430d2df708ae2462e"),
+    "HMC": (515.1399999999999, 669,
+            "2d7531661105fd6cc84bf5e61df4bc4872d397f01b5745fa4b06909d161a1a03"),
+    "ART": (2757.8400000000174, 5279,
+            "3a8288f2729a42af9e365a8ff182118a896c9ca4fda5408d34332958b67c07b2"),
+    "ARF-tid": (2670.8000000000093, 5998,
+                "4aa036144b9c162906aa7627b84b25341442a1079c6e53c940afcc19edead722"),
+    "ARF-addr": (2757.8400000000174, 5279,
+                 "3a8288f2729a42af9e365a8ff182118a896c9ca4fda5408d34332958b67c07b2"),
+}
+
+
+def snapshot_digest(stats) -> str:
+    """Stable digest over every counter, gauge and histogram summary."""
+    snap = stats.snapshot()
+    hasher = hashlib.sha256()
+    for key in sorted(snap):
+        hasher.update(f"{key}={snap[key]!r}\n".encode())
+    return hasher.hexdigest()
+
+
+def run_tiny_pagerank(kind):
+    config = make_system_config(kind)
+    wconfig = WorkloadConfig()
+    wconfig.num_threads = 4
+    workload = make_workload("pagerank", wconfig, **TINY_PAGERANK)
+    mode = "active" if config.kind.uses_active_routing else "baseline"
+    program = workload.generate(mode)
+    system = build_system(config)
+    system.cmp.load_program(program)
+    system.cmp.start()
+    system.sim.run_until_idle()
+    return system
+
+
+@pytest.mark.parametrize("kind", CONFIG_ORDER, ids=[k.value for k in CONFIG_ORDER])
+def test_golden_cycles_events_and_stats_digest(kind):
+    system = run_tiny_pagerank(kind)
+    cycles, events, digest = GOLDEN[kind.value]
+    assert system.sim.now == cycles
+    assert system.sim.executed_events == events
+    assert snapshot_digest(system.sim.stats) == digest
+
+
+def test_repeated_runs_are_identical():
+    first = run_tiny_pagerank("ARF-tid")
+    second = run_tiny_pagerank("ARF-tid")
+    assert first.sim.now == second.sim.now
+    assert snapshot_digest(first.sim.stats) == snapshot_digest(second.sim.stats)
+
+
+def _result_fingerprint(result):
+    return (result.cycles, result.instructions, result.events_executed,
+            sorted(result.summary().items()))
+
+
+def test_run_suite_parallel_matches_serial():
+    """run_suite(workers=2) must return results identical to the serial path,
+    keyed and ordered the same way."""
+    kwargs = dict(
+        workload_names=["reduce", "mac"],
+        kinds=["HMC", "ARF-tid"],
+        num_threads=2,
+        workload_params={"reduce": {"array_elements": 256},
+                         "mac": {"array_elements": 256}},
+    )
+    serial = run_suite(workers=1, **kwargs)
+    parallel = run_suite(workers=2, **kwargs)
+    assert list(serial.keys()) == list(parallel.keys())
+    for key in serial:
+        assert _result_fingerprint(serial[key]) == _result_fingerprint(parallel[key]), key

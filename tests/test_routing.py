@@ -4,7 +4,7 @@ import networkx as nx
 import pytest
 from hypothesis import given, strategies as st
 
-from repro.network import RoutingTable, build_dragonfly, build_mesh
+from repro.network import RoutingTable, Topology, build_dragonfly, build_mesh
 
 TOPO = build_dragonfly()
 TABLE = RoutingTable(TOPO)
@@ -78,3 +78,69 @@ def test_split_point_is_on_both_paths(root, a, b):
     split = TABLE.split_point(root, a, b)
     assert split in TABLE.path(root, a)
     assert split in TABLE.path(root, b)
+
+
+def _bfs_reference_paths(topo):
+    """Independent deterministic-BFS path reconstruction (the construction the
+    dense tables must reproduce exactly): ascending-neighbour BFS per root."""
+    from collections import deque
+
+    paths = {}
+    for root in sorted(topo.graph.nodes):
+        parent = {root: root}
+        queue = deque([root])
+        while queue:
+            current = queue.popleft()
+            for neighbor in sorted(topo.graph.neighbors(current)):
+                if neighbor not in parent:
+                    parent[neighbor] = current
+                    queue.append(neighbor)
+        for dst in parent:
+            node, reverse = dst, [dst]
+            while node != root:
+                node = parent[node]
+                reverse.append(node)
+            paths[(root, dst)] = list(reversed(reverse))
+    return paths
+
+
+@pytest.mark.parametrize("build", [build_dragonfly, build_mesh])
+def test_dense_tables_match_bfs_construction(build):
+    topo = build()
+    table = RoutingTable(topo)
+    reference = _bfs_reference_paths(topo)
+    for (src, dst), expected_path in reference.items():
+        assert table.path(src, dst) == expected_path
+        assert table.distance(src, dst) == len(expected_path) - 1
+        expected_hop = expected_path[1] if len(expected_path) > 1 else src
+        assert table.next_hop(src, dst) == expected_hop
+        assert table.next_hop_table[src][dst] == expected_hop
+
+
+def test_next_hop_unknown_destination_raises():
+    with pytest.raises(ValueError):
+        TABLE.next_hop(0, 10_000)
+    with pytest.raises(ValueError):
+        TABLE.distance(0, 10_000)
+
+
+def test_nearest_unreachable_candidate_raises():
+    disconnected = nx.Graph()
+    disconnected.add_nodes_from([0, 1, 2, 3])
+    disconnected.add_edge(0, 1)
+    disconnected.add_edge(2, 3)
+    topo = Topology(name="split", num_cubes=4, graph=disconnected)
+    table = RoutingTable(topo)
+    assert table.nearest(0, [0, 1]) == 0
+    with pytest.raises(ValueError):
+        table.nearest(0, [2])        # unreachable must not win the comparison
+    with pytest.raises(ValueError):
+        table.nearest(0, [1, 2])
+
+
+def test_negative_node_ids_rejected():
+    # Python's negative indexing must not leak wrong routes (NO_ROUTE is -1).
+    with pytest.raises(ValueError):
+        TABLE.next_hop(0, -1)
+    with pytest.raises(ValueError):
+        TABLE.distance(-1, 0)

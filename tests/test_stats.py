@@ -85,3 +85,116 @@ def test_histogram_mean_is_bounded(values):
     slack = 1e-9 * max(1.0, abs(hist.minimum), abs(hist.maximum))
     assert hist.minimum - slack <= hist.mean <= hist.maximum + slack
     assert hist.total == pytest.approx(math.fsum(values), rel=1e-9, abs=1e-6)
+
+
+# -- bound counter handles (the hot-path fast path) -----------------------------
+
+def test_counter_handle_visible_through_string_api():
+    stats = StatsRegistry()
+    handle = stats.counter_handle("net.hops")
+    handle.value += 3
+    handle.add(2)
+    assert stats.counter("net.hops") == 5
+    assert stats.counters("net.") == {"net.hops": 5}
+    assert stats.sum("net.") == 5
+    assert stats.snapshot()["net.hops"] == 5
+
+
+def test_counter_handle_migrates_existing_value():
+    stats = StatsRegistry()
+    stats.add("x", 4)
+    handle = stats.counter_handle("x")
+    assert handle.value == 4
+    handle.value += 1
+    stats.add("x", 2)          # slow path routes into the bound cell
+    assert stats.counter("x") == 7
+    assert stats.counter_handle("x") is handle   # one cell per name
+
+
+def test_counter_handle_equivalent_to_string_counters():
+    """The same increment sequence through handles and through the string API
+    must produce identical readbacks."""
+    via_strings, via_handles = StatsRegistry(), StatsRegistry()
+    amounts = [1.0, 0.5, 3.25, 7.0, 0.125]
+    for amount in amounts:
+        via_strings.add("a.b", amount)
+        via_strings.add("a.c", 2 * amount)
+    h_b = via_handles.counter_handle("a.b")
+    h_c = via_handles.counter_handle("a.c")
+    for amount in amounts:
+        h_b.value += amount
+        h_c.value += 2 * amount
+    assert via_strings.counters("a.") == via_handles.counters("a.")
+    assert via_strings.sum("a.") == via_handles.sum("a.")
+    assert via_strings.snapshot() == via_handles.snapshot()
+
+
+def test_unused_handle_is_invisible_like_a_missing_counter():
+    stats = StatsRegistry()
+    stats.counter_handle("never.touched")
+    assert stats.counters() == {}
+    assert "never.touched" not in stats.snapshot()
+    assert stats.counter("never.touched") == 0.0
+
+
+def test_merge_sees_bound_handles():
+    a, b = StatsRegistry(), StatsRegistry()
+    b.counter_handle("x").value += 5
+    a.counter_handle("x").value += 1
+    a.merge(b)
+    assert a.counter("x") == 6
+
+
+def test_clear_resets_bound_handles():
+    stats = StatsRegistry()
+    handle = stats.counter_handle("x")
+    handle.value += 9
+    stats.clear()
+    assert handle.value == 0.0
+    assert stats.counter("x") == 0.0
+
+
+# -- histogram retained-sample cap ----------------------------------------------
+
+def test_histogram_sample_cap_keeps_summary_exact():
+    hist = Histogram(max_samples=10)
+    for v in range(100):
+        hist.add(float(v))
+    assert hist.count == 100
+    assert hist.total == sum(range(100))
+    assert hist.minimum == 0 and hist.maximum == 99
+    assert hist.mean == pytest.approx(49.5)
+    assert len(hist.samples) == 10
+    assert hist.truncated
+
+
+def test_histogram_below_cap_is_not_truncated():
+    hist = Histogram(max_samples=10)
+    for v in range(10):
+        hist.add(float(v))
+    assert not hist.truncated
+    assert hist.percentile(1.0) == 9.0
+
+
+def test_histogram_merge_respects_cap():
+    a = Histogram(max_samples=5)
+    b = Histogram(max_samples=5)
+    for v in range(4):
+        a.add(float(v))
+        b.add(float(10 + v))
+    a.merge(b)
+    assert a.count == 8
+    assert len(a.samples) <= 5
+    assert a.truncated
+    assert a.maximum == 13.0
+
+
+def test_clear_resets_bound_histogram_in_place():
+    stats = StatsRegistry()
+    hist = stats.histogram("lat")          # component-style pre-bound reference
+    hist.add(5.0)
+    stats.clear()
+    assert hist.count == 0 and hist.samples == [] and not hist.truncated
+    hist.add(7.0)                          # the bound reference stays live...
+    assert stats.histogram("lat") is hist  # ...and the registry sees the same object
+    assert stats.snapshot()["lat.mean"] == 7.0

@@ -16,7 +16,7 @@ from repro.system import (
 )
 from repro.workloads import make_workload, WorkloadConfig
 
-from conftest import tiny_params
+from helpers import tiny_params
 
 
 def test_system_kind_properties():

@@ -16,7 +16,7 @@ from repro.workloads import (
 from repro.workloads.graph import generate_power_law_graph, generate_sparse_matrix
 from repro.workloads.lud import LUDWorkload
 
-from conftest import tiny_params
+from helpers import tiny_params
 
 
 def test_registry_contains_paper_workloads():

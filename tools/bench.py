@@ -1,0 +1,117 @@
+#!/usr/bin/env python
+"""Event-kernel benchmark harness.
+
+Runs a fixed basket of (workload, configuration) simulations, reports
+wall-clock seconds and simulated events per second for each, and appends a
+labelled entry to ``BENCH_kernel.json`` so the repository carries a
+machine-readable performance trajectory across PRs.
+
+Usage::
+
+    PYTHONPATH=src python tools/bench.py --label my-change
+    PYTHONPATH=src python tools/bench.py --smoke           # tiny sizes, CI
+    PYTHONPATH=src python tools/bench.py --no-write        # print only
+
+The basket sizes match the profiled PageRank/`ARF-tid` case the kernel fast
+path was tuned on; ``--smoke`` shrinks every run to seconds-scale sizes for CI.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from datetime import datetime, timezone
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.system import run_workload  # noqa: E402
+
+#: The fixed measurement basket: (workload, configuration, params).
+BASKET = [
+    ("pagerank", "ARF-tid", {"num_vertices": 4096, "avg_degree": 3}),
+    ("pagerank", "HMC", {"num_vertices": 4096, "avg_degree": 3}),
+    ("mac", "ARF-tid", {"array_elements": 6144}),
+    ("reduce", "ART", {"array_elements": 6144}),
+]
+
+#: Seconds-scale sizes used by the CI smoke run.
+SMOKE_BASKET = [
+    ("pagerank", "ARF-tid", {"num_vertices": 192, "avg_degree": 4}),
+    ("mac", "ARF-tid", {"array_elements": 1024}),
+    ("reduce", "HMC", {"array_elements": 1024}),
+]
+
+
+def run_basket(basket, num_threads: int = 4, repeat: int = 3):
+    """Run every basket entry ``repeat`` times; keep the best wall time."""
+    runs = {}
+    for workload, config, params in basket:
+        key = f"{workload}/{config}"
+        best = float("inf")
+        result = None
+        for _ in range(max(1, repeat)):
+            start = time.perf_counter()
+            result = run_workload(config, workload, num_threads=num_threads, **params)
+            best = min(best, time.perf_counter() - start)
+        runs[key] = {
+            "wall_s": round(best, 3),
+            "events": result.events_executed,
+            "events_per_s": round(result.events_executed / best, 1),
+            "cycles": result.cycles,
+            "params": params,
+        }
+        print(f"{key:24s} {best:7.3f}s  {runs[key]['events_per_s']:>11,.0f} ev/s  "
+              f"cycles={result.cycles:,.0f}")
+    return runs
+
+
+def append_history(output: Path, label: str, runs, num_threads: int) -> None:
+    if output.exists():
+        data = json.loads(output.read_text())
+    else:
+        data = {"benchmark": "event-kernel basket",
+                "description": "Wall time and events/sec for a fixed basket of "
+                               "(workload, configuration) simulations; one entry "
+                               "per labelled measurement.",
+                "history": []}
+    data["history"].append({
+        "label": label,
+        "timestamp": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "num_threads": num_threads,
+        "runs": runs,
+    })
+    output.write_text(json.dumps(data, indent=2) + "\n")
+    print(f"\nappended entry {label!r} to {output}")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--label", default="dev",
+                        help="history entry label (e.g. a PR or commit name)")
+    parser.add_argument("--output", type=Path, default=REPO_ROOT / "BENCH_kernel.json",
+                        help="trajectory file to append to")
+    parser.add_argument("--repeat", type=int, default=3,
+                        help="runs per basket entry; best wall time is kept")
+    parser.add_argument("--threads", type=int, default=4)
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny problem sizes (CI smoke run)")
+    parser.add_argument("--no-write", action="store_true",
+                        help="print results without touching the trajectory file")
+    args = parser.parse_args(argv)
+
+    basket = SMOKE_BASKET if args.smoke else BASKET
+    runs = run_basket(basket, num_threads=args.threads, repeat=args.repeat)
+    if not args.no_write:
+        append_history(args.output, args.label, runs, args.threads)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
