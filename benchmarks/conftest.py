@@ -1,12 +1,22 @@
 """Shared fixtures for the evaluation benchmarks.
 
-Every figure benchmark consumes the same :class:`EvaluationSuite`, so the
-expensive (workload x configuration) simulations run at most once per pytest
-session.  The problem-size scale is selected with the ``REPRO_SCALE``
-environment variable (``tiny``, ``small`` — the default — or ``default``).
+Every figure benchmark consumes the same :class:`EvaluationSuite`; the session
+fixture prefetches the union of every figure's (workload x configuration)
+requirements in one parallel batch, so the expensive simulations run at most
+once per pytest session — and zero times when a warm persistent cache is
+available.  Environment knobs:
+
+* ``REPRO_SCALE``     — problem-size scale (``tiny``, ``small`` — the default —
+  or ``default``).
+* ``REPRO_WORKERS``   — worker processes for the prefetch batch (``0`` means
+  one per CPU core; default ``1``).
+* ``REPRO_CACHE_DIR`` — persistent run-cache directory; unset disables the
+  on-disk cache so benchmark timings stay honest.
 """
 
 from __future__ import annotations
+
+import os
 
 import pytest
 
@@ -18,10 +28,48 @@ def pytest_configure(config):
         "markers", "figure(name): marks a benchmark as reproducing one paper figure/table")
 
 
+#: ``figure(...)`` marker -> registry figure name, so a partial benchmark
+#: selection only prefetches the runs the selected figures actually need.
+FIGURE_BY_MARK = {
+    "5.1": "speedup",
+    "5.2": "latency",
+    "5.3": "lud_heatmap",
+    "5.4": "data_movement",
+    "5.5": "power",
+    "5.6": "energy",
+    "5.7": "edp",
+    "5.8": "dynamic_offload",
+}
+
+
+def _selected_figures(session) -> "list[str] | None":
+    """Registry figure names for the selected tests; None = unknown -> all."""
+    figures = []
+    unknown = False
+    for item in session.items:
+        marker = item.get_closest_marker("figure")
+        if marker is None or not marker.args:
+            continue
+        name = FIGURE_BY_MARK.get(str(marker.args[0]))
+        if name is None:
+            unknown = True            # table/ablation marks have no suite needs
+        elif name not in figures:
+            figures.append(name)
+    if not figures and unknown:
+        return None
+    return figures or None
+
+
 @pytest.fixture(scope="session")
-def suite() -> EvaluationSuite:
-    """The shared evaluation suite (runs are cached across figure benchmarks)."""
-    return EvaluationSuite(scale_from_env("small"))
+def suite(request) -> EvaluationSuite:
+    """The shared evaluation suite, prefetched once for every figure benchmark."""
+    suite = EvaluationSuite(
+        scale_from_env("small"),
+        workers=int(os.environ.get("REPRO_WORKERS") or 1),
+        cache_dir=os.environ.get("REPRO_CACHE_DIR") or None,
+    )
+    suite.prefetch(figures=_selected_figures(request.session))
+    return suite
 
 
 @pytest.fixture(scope="session")

@@ -1,12 +1,16 @@
 """Command-line interface.
 
-Two subcommands cover the common entry points::
+Three subcommands cover the common entry points::
 
     python -m repro run --config ARF-tid --workload mac --threads 4
-    python -m repro report --scale tiny --output report.txt
+    python -m repro report --scale tiny --workers 4 --output report.txt
+    python -m repro prefetch --scale small --workers 0
 
 ``run`` simulates one (configuration, workload) pair and prints the headline
-metrics; ``report`` regenerates the full evaluation (every table and figure).
+metrics; ``report`` regenerates the full evaluation (every table and figure);
+``prefetch`` populates the persistent run cache so later reports and benchmark
+sessions perform zero simulations.  ``--workers 0`` means one worker per CPU
+core.
 """
 
 from __future__ import annotations
@@ -16,7 +20,8 @@ import sys
 from typing import Optional, Sequence
 
 from .analysis import format_table
-from .experiments import SCALES, EvaluationSuite, full_report
+from .experiments import (FIGURE_REGISTRY, SCALES, EvaluationSuite,
+                          default_cache_dir, full_report)
 from .system import CONFIG_ORDER, run_workload
 from .workloads import ALL_WORKLOADS
 
@@ -61,10 +66,41 @@ def build_parser() -> argparse.ArgumentParser:
                           help="optional path to also write the report to")
     report_p.add_argument("--skip-dynamic-offload", action="store_true",
                           help="skip the Figure 5.8 case study (extra simulations)")
-    report_p.add_argument("--workers", type=int, default=1,
-                          help="worker processes for the (workload x config) suite "
-                               "(each pair is an independent simulation)")
+    _add_suite_options(report_p)
+
+    pre_p = sub.add_parser(
+        "prefetch",
+        help="run (and cache) every simulation the evaluation figures need")
+    pre_p.add_argument("--scale", default="small", choices=sorted(SCALES),
+                       help="problem-size scale")
+    pre_p.add_argument("--figures", nargs="+", default=None,
+                       choices=sorted(FIGURE_REGISTRY), metavar="FIGURE",
+                       help="restrict to these figures (default: all); one of "
+                            f"{', '.join(sorted(FIGURE_REGISTRY))}")
+    pre_p.add_argument("--workloads", nargs="+", default=None,
+                       choices=sorted(ALL_WORKLOADS), metavar="WORKLOAD",
+                       help="restrict the suite to these workloads (default: all)")
+    _add_suite_options(pre_p)
     return parser
+
+
+def _add_suite_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--workers", type=int, default=1,
+                        help="worker processes for the (workload x config) suite; "
+                             "0 means one per CPU core (each pair is an "
+                             "independent simulation)")
+    parser.add_argument("--cache-dir", default=None,
+                        help="persistent run-cache directory (default: "
+                             "$REPRO_CACHE_DIR or ~/.cache/repro)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="disable the persistent run cache entirely")
+
+
+def _make_suite(args: argparse.Namespace, workloads: Optional[Sequence[str]] = None,
+                ) -> EvaluationSuite:
+    cache_dir = None if args.no_cache else (args.cache_dir or default_cache_dir())
+    return EvaluationSuite(args.scale, workloads=workloads, workers=args.workers,
+                           cache_dir=cache_dir)
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
@@ -89,15 +125,28 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
-    suite = EvaluationSuite(args.scale, workers=args.workers)
-    if args.workers > 1:
-        # Pre-populate the result cache in parallel; the figures then consume it.
-        suite.run_all()
+    suite = _make_suite(args)
+    # full_report prefetches every required pair in one parallel batch; the
+    # report itself goes to stdout only, so cold and warm runs are identical.
     report = full_report(suite, include_dynamic_offload=not args.skip_dynamic_offload)
     print(report)
     if args.output:
         with open(args.output, "w") as handle:
             handle.write(report)
+    return 0 if suite.verified() else 1
+
+
+def _cmd_prefetch(args: argparse.Namespace) -> int:
+    suite = _make_suite(args, workloads=args.workloads)
+    stats = suite.prefetch(figures=args.figures)
+    print(f"prefetch: {stats['pairs']} (workload x configuration) pairs "
+          f"at scale {suite.scale.name!r}")
+    print(f"  reused in memory: {stats['reused']}, loaded from cache: "
+          f"{stats['disk_hits']}, simulated: {stats['simulated']}")
+    if suite.cache is not None:
+        print(f"cache: {suite.cache.root} ({len(suite.cache)} entries)")
+    else:
+        print("cache: disabled (--no-cache); results were not persisted")
     return 0 if suite.verified() else 1
 
 
@@ -108,6 +157,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_run(args)
     if args.command == "report":
         return _cmd_report(args)
+    if args.command == "prefetch":
+        return _cmd_prefetch(args)
     raise SystemExit(f"unknown command {args.command!r}")
 
 

@@ -8,8 +8,11 @@ from . import (
     fig_power_energy,
     fig_speedup,
 )
+from .registry import FIGURE_REGISTRY, FigureSpec
 from .report import full_report
-from .suite import SCALES, EvaluationSuite, ExperimentScale, scale_from_env
+from .run_cache import RunCache, code_digest, default_cache_dir
+from .suite import (SCALES, EvaluationSuite, ExperimentScale, estimated_cost,
+                    scale_from_env)
 from .tables import render_table_3_1, render_table_4_1, table_3_1
 
 __all__ = [
@@ -20,9 +23,15 @@ __all__ = [
     "fig_power_energy",
     "fig_speedup",
     "full_report",
+    "FIGURE_REGISTRY",
+    "FigureSpec",
+    "RunCache",
+    "code_digest",
+    "default_cache_dir",
     "SCALES",
     "EvaluationSuite",
     "ExperimentScale",
+    "estimated_cost",
     "scale_from_env",
     "render_table_3_1",
     "render_table_4_1",

@@ -16,14 +16,44 @@ the crossover point where offloading starts to win.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 from ..analysis import crossover_index, format_table, windowed_rates
 from ..core.offload import DynamicOffloadPolicy
-from ..system import RunResult, SystemKind, make_system_config, run_program
+from ..system import RunResult, SystemKind, make_system_config
 from ..workloads import WorkloadConfig
 from ..workloads.lud import LUDWorkload
-from .suite import EvaluationSuite
+from .suite import BespokeJob, EvaluationSuite, Pair
+
+
+def required_pairs(suite: EvaluationSuite) -> Set[Pair]:
+    """No matrix pairs: the three LUD phase runs replay bespoke traces and are
+    declared through :func:`bespoke_jobs` instead."""
+    return set()
+
+
+def _configs(suite: EvaluationSuite, threads: int):
+    hmc = make_system_config(SystemKind.HMC, profile=suite.profile, num_cores=threads)
+    arf = make_system_config(SystemKind.ARF_TID, profile=suite.profile,
+                             num_cores=threads)
+    return hmc, arf
+
+
+def bespoke_jobs(suite: EvaluationSuite, workload: str = "lud") -> List[BespokeJob]:
+    """The three LUD phase runs, in prefetch-batch form.
+
+    Tags and cache params must match :func:`compute`'s ``run_cached`` calls so
+    a prefetched batch satisfies the figure without re-simulating.
+    """
+    params = suite.scale.params_for(workload)
+    threads = suite.scale.num_threads
+    hmc, arf = _configs(suite, threads)
+    return [
+        (f"{workload}-baseline", hmc, _lud(params, threads), params),
+        (f"{workload}-offload", arf, _lud(params, threads), params),
+        (f"{workload}-adaptive", arf,
+         _lud(params, threads, policy=DynamicOffloadPolicy()), params),
+    ]
 
 
 def _lud(scale_params: Dict[str, object], num_threads: int,
@@ -37,14 +67,18 @@ def compute(suite: EvaluationSuite, workload: str = "lud") -> Dict[str, object]:
     threads = suite.scale.num_threads
     policy = DynamicOffloadPolicy()
 
-    runs: Dict[str, RunResult] = {}
-    hmc_config = make_system_config(SystemKind.HMC, profile=suite.profile, num_cores=threads)
-    arf_config = make_system_config(SystemKind.ARF_TID, profile=suite.profile,
-                                    num_cores=threads)
-    runs["HMC"] = run_program(hmc_config, _lud(params, threads).generate("baseline"))
-    runs["ARF-tid"] = run_program(arf_config, _lud(params, threads).generate("active"))
-    runs["ARF-tid-adaptive"] = run_program(
-        arf_config, _lud(params, threads, policy=policy).generate("active"))
+    hmc_config, arf_config = _configs(suite, threads)
+    runs: Dict[str, RunResult] = {
+        "HMC": suite.run_cached(
+            f"{workload}-baseline", hmc_config,
+            lambda: _lud(params, threads).generate("baseline"), params),
+        "ARF-tid": suite.run_cached(
+            f"{workload}-offload", arf_config,
+            lambda: _lud(params, threads).generate("active"), params),
+        "ARF-tid-adaptive": suite.run_cached(
+            f"{workload}-adaptive", arf_config,
+            lambda: _lud(params, threads, policy=policy).generate("active"), params),
+    }
 
     ipc_curves: Dict[str, List[Tuple[float, float]]] = {
         label: windowed_rates(result.ipc_samples) for label, result in runs.items()

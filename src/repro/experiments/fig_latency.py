@@ -8,13 +8,20 @@ the same three components the paper plots.
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Set
 
 from ..analysis import format_table
 from ..system import AR_CONFIGS
-from .suite import EvaluationSuite
+from .suite import EvaluationSuite, Pair
 
 COMPONENTS = ("request", "stall", "response")
+
+
+def required_pairs(suite: EvaluationSuite) -> Set[Pair]:
+    """Every workload on the Active-Routing configurations only."""
+    names = suite.benchmark_names() + suite.micro_names()
+    ar_kinds = [kind for kind in suite.kinds if kind in AR_CONFIGS]
+    return {(workload, kind) for workload in names for kind in ar_kinds}
 
 
 def compute(suite: EvaluationSuite) -> Dict[str, Dict[str, Dict[str, float]]]:

@@ -9,14 +9,19 @@ that ARF-tid distributes Updates more evenly than ARF-addr).
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, Set
 
 from ..analysis import heatmap_summary, render_heatmap
 from ..system import SystemKind
-from .suite import EvaluationSuite
+from .suite import EvaluationSuite, Pair
 
 METRICS = ("operand_buffer_stalls", "updates_received", "operand_reads_served")
 SCHEMES = (SystemKind.ARF_TID, SystemKind.ARF_ADDR)
+
+
+def required_pairs(suite: EvaluationSuite, workload: str = "lud") -> Set[Pair]:
+    """LUD under both forest schemes, regardless of the suite's workload list."""
+    return {(workload, kind) for kind in SCHEMES}
 
 
 def compute(suite: EvaluationSuite, workload: str = "lud") -> Dict[str, Dict[str, object]]:

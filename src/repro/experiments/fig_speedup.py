@@ -7,11 +7,18 @@ the HMC baseline).
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Set
 
 from ..analysis import format_grouped_bars, format_table, geomean_speedup
 from ..system import SystemKind
-from .suite import EvaluationSuite
+from .suite import EvaluationSuite, Pair
+
+
+def required_pairs(suite: EvaluationSuite) -> Set[Pair]:
+    """Every suite pair plus the DRAM baseline each speedup divides by."""
+    names = suite.benchmark_names() + suite.micro_names()
+    kinds = set(suite.kinds) | {SystemKind.DRAM}
+    return {(workload, kind) for workload in names for kind in kinds}
 
 
 def compute(suite: EvaluationSuite) -> Dict[str, object]:

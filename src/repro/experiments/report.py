@@ -12,6 +12,7 @@ from . import (
     fig_power_energy,
     fig_speedup,
 )
+from .registry import FIGURE_REGISTRY
 from .suite import EvaluationSuite
 from .tables import render_table_3_1, render_table_4_1
 
@@ -20,8 +21,16 @@ SEPARATOR = "\n" + "=" * 78 + "\n"
 
 def full_report(suite: Optional[EvaluationSuite] = None,
                 include_dynamic_offload: bool = True) -> str:
-    """Run the whole evaluation and render every experiment as plain text."""
+    """Run the whole evaluation and render every experiment as plain text.
+
+    All required simulations are prefetched in one batch (parallel when the
+    suite was built with ``workers > 1``, persistent across invocations when it
+    has a cache directory); the figures then only read cached results.
+    """
     suite = suite or EvaluationSuite()
+    figures = [name for name in FIGURE_REGISTRY
+               if include_dynamic_offload or name != "dynamic_offload"]
+    suite.prefetch(figures=figures)
     sections = [
         render_table_3_1(),
         render_table_4_1(),

@@ -3,7 +3,16 @@
 Running the full cross product of 9 workloads and 5 configurations is the
 expensive part of the evaluation, and every figure consumes a different slice
 of the same runs.  The :class:`EvaluationSuite` therefore runs each pair at
-most once (lazily) and caches the :class:`~repro.system.RunResult`.
+most once and caches the :class:`~repro.system.RunResult` — in memory always,
+and on disk too when constructed with a ``cache_dir`` (see
+:mod:`~repro.experiments.run_cache`), in which case a second report or
+benchmark session performs zero simulations.
+
+:meth:`EvaluationSuite.prefetch` computes the union of pairs the requested
+figures will consume (each figure declares its needs in
+:data:`~repro.experiments.registry.FIGURE_REGISTRY`) and executes the missing
+ones in one parallel batch, most expensive first, so a process pool never
+idles behind a straggler it started last.
 
 Problem sizes come in three scales:
 
@@ -17,11 +26,24 @@ from __future__ import annotations
 
 import os
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Set, Tuple
 
-from ..system import (CONFIG_ORDER, RunResult, SystemKind, make_system_config,
-                      run_jobs, run_workload)
+from ..isa import ProgramTrace
+from ..system import (CONFIG_ORDER, RunResult, SystemConfig, SystemKind,
+                      make_system_config, normalize_workers, run_jobs,
+                      run_program, run_workload)
 from ..workloads import ALL_WORKLOADS, BENCHMARKS, MICROBENCHMARKS
+from ..workloads.base import Workload
+from .run_cache import RunCache
+
+#: A (workload name, configuration) requirement, as declared by the figures.
+Pair = Tuple[str, SystemKind]
+#: A pending simulation in :func:`repro.system.run_jobs` form; the workload
+#: element is a registered name or a ready-built :class:`Workload` instance
+#: (used by bespoke figure runs such as the adaptive-offload LUD trace).
+Job = Tuple[Tuple[str, str], SystemConfig, "str | Workload", Dict[str, object]]
+#: A bespoke figure requirement: tag, configuration, workload, cache params.
+BespokeJob = Tuple[str, SystemConfig, Workload, Dict[str, object]]
 
 
 @dataclass(frozen=True)
@@ -78,22 +100,99 @@ def scale_from_env(default: str = "small") -> ExperimentScale:
         raise ValueError(f"REPRO_SCALE={name!r} is not one of {sorted(SCALES)}")
 
 
+#: Relative event cost of one element on each configuration.  The Active-
+#: Routing schemes schedule far more events per element than the baselines
+#: (ratios taken from the golden pagerank event counts); only the ordering of
+#: the products matters, not the absolute values.
+KIND_COST: Dict[SystemKind, float] = {
+    SystemKind.DRAM: 1.0,
+    SystemKind.HMC: 4.0,
+    SystemKind.ART: 30.0,
+    SystemKind.ARF_TID: 30.0,
+    SystemKind.ARF_ADDR: 30.0,
+}
+
+
+def estimated_cost(workload: str, params: Dict[str, object], kind: SystemKind) -> float:
+    """Rough relative cost of one (workload, configuration) simulation.
+
+    Used to schedule prefetch batches longest-cost-first so the stragglers
+    start before the cheap runs fill the worker pool.
+    """
+    get = params.get
+    if workload in MICROBENCHMARKS:
+        base = float(get("array_elements", 4096))
+    elif workload == "sgemm":
+        base = float(get("matrix_dim", 64)) ** 2 * float(get("sim_rows", 2))
+    elif workload == "backprop":
+        base = float(get("hidden_units", 16)) * float(get("input_units", 128))
+    elif workload == "lud":
+        base = float(get("matrix_dim", 64)) ** 2
+    elif workload == "pagerank":
+        base = float(get("num_vertices", 1024)) * float(get("avg_degree", 4))
+    elif workload == "spmv":
+        base = (float(get("num_rows", 64)) * float(get("num_cols", 64))
+                * float(get("density", 0.25)))
+    else:
+        base = 4096.0
+    return base * KIND_COST.get(kind, 1.0)
+
+
+def _job_cost(job: Job) -> float:
+    _key, config, workload, params = job
+    name = workload if isinstance(workload, str) else workload.name
+    return estimated_cost(name, params, config.kind)
+
+
 class EvaluationSuite:
-    """Lazily-run, cached (workload, configuration) result matrix."""
+    """Cached (workload, configuration) result matrix with batch prefetching."""
 
     def __init__(self, scale: "ExperimentScale | str" = "small",
                  profile: str = "scaled",
                  workloads: Optional[Iterable[str]] = None,
                  kinds: Optional[Iterable[SystemKind]] = None,
-                 workers: int = 1) -> None:
+                 workers: int = 1,
+                 cache_dir: "str | os.PathLike | None" = None) -> None:
         if isinstance(scale, str):
             scale = SCALES[scale]
         self.scale = scale
         self.profile = profile
         self.workloads: List[str] = list(workloads) if workloads is not None else list(ALL_WORKLOADS)
         self.kinds: List[SystemKind] = list(kinds) if kinds is not None else list(CONFIG_ORDER)
-        self.workers = workers
+        self.workers = normalize_workers(workers)
+        self.cache: Optional[RunCache] = RunCache(cache_dir) if cache_dir is not None else None
         self._results: Dict[Tuple[str, str], RunResult] = {}
+        #: Simulations actually executed by this suite (persistent-cache hits
+        #: do not count; the zero-simulation warm-path tests assert on this).
+        self.simulations_run = 0
+        #: Results loaded from the persistent cache instead of simulated.
+        self.disk_hits = 0
+
+    # -- persistent cache plumbing -----------------------------------------------
+    def _config_for(self, kind: SystemKind) -> SystemConfig:
+        return make_system_config(kind, profile=self.profile,
+                                  num_cores=self.scale.num_threads)
+
+    def _cache_key(self, workload: str, config_label: str,
+                   params: Dict[str, object]) -> Dict[str, object]:
+        return RunCache.make_key(scale=self.scale.name, workload=workload,
+                                 params=params, config_label=config_label,
+                                 profile=self.profile,
+                                 num_threads=self.scale.num_threads)
+
+    def _cache_get(self, workload: str, config_label: str,
+                   params: Dict[str, object]) -> Optional[RunResult]:
+        if self.cache is None:
+            return None
+        result = self.cache.get(self._cache_key(workload, config_label, params))
+        if result is not None:
+            self.disk_hits += 1
+        return result
+
+    def _cache_put(self, workload: str, config_label: str,
+                   params: Dict[str, object], result: RunResult) -> None:
+        if self.cache is not None:
+            self.cache.put(self._cache_key(workload, config_label, params), result)
 
     # -- running -----------------------------------------------------------------
     def result(self, workload: str, kind: "SystemKind | str") -> RunResult:
@@ -104,12 +203,126 @@ class EvaluationSuite:
         cached = self._results.get(key)
         if cached is not None:
             return cached
-        config = make_system_config(kind, profile=self.profile,
-                                    num_cores=self.scale.num_threads)
-        result = run_workload(config, workload, num_threads=self.scale.num_threads,
-                              **self.scale.params_for(workload))
+        params = self.scale.params_for(workload)
+        result = self._cache_get(workload, kind.value, params)
+        if result is None:
+            result = run_workload(self._config_for(kind), workload,
+                                  num_threads=self.scale.num_threads, **params)
+            self.simulations_run += 1
+            self._cache_put(workload, kind.value, params, result)
         self._results[key] = result
         return result
+
+    def run_cached(self, tag: str, config: SystemConfig,
+                   make_program: Callable[[], ProgramTrace],
+                   params: Optional[Dict[str, object]] = None) -> RunResult:
+        """A bespoke (non-matrix) run, cached like the suite's own pairs.
+
+        For runs that are not a plain (workload, configuration) pair — e.g. the
+        dynamic-offloading case study's adaptive LUD trace.  ``tag`` must
+        uniquely describe the run within one scale; ``make_program`` generates
+        the trace only on a miss; ``params`` participate in the disk key.
+        """
+        params = dict(params or {})
+        name = f"bespoke:{tag}"
+        key = (name, config.label)
+        cached = self._results.get(key)
+        if cached is not None:
+            return cached
+        result = self._cache_get(name, config.label, params)
+        if result is None:
+            result = run_program(config, make_program())
+            self.simulations_run += 1
+            self._cache_put(name, config.label, params, result)
+        self._results[key] = result
+        return result
+
+    def required_pairs(self, figures: Optional[Iterable[str]] = None) -> Set[Pair]:
+        """Union of (workload, configuration) pairs the figures will consume."""
+        from .registry import FIGURE_REGISTRY  # deferred: figures import this module
+        if figures is None:
+            figures = list(FIGURE_REGISTRY)
+        pairs: Set[Pair] = set()
+        for name in figures:
+            try:
+                spec = FIGURE_REGISTRY[name]
+            except KeyError:
+                raise ValueError(
+                    f"unknown figure {name!r}; choose from {sorted(FIGURE_REGISTRY)}")
+            pairs |= spec.required_pairs(self)
+        return pairs
+
+    def pending_jobs(self, pairs: Iterable[Pair]) -> List[Job]:
+        """The not-yet-available subset of ``pairs`` as run_jobs jobs, most
+        expensive first.  Pairs found in the persistent cache are loaded into
+        the in-memory matrix here and excluded from the returned batch."""
+        jobs: List[Job] = []
+        for workload, kind in sorted(set(pairs), key=lambda p: (p[0], p[1].value)):
+            key = (workload, kind.value)
+            if key in self._results:
+                continue
+            params = self.scale.params_for(workload)
+            result = self._cache_get(workload, kind.value, params)
+            if result is not None:
+                self._results[key] = result
+                continue
+            jobs.append((key, self._config_for(kind), workload, params))
+        jobs.sort(key=lambda job: (-_job_cost(job), job[0]))
+        return jobs
+
+    def _run_jobs(self, jobs: List[Job], workers: Optional[int]) -> None:
+        workers = self.workers if workers is None else normalize_workers(workers)
+        results = run_jobs(jobs, num_threads=self.scale.num_threads, workers=workers)
+        self.simulations_run += len(jobs)
+        for key, _config, _workload, params in jobs:
+            self._cache_put(key[0], key[1], params, results[key])
+        self._results.update(results)
+
+    def prefetch(self, figures: Optional[Iterable[str]] = None,
+                 workers: Optional[int] = None) -> Dict[str, int]:
+        """Run everything the requested figures need in one parallel batch.
+
+        Bespoke figure runs (e.g. the 5.8 adaptive-offload traces) join the
+        matrix pairs in the same batch, so nothing expensive runs serially.
+        Returns a summary: ``pairs`` required, ``reused`` from memory,
+        ``disk_hits`` loaded from the persistent cache and ``simulated`` fresh.
+        """
+        from .registry import FIGURE_REGISTRY
+        figures = (list(dict.fromkeys(figures)) if figures is not None
+                   else list(FIGURE_REGISTRY))
+        disk_before = self.disk_hits
+        pairs = self.required_pairs(figures)
+        jobs = self.pending_jobs(pairs)
+        total = len(pairs)
+        pair_jobs = len(jobs)
+        queued: Set[Tuple[str, str]] = set()
+        for name in figures:
+            bespoke_jobs = FIGURE_REGISTRY[name].bespoke_jobs
+            if bespoke_jobs is None:
+                continue
+            for tag, config, workload, params in bespoke_jobs(self):
+                key = (f"bespoke:{tag}", config.label)
+                if key in queued:
+                    continue
+                queued.add(key)
+                total += 1
+                if key in self._results:
+                    continue
+                result = self._cache_get(key[0], config.label, params)
+                if result is not None:
+                    self._results[key] = result
+                    continue
+                jobs.append((key, config, workload, params))
+        if len(jobs) > pair_jobs:
+            # pending_jobs already ordered the matrix pairs; re-rank only when
+            # bespoke jobs joined the batch.
+            jobs.sort(key=lambda job: (-_job_cost(job), job[0]))
+        disk_hits = self.disk_hits - disk_before
+        self._run_jobs(jobs, workers)
+        return {"pairs": total,
+                "reused": total - len(jobs) - disk_hits,
+                "disk_hits": disk_hits,
+                "simulated": len(jobs)}
 
     def run_all(self, workers: Optional[int] = None) -> Dict[Tuple[str, str], RunResult]:
         """Force every (workload, configuration) pair to run; returns the cache.
@@ -118,22 +331,8 @@ class EvaluationSuite:
         process pool (each pair is an independent simulation); the merged
         results are identical to a serial run.
         """
-        workers = self.workers if workers is None else workers
-        pending = [(workload, kind) for workload in self.workloads
-                   for kind in self.kinds
-                   if (workload, kind.value) not in self._results]
-        if workers > 1 and len(pending) > 1:
-            jobs = []
-            for workload, kind in pending:
-                config = make_system_config(kind, profile=self.profile,
-                                            num_cores=self.scale.num_threads)
-                jobs.append(((workload, config.label), config, workload,
-                             self.scale.params_for(workload)))
-            self._results.update(run_jobs(jobs, num_threads=self.scale.num_threads,
-                                          workers=workers))
-        else:
-            for workload, kind in pending:
-                self.result(workload, kind)
+        pairs = {(workload, kind) for workload in self.workloads for kind in self.kinds}
+        self._run_jobs(self.pending_jobs(pairs), workers)
         return dict(self._results)
 
     # -- convenience views ---------------------------------------------------------

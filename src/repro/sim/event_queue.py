@@ -27,13 +27,15 @@ class EventHandle:
 
     Only handed out by :meth:`EventQueue.push_handle`; the fast scheduling path
     returns nothing so that the vast majority of events never allocate one.
+    ``label`` carries the caller-supplied description for debugging.
     """
 
-    __slots__ = ("_entry", "_queue")
+    __slots__ = ("_entry", "_queue", "label")
 
-    def __init__(self, entry: Entry, queue: "EventQueue") -> None:
+    def __init__(self, entry: Entry, queue: "EventQueue", label: str = "") -> None:
         self._entry = entry
         self._queue = queue
+        self.label = label
 
     @property
     def time(self) -> float:
@@ -88,7 +90,7 @@ class EventQueue:
         self._seq += 1
         self._live += 1
         heapq.heappush(self._heap, entry)
-        return EventHandle(entry, self)
+        return EventHandle(entry, self, label)
 
     def peek_time(self) -> Optional[float]:
         """Return the timestamp of the next live event, or ``None`` if empty."""

@@ -58,7 +58,7 @@ class Simulator:
         caller can cancel the event before it fires."""
         if delay < 0:
             raise ValueError(f"delay must be non-negative, got {delay}")
-        return self.events.push_handle(self.now + delay, callback)
+        return self.events.push_handle(self.now + delay, callback, label)
 
     # -- execution -----------------------------------------------------------
     def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> float:

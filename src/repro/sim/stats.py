@@ -20,12 +20,17 @@ Both paths are transparently visible to every reader (``counter()``,
 from __future__ import annotations
 
 import math
+import random
 from collections import defaultdict
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Tuple
 
 #: Default retained-sample cap for histograms (see :class:`Histogram`).
 DEFAULT_HISTOGRAM_SAMPLES = 65_536
+
+#: Fixed seed for the histogram sampling reservoirs: every run draws the same
+#: pseudo-random replacement sequence, keeping simulations reproducible.
+DEFAULT_RESERVOIR_SEED = 0x5EED
 
 
 class CounterHandle:
@@ -55,8 +60,10 @@ class Histogram:
     ``count``/``total``/``min``/``max`` (and therefore ``mean``) are always
     exact.  Retained samples are capped at ``max_samples`` so long simulations
     cannot grow memory without bound; once the cap is hit ``truncated`` is set
-    and :meth:`percentile` becomes approximate (it only sees the first
-    ``max_samples`` observations).
+    and :meth:`percentile` becomes approximate.  Beyond the cap the retained
+    set is maintained as a seeded reservoir (Algorithm R), so it stays a
+    uniform sample of *every* observation instead of an early-simulation
+    prefix, and the same observation sequence always keeps the same samples.
     """
 
     samples: List[float] = field(default_factory=list)
@@ -67,6 +74,11 @@ class Histogram:
     maximum: float = -math.inf
     max_samples: Optional[int] = DEFAULT_HISTOGRAM_SAMPLES
     truncated: bool = False
+    seed: int = DEFAULT_RESERVOIR_SEED
+    #: Observations offered to the reservoir (>= len(samples); merge() replays
+    #: the other side's retained samples, so this can be < count).
+    _seen: int = field(default=0, repr=False, compare=False)
+    _rng: Optional[random.Random] = field(default=None, repr=False, compare=False)
 
     def add(self, value: float) -> None:
         self.count += 1
@@ -76,40 +88,99 @@ class Histogram:
         if value > self.maximum:
             self.maximum = value
         if self.keep_samples:
-            if self.max_samples is None or len(self.samples) < self.max_samples:
-                self.samples.append(value)
-            else:
-                self.truncated = True
+            self._offer_sample(value)
+
+    def _offer_sample(self, value: float) -> None:
+        """Retain ``value`` outright below the cap, else reservoir-replace."""
+        self._seen += 1
+        if self.max_samples is None or len(self.samples) < self.max_samples:
+            self.samples.append(value)
+            return
+        self.truncated = True
+        if self._rng is None:
+            self._rng = random.Random(self.seed)
+        slot = self._rng.randrange(self._seen)
+        if slot < self.max_samples:
+            self.samples[slot] = value
 
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
     def percentile(self, fraction: float) -> float:
-        """Return the ``fraction`` percentile (0..1) of the retained samples.
+        """Return the ``fraction`` quantile (0..1) of the retained samples.
 
-        Exact while every observation is retained; once ``truncated`` is set
-        the result is approximate (computed over the retained prefix only).
+        Quantiles interpolate linearly between the two closest ranks (the
+        same convention as ``statistics.quantiles(..., method='inclusive')``
+        and numpy's default), so even- and odd-sized populations behave
+        consistently.  Exact while every observation is retained; once
+        ``truncated`` is set the result is an estimate over the reservoir.
         """
-        if not self.samples:
-            return 0.0
         if not 0.0 <= fraction <= 1.0:
             raise ValueError("percentile fraction must be within [0, 1]")
+        if not self.samples:
+            return 0.0
         ordered = sorted(self.samples)
-        index = min(len(ordered) - 1, int(round(fraction * (len(ordered) - 1))))
-        return ordered[index]
+        position = fraction * (len(ordered) - 1)
+        lower = math.floor(position)
+        upper = math.ceil(position)
+        if lower == upper:
+            return ordered[lower]
+        weight = position - lower
+        return ordered[lower] * (1.0 - weight) + ordered[upper] * weight
 
     def merge(self, other: "Histogram") -> None:
+        population_self, population_other = self.count, other.count
         self.count += other.count
         self.total += other.total
         self.minimum = min(self.minimum, other.minimum)
         self.maximum = max(self.maximum, other.maximum)
         self.truncated = self.truncated or other.truncated
-        if self.keep_samples and other.keep_samples:
+        if not (self.keep_samples and other.keep_samples):
+            return
+        if (self.max_samples is None
+                or (not self.truncated
+                    and len(self.samples) + len(other.samples) <= self.max_samples)):
+            # Both sides retain their full populations and the union fits:
+            # concatenating stays exact.
             self.samples.extend(other.samples)
-            if self.max_samples is not None and len(self.samples) > self.max_samples:
-                del self.samples[self.max_samples:]
-                self.truncated = True
+            self._seen += len(other.samples)
+            return
+        # Truncating merge: stratified draw where each side contributes in
+        # proportion to the population its retained set represents, so the
+        # result approximates a uniform sample of the union rather than
+        # re-weighting the other side as if it were len(other.samples)
+        # observations.
+        if self._rng is None:
+            self._rng = random.Random(self.seed)
+        capacity = self.max_samples
+        population = population_self + population_other
+        take_other = min(len(other.samples),
+                         round(capacity * population_other / population) if population else 0)
+        take_self = min(len(self.samples), capacity - take_other)
+        take_other = min(len(other.samples), capacity - take_self)
+        self.samples[:] = (self._subsample(self.samples, take_self)
+                           + self._subsample(other.samples, take_other))
+        self.truncated = True
+        # Future add()s continue Algorithm R over the whole merged population.
+        self._seen = population
+
+    def _subsample(self, pool: List[float], size: int) -> List[float]:
+        """A seeded uniform without-replacement draw of ``size`` from ``pool``."""
+        if size >= len(pool):
+            return list(pool)
+        return self._rng.sample(pool, size)
+
+    def reset(self) -> None:
+        """Return to the freshly-constructed state (configuration fields stay)."""
+        self.samples.clear()
+        self.count = 0
+        self.total = 0.0
+        self.minimum = math.inf
+        self.maximum = -math.inf
+        self.truncated = False
+        self._seen = 0
+        self._rng = None
 
     def as_dict(self) -> Dict[str, float]:
         return {
@@ -246,12 +317,7 @@ class StatsRegistry:
         # component-bound Histogram and the registry never diverge into two
         # stores for the same name.
         for hist in self._histograms.values():
-            hist.samples.clear()
-            hist.count = 0
-            hist.total = 0.0
-            hist.minimum = math.inf
-            hist.maximum = -math.inf
-            hist.truncated = False
+            hist.reset()
 
 
 def geometric_mean(values: Iterable[float]) -> float:

@@ -10,6 +10,7 @@ True
 
 from __future__ import annotations
 
+import os
 from typing import Dict, Iterable, List, Optional, Tuple, Union
 
 from ..isa import ProgramTrace
@@ -68,25 +69,46 @@ def run_workload(config: Union[SystemConfig, SystemKind, str],
     return run_program(config, program, max_events=max_events)
 
 
-def _run_suite_job(config: SystemConfig, workload: str, num_threads: int,
-                   max_events: int, params: Dict[str, int]) -> RunResult:
+def normalize_workers(workers: Optional[int]) -> int:
+    """Clamp a worker-count request to something the process pool accepts.
+
+    ``0`` means "one worker per CPU core"; ``None`` and negative values fall
+    back to serial execution.  Every parallel entry point (``run_jobs``,
+    ``run_suite``, the evaluation suite, the CLI) funnels through this guard so
+    an invalid request never reaches :class:`ProcessPoolExecutor`.
+    """
+    if workers is None:
+        return 1
+    workers = int(workers)
+    if workers == 0:
+        return os.cpu_count() or 1
+    return max(1, workers)
+
+
+def _run_suite_job(config: SystemConfig, workload: Union[Workload, str],
+                   num_threads: int, max_events: int,
+                   params: Dict[str, int]) -> RunResult:
     """One (workload, configuration) simulation; module-level so worker
     processes can unpickle it."""
     return run_workload(config, workload, num_threads=num_threads,
                         max_events=max_events, **params)
 
 
-def run_jobs(jobs: List[Tuple[Tuple[str, str], SystemConfig, str, Dict[str, int]]],
+def run_jobs(jobs: List[Tuple[Tuple[str, str], SystemConfig,
+                              Union[Workload, str], Dict[str, int]]],
              num_threads: int = 4,
              max_events: int = DEFAULT_MAX_EVENTS,
              workers: int = 1) -> Dict[Tuple[str, str], RunResult]:
     """Execute independent simulation jobs, optionally across processes.
 
-    ``jobs`` is a list of ``(key, config, workload_name, params)``; the result
-    dict is keyed and ordered by ``key`` in job order regardless of which
-    worker finishes first, so parallel runs merge deterministically.
-    ``workers=1`` runs everything serially in-process (no executor).
+    ``jobs`` is a list of ``(key, config, workload, params)`` where
+    ``workload`` is a registered name or a ready-built (picklable)
+    :class:`Workload` instance; the result dict is keyed and ordered by ``key``
+    in job order regardless of which worker finishes first, so parallel runs
+    merge deterministically.  ``workers=1`` runs everything serially in-process
+    (no executor).
     """
+    workers = normalize_workers(workers)
     results: Dict[Tuple[str, str], RunResult] = {}
     if workers <= 1 or len(jobs) <= 1:
         for key, config, workload, params in jobs:

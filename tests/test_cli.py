@@ -38,3 +38,42 @@ def test_cli_run_baseline_config(capsys):
     assert exit_code == 0
     out = capsys.readouterr().out
     assert "update round-trip" not in out
+
+
+def test_parser_report_and_prefetch_suite_options():
+    parser = build_parser()
+    args = parser.parse_args(["report", "--scale", "tiny", "--workers", "0",
+                              "--cache-dir", "/tmp/x", "--no-cache"])
+    assert args.workers == 0 and args.cache_dir == "/tmp/x" and args.no_cache
+    args = parser.parse_args(["prefetch", "--figures", "speedup", "latency",
+                              "--workloads", "mac"])
+    assert args.figures == ["speedup", "latency"]
+    assert args.workloads == ["mac"]
+    with pytest.raises(SystemExit):
+        parser.parse_args(["prefetch", "--figures", "figure-9000"])
+
+
+def test_cli_prefetch_cold_then_warm(capsys, tmp_path):
+    argv = ["prefetch", "--scale", "tiny", "--figures", "speedup",
+            "--workloads", "mac", "--workers", "2", "--cache-dir", str(tmp_path)]
+    assert main(argv) == 0
+    cold = capsys.readouterr().out
+    assert "simulated: 5" in cold and str(tmp_path) in cold
+
+    assert main(argv) == 0
+    warm = capsys.readouterr().out
+    assert "loaded from cache: 5" in warm and "simulated: 0" in warm
+
+
+def test_cli_prefetch_no_cache_does_not_persist(capsys, tmp_path, monkeypatch):
+    # Point the default cache location somewhere observable: --no-cache must
+    # keep it untouched, not merely claim to.
+    default_dir = tmp_path / "default-cache"
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(default_dir))
+    argv = ["prefetch", "--scale", "tiny", "--figures", "latency",
+            "--workloads", "mac", "--no-cache"]
+    assert main(argv) == 0
+    out = capsys.readouterr().out
+    assert "simulated: 3" in out
+    assert "cache: disabled" in out
+    assert not default_dir.exists()

@@ -85,3 +85,13 @@ def test_reset_clears_state():
     assert sim.now == 0
     assert len(sim.events) == 0
     assert sim.stats.counter("x") == 0
+
+
+def test_schedule_cancellable_forwards_label():
+    sim = Simulator()
+    handle = sim.schedule_cancellable(5.0, lambda: None, label="flow-timeout")
+    assert handle.label == "flow-timeout"
+    handle.cancel()
+    assert handle.cancelled
+    # The unlabeled form keeps working and defaults to an empty label.
+    assert sim.schedule_cancellable(1.0, lambda: None).label == ""

@@ -59,6 +59,37 @@ def test_histogram_percentile_and_bounds():
     assert hist.percentile(0.5) == pytest.approx(50, abs=2)
     with pytest.raises(ValueError):
         hist.percentile(1.5)
+    with pytest.raises(ValueError):
+        hist.percentile(-0.1)
+
+
+def test_percentile_linear_interpolation_even_population():
+    hist = Histogram()
+    for v in range(1, 101):        # 100 samples: 1..100
+        hist.add(float(v))
+    assert hist.percentile(0.0) == 1.0
+    assert hist.percentile(1.0) == 100.0
+    assert hist.percentile(0.5) == pytest.approx(50.5)
+    assert hist.percentile(0.95) == pytest.approx(95.05)
+    assert hist.percentile(0.99) == pytest.approx(99.01)
+
+
+def test_percentile_linear_interpolation_odd_population():
+    hist = Histogram()
+    for v in range(1, 102):        # 101 samples: 1..101
+        hist.add(float(v))
+    # Exact ranks: no banker's-rounding flip between even and odd sizes.
+    assert hist.percentile(0.5) == 51.0
+    assert hist.percentile(0.95) == pytest.approx(96.0)
+    assert hist.percentile(0.99) == pytest.approx(100.0)
+
+
+def test_percentile_two_samples_interpolates():
+    hist = Histogram()
+    hist.add(10.0)
+    hist.add(20.0)
+    assert hist.percentile(0.5) == pytest.approx(15.0)
+    assert hist.percentile(0.25) == pytest.approx(12.5)
 
 
 def test_geometric_mean_basics():
@@ -187,6 +218,54 @@ def test_histogram_merge_respects_cap():
     assert len(a.samples) <= 5
     assert a.truncated
     assert a.maximum == 13.0
+
+
+def test_reservoir_keeps_a_spread_not_a_prefix():
+    """Truncation must not keep only the first max_samples observations."""
+    hist = Histogram(max_samples=50)
+    for v in range(1000):
+        hist.add(float(v))
+    assert hist.truncated
+    assert len(hist.samples) == 50
+    assert set(hist.samples) <= {float(v) for v in range(1000)}
+    # A first-N prefix would top out at 49; the reservoir sees late values too.
+    assert max(hist.samples) > 900
+    assert hist.count == 1000 and hist.mean == pytest.approx(499.5)
+
+
+def test_reservoir_is_deterministic():
+    a, b = Histogram(max_samples=16), Histogram(max_samples=16)
+    for v in range(500):
+        a.add(float(v))
+        b.add(float(v))
+    assert a.samples == b.samples
+
+
+def test_reservoir_merge_sees_both_sides():
+    a = Histogram(max_samples=8)
+    b = Histogram(max_samples=8)
+    for v in range(8):
+        a.add(float(v))
+        b.add(float(100 + v))
+    a.merge(b)
+    assert a.count == 16
+    assert len(a.samples) == 8
+    assert a.truncated
+    # The merged reservoir retains observations from both populations.
+    assert any(v >= 100 for v in a.samples)
+    assert any(v < 100 for v in a.samples)
+
+
+def test_histogram_reset_restores_reservoir_state():
+    hist = Histogram(max_samples=4)
+    for v in range(20):
+        hist.add(float(v))
+    hist.reset()
+    assert hist.count == 0 and hist.samples == [] and not hist.truncated
+    for v in range(4):
+        hist.add(float(v))
+    assert not hist.truncated
+    assert hist.samples == [0.0, 1.0, 2.0, 3.0]
 
 
 def test_clear_resets_bound_histogram_in_place():

@@ -11,9 +11,13 @@ Usage::
     PYTHONPATH=src python tools/bench.py --label my-change
     PYTHONPATH=src python tools/bench.py --smoke           # tiny sizes, CI
     PYTHONPATH=src python tools/bench.py --no-write        # print only
+    PYTHONPATH=src python tools/bench.py --prefetch tiny --workers 4
 
 The basket sizes match the profiled PageRank/`ARF-tid` case the kernel fast
 path was tuned on; ``--smoke`` shrinks every run to seconds-scale sizes for CI.
+``--prefetch SCALE`` benchmarks the evaluation-suite orchestration layer
+instead: a cold parallel prefetch into a throwaway cache directory, then a warm
+re-run that must perform zero simulations.
 """
 
 from __future__ import annotations
@@ -70,6 +74,34 @@ def run_basket(basket, num_threads: int = 4, repeat: int = 3):
     return runs
 
 
+def run_prefetch(scale: str, workers: int):
+    """Cold-then-warm suite prefetch into a throwaway cache directory."""
+    import tempfile
+
+    from repro.experiments import EvaluationSuite
+
+    runs = {}
+    with tempfile.TemporaryDirectory(prefix="repro-bench-cache-") as tmp:
+        for phase in ("cold", "warm"):
+            suite = EvaluationSuite(scale, workers=workers, cache_dir=tmp)
+            start = time.perf_counter()
+            stats = suite.prefetch()
+            wall = time.perf_counter() - start
+            key = f"suite-prefetch/{phase}"
+            runs[key] = {
+                "wall_s": round(wall, 3),
+                "pairs": stats["pairs"],
+                "simulated": stats["simulated"],
+                "workers": workers,
+                "scale": scale,
+            }
+            print(f"{key:24s} {wall:7.3f}s  pairs={stats['pairs']}  "
+                  f"simulated={stats['simulated']}")
+        if runs["suite-prefetch/warm"]["simulated"]:
+            raise SystemExit("warm prefetch re-simulated; the run cache is broken")
+    return runs
+
+
 def append_history(output: Path, label: str, runs, num_threads: int) -> None:
     if output.exists():
         data = json.loads(output.read_text())
@@ -104,10 +136,19 @@ def main(argv=None) -> int:
                         help="tiny problem sizes (CI smoke run)")
     parser.add_argument("--no-write", action="store_true",
                         help="print results without touching the trajectory file")
+    parser.add_argument("--prefetch", metavar="SCALE", default=None,
+                        choices=("tiny", "small", "default"),
+                        help="benchmark the suite prefetch (cold, then warm from "
+                             "the run cache) instead of the kernel basket")
+    parser.add_argument("--workers", type=int, default=1,
+                        help="worker processes for --prefetch (0 = CPU count)")
     args = parser.parse_args(argv)
 
-    basket = SMOKE_BASKET if args.smoke else BASKET
-    runs = run_basket(basket, num_threads=args.threads, repeat=args.repeat)
+    if args.prefetch:
+        runs = run_prefetch(args.prefetch, workers=args.workers)
+    else:
+        basket = SMOKE_BASKET if args.smoke else BASKET
+        runs = run_basket(basket, num_threads=args.threads, repeat=args.repeat)
     if not args.no_write:
         append_history(args.output, args.label, runs, args.threads)
     return 0
