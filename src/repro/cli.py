@@ -80,6 +80,10 @@ def build_parser() -> argparse.ArgumentParser:
     pre_p.add_argument("--workloads", nargs="+", default=None,
                        choices=sorted(ALL_WORKLOADS), metavar="WORKLOAD",
                        help="restrict the suite to these workloads (default: all)")
+    pre_p.add_argument("--prune", action="store_true",
+                       help="garbage-collect the run cache first: drop orphaned "
+                            ".tmp files and entries recorded under a stale code "
+                            "digest, then prefetch as usual")
     _add_suite_options(pre_p)
     return parser
 
@@ -138,6 +142,13 @@ def _cmd_report(args: argparse.Namespace) -> int:
 
 def _cmd_prefetch(args: argparse.Namespace) -> int:
     suite = _make_suite(args, workloads=args.workloads)
+    if args.prune:
+        if suite.cache is None:
+            raise SystemExit("--prune needs the persistent run cache; drop --no-cache")
+        pruned = suite.cache.prune()
+        print(f"pruned {suite.cache.root}: removed {pruned['tmp_removed']} orphaned "
+              f"tmp files and {pruned['stale_removed']} stale entries "
+              f"({pruned['kept']} kept)")
     stats = suite.prefetch(figures=args.figures)
     print(f"prefetch: {stats['pairs']} (workload x configuration) pairs "
           f"at scale {suite.scale.name!r}")

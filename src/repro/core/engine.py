@@ -191,10 +191,16 @@ class ActiveRoutingEngine(Component):
         finish = self.cube.local_access(addr, self.config.operand_read_bytes, is_write=False)
         self._h_local_operand_reads.value += 1
         value = self.alu.combine(packet.opcode, packet.src1_value)
+        # The commit event fires after the ALU latency has already elapsed, so
+        # the roundtrip ends exactly at the commit time; _record_roundtrip must
+        # not add alu_latency a second time (that would overstate the response
+        # component relative to the buffered two-operand path).
         commit_time = finish + self.config.alu_latency
-        self.sim.schedule_at(commit_time,
-                             lambda: self._commit_reduce(packet, arrival, arrival, value),
-                             label=f"{self.name}.commit1op")
+        self.sim.schedule_at(
+            commit_time,
+            lambda: self._commit_reduce(packet, arrival, arrival, value,
+                                        response_end=commit_time),
+            label=f"{self.name}.commit1op")
 
     def _issue_operand_fetches(self, entry: OperandBufferEntry) -> None:
         entry.operand_issue_time = self.sim.now
@@ -284,7 +290,8 @@ class ActiveRoutingEngine(Component):
                 self._start_store_processing(packet, arrival)
 
     def _commit_reduce(self, packet: UpdatePacket, arrival: float,
-                       operand_issue: float, value: float) -> None:
+                       operand_issue: float, value: float,
+                       response_end: Optional[float] = None) -> None:
         entry = self.flow_table.lookup(packet.flow_id, packet.root_node)
         if entry is None:
             raise RuntimeError(
@@ -294,24 +301,40 @@ class ActiveRoutingEngine(Component):
         entry.result = self.alu.accumulate(packet.opcode, entry.result, value)
         entry.resp_counter += 1
         self._h_updates_committed.value += 1
-        self._record_roundtrip(packet, arrival, operand_issue)
+        self._record_roundtrip(packet, arrival, operand_issue, response_end)
         self.host.notify_update_commit(packet.update_id)
         self._check_flow_completion(entry)
 
     def _commit_store(self, packet: UpdatePacket, arrival: float) -> None:
         self._h_stores_committed.value += 1
+        # Stores commit at the write-finish event and never double-count: the
+        # default response_end adds one alu_latency here, modelling the
+        # engine's commit-pipeline stage (stores skip alu.combine but not the
+        # pipeline), which matches the seed accounting.
         self._record_roundtrip(packet, arrival, arrival)
         self.host.notify_update_commit(packet.update_id)
 
     def _record_roundtrip(self, packet: UpdatePacket, arrival: float,
-                          operand_issue: float) -> None:
+                          operand_issue: float,
+                          response_end: Optional[float] = None) -> None:
+        """Record the Figure 5.6-style latency breakdown for one Update.
+
+        ``response_end`` is the cycle at which the update's result is
+        available.  Commit paths whose event fires *before* the ALU has run
+        (the buffered two-operand path commits at operand arrival) leave it
+        ``None`` and the ALU latency is added here; paths whose commit event
+        already includes the ALU latency pass the commit time explicitly so it
+        is counted exactly once.
+        """
         request_latency = arrival - packet.issue_time
         if request_latency < 0.0:
             request_latency = 0.0
         stall_latency = operand_issue - arrival
         if stall_latency < 0.0:
             stall_latency = 0.0
-        response_latency = self.sim.now + self.config.alu_latency - operand_issue
+        if response_end is None:
+            response_end = self.sim.now + self.config.alu_latency
+        response_latency = response_end - operand_issue
         if response_latency < 0.0:
             response_latency = 0.0
         self._hist_latency_request.add(request_latency)

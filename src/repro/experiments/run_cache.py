@@ -53,13 +53,25 @@ def default_cache_dir() -> Path:
     return base / "repro"
 
 
+#: Name of the per-cache-dir measured-cost sidecar (see :meth:`RunCache.record_cost`).
+COSTS_FILE = "costs.json"
+
+
 class RunCache:
-    """One pickle file per ``(scale, workload, params, config, code digest)`` key."""
+    """One pickle file per ``(scale, workload, params, config, code digest)`` key.
+
+    Besides the result entries, the cache directory carries a ``costs.json``
+    sidecar mapping digest-independent job descriptions to their last measured
+    wall time.  Costs deliberately survive code-digest changes: editing the
+    simulator invalidates cached *results*, but "pagerank on ARF-tid at this
+    scale takes ~2s" remains the best available scheduling estimate.
+    """
 
     def __init__(self, root: "str | os.PathLike") -> None:
         self.root = Path(root).expanduser()
         self.hits = 0
         self.misses = 0
+        self._costs: Optional[Dict[str, float]] = None
 
     @staticmethod
     def make_key(*, scale: str, workload: str, params: Dict[str, object],
@@ -98,17 +110,143 @@ class RunCache:
         return payload["result"]
 
     def put(self, key: Key, result: RunResult) -> Path:
-        """Store ``result`` under ``key`` atomically; returns the entry path."""
+        """Store ``result`` under ``key`` atomically; returns the entry path.
+
+        The entry records the run's measured wall time alongside the result
+        (when the result carries one), keeping cache files self-describing
+        for inspection even though cost lookups go through the sidecar.  The
+        temporary file is removed if pickling or the rename fails, so aborted
+        writes never leave ``.tmp<pid>`` litter behind (a process killed
+        mid-write still can; ``prune()`` collects those).
+        """
         self.root.mkdir(parents=True, exist_ok=True)
         path = self.path_for(key)
         tmp = path.with_name(f"{path.name}.tmp{os.getpid()}")
-        with open(tmp, "wb") as handle:
-            pickle.dump({"key": key, "result": result}, handle,
-                        protocol=pickle.HIGHEST_PROTOCOL)
-        os.replace(tmp, path)
+        metadata = getattr(result, "metadata", None)
+        wall_s = metadata.get("wall_s") if isinstance(metadata, dict) else None
+        payload = {"key": key, "result": result, "wall_s": wall_s}
+        try:
+            with open(tmp, "wb") as handle:
+                pickle.dump(payload, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
         return path
+
+    # -- measured-cost sidecar -------------------------------------------------
+    @staticmethod
+    def cost_key_for(key: Key) -> str:
+        """Digest-independent description of a job, used as the sidecar key."""
+        stripped = {name: value for name, value in key.items() if name != "digest"}
+        return json.dumps(stripped, sort_keys=True, separators=(",", ":"), default=str)
+
+    def _costs_path(self) -> Path:
+        return self.root / COSTS_FILE
+
+    def _read_costs(self) -> Dict[str, float]:
+        try:
+            data = json.loads(self._costs_path().read_text())
+        except Exception:
+            return {}
+        if not isinstance(data, dict):
+            return {}
+        return {k: float(v) for k, v in data.items()
+                if isinstance(v, (int, float)) and v > 0}
+
+    def record_cost(self, key: Key, wall_s: float) -> None:
+        """Persist the measured wall time for ``key``'s job description.
+
+        Last write wins; the file is re-read before each update so concurrent
+        sessions recording different jobs roughly merge instead of clobbering
+        each other wholesale.  Failures are swallowed — the sidecar is advisory.
+        """
+        if not wall_s or wall_s <= 0:
+            return
+        try:
+            self.root.mkdir(parents=True, exist_ok=True)
+            costs = self._read_costs()
+            costs[self.cost_key_for(key)] = round(float(wall_s), 6)
+            tmp = self._costs_path().with_name(f"{COSTS_FILE}.tmp{os.getpid()}")
+            try:
+                tmp.write_text(json.dumps(costs, sort_keys=True, indent=1) + "\n")
+                os.replace(tmp, self._costs_path())
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
+            self._costs = costs
+        except Exception:
+            self._costs = None
+
+    def measured_cost(self, key: Key) -> Optional[float]:
+        """The last measured wall time for ``key``'s job, or ``None``."""
+        if self._costs is None:
+            self._costs = self._read_costs()
+        return self._costs.get(self.cost_key_for(key))
+
+    # -- garbage collection ----------------------------------------------------
+    def prune(self) -> Dict[str, int]:
+        """Drop cache litter: orphaned temp files and out-of-date entries.
+
+        Removes ``*.tmp<pid>`` files whose writing process is gone (a live
+        writer's temp file is left alone), plus every ``.pkl`` entry that is
+        unreadable or whose stored key carries a code digest other than the
+        current one (those can never hit again).  Returns removal counts.
+        """
+        summary = {"tmp_removed": 0, "stale_removed": 0, "kept": 0}
+        if not self.root.is_dir():
+            return summary
+        digest = code_digest()
+        for path in sorted(self.root.glob("*.tmp*")):
+            if _tmp_writer_alive(path.name):
+                continue
+            try:
+                path.unlink()
+                summary["tmp_removed"] += 1
+            except OSError:
+                pass
+        for path in sorted(self.root.glob("*.pkl")):
+            stale = True
+            try:
+                with open(path, "rb") as handle:
+                    payload = pickle.load(handle)
+                key = payload.get("key") if isinstance(payload, dict) else None
+                stale = not isinstance(key, dict) or key.get("digest") != digest
+            except Exception:
+                stale = True  # unreadable entries are permanent misses
+            if stale:
+                try:
+                    path.unlink()
+                    summary["stale_removed"] += 1
+                except OSError:
+                    pass
+            else:
+                summary["kept"] += 1
+        return summary
 
     def __len__(self) -> int:
         if not self.root.is_dir():
             return 0
         return sum(1 for _ in self.root.glob("*.pkl"))
+
+
+def _tmp_writer_alive(filename: str) -> bool:
+    """True when a ``...tmp<pid>`` file's writing process still exists."""
+    _, _, suffix = filename.rpartition(".tmp")
+    try:
+        pid = int(suffix)
+    except ValueError:
+        return False
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except OSError:
+        pass  # e.g. PermissionError: the pid exists but belongs to someone else
+    return True

@@ -54,6 +54,40 @@ class Link(SharedResource):
             category: self.counter_handle(f"bytes.{category}")
             for category in MOVEMENT_CATEGORIES
         }
+        # Per-hop statistics are epoch-batched: the hot path bumps these plain
+        # local accumulators and flush() folds them into the bound cells
+        # whenever a registry reader asks.  Bytes, energy and packet totals are
+        # all derived from the 4-slot per-category byte array at flush time
+        # (energy is linear in bytes), so one hop costs two adds plus the
+        # occasional queue-wait update instead of six counter-cell updates.
+        self._acc_packets = 0
+        self._acc_cat_bytes = [0, 0, 0, 0]  # indexed by Packet._cat_index
+        self._acc_busy = 0.0
+        self._acc_queue_wait = 0.0
+        self._cat_handles = [self._h_bytes_by_category[c] for c in MOVEMENT_CATEGORIES]
+        sim.stats.register_flushable(self)
+
+    def flush(self) -> None:
+        """Fold the batched per-hop accumulators into the counter cells."""
+        packets = self._acc_packets
+        if packets:
+            cat = self._acc_cat_bytes
+            total = cat[0] + cat[1] + cat[2] + cat[3]
+            self._h_packets.value += packets
+            self._h_bytes.value += total
+            self._h_energy_pj.value += total * 8 * self._energy_pj_per_bit
+            handles = self._cat_handles
+            for index in range(4):
+                if cat[index]:
+                    handles[index].value += cat[index]
+                    cat[index] = 0
+            self._acc_packets = 0
+        if self._acc_busy:
+            self._busy_cycles.value += self._acc_busy
+            self._acc_busy = 0.0
+        if self._acc_queue_wait:
+            self._queue_wait_cycles.value += self._acc_queue_wait
+            self._acc_queue_wait = 0.0
 
     def transmit(self, packet: Packet, earliest: float | None = None) -> Tuple[float, float]:
         """Send ``packet`` over the link.
@@ -73,10 +107,8 @@ class Link(SharedResource):
         self.busy_until = finish
         queue_delay = start - earliest
         if queue_delay > 0:
-            self._queue_wait_cycles.value += queue_delay
-        self._busy_cycles.value += serialization
-        self._h_packets.value += 1
-        self._h_bytes.value += size
-        self._h_bytes_by_category[packet._category].value += size
-        self._h_energy_pj.value += size * 8 * self._energy_pj_per_bit
+            self._acc_queue_wait += queue_delay
+        self._acc_busy += serialization
+        self._acc_packets += 1
+        self._acc_cat_bytes[packet._cat_index] += size
         return finish + self._latency, queue_delay

@@ -9,7 +9,8 @@ Active-Routing "compute on the way".
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Protocol, Tuple
+import heapq
+from typing import Dict, List, Optional, Protocol, Tuple
 
 from ..sim import Component, Simulator
 from .link import Link, LinkConfig
@@ -43,6 +44,15 @@ class MemoryNetwork(Component):
         for a, b in topology.edges():
             self.links[(a, b)] = Link(sim, a, b, self.link_config)
             self.links[(b, a)] = Link(sim, b, a, self.link_config)
+        # Dense (src, dst) -> Link grid: node ids are contiguous ints, so a
+        # hop resolves its link with two list indexings instead of a tuple
+        # allocation + dict hash.  Endpoints get the same treatment.
+        num_nodes = max(topology.graph.nodes) + 1
+        self._link_grid: List[List[Optional[Link]]] = [
+            [None] * num_nodes for _ in range(num_nodes)]
+        for (a, b), link in self.links.items():
+            self._link_grid[a][b] = link
+        self._endpoint_list: List[Optional[NetworkEndpoint]] = [None] * num_nodes
         # _hop() runs once per network hop: pre-bind every counter it touches
         # and keep a direct reference to the dense next-hop matrix.
         self._next_rows = self.routing.next_hop_table
@@ -55,12 +65,44 @@ class MemoryNetwork(Component):
             category: self.counter_handle(f"bytes.{category}")
             for category in MOVEMENT_CATEGORIES
         }
+        # Network-wide per-hop stats are epoch-batched like the per-link ones:
+        # the hop fast path feeds plain accumulators, flush() derives the byte,
+        # bit-hop and per-category totals from the 4-slot array on demand.
+        self._acc_injected = 0
+        self._acc_hops = 0
+        self._acc_cat_bytes = [0, 0, 0, 0]  # indexed by Packet._cat_index
+        self._acc_queue_delay = 0.0
+        self._cat_handles = [self._h_bytes_by_category[c] for c in MOVEMENT_CATEGORIES]
+        sim.stats.register_flushable(self)
+
+    def flush(self) -> None:
+        """Fold the batched per-hop accumulators into the counter cells."""
+        if self._acc_injected:
+            self._h_injected.value += self._acc_injected
+            self._acc_injected = 0
+        hops = self._acc_hops
+        if hops:
+            cat = self._acc_cat_bytes
+            total = cat[0] + cat[1] + cat[2] + cat[3]
+            self._h_hops.value += hops
+            self._h_bytes.value += total
+            self._h_bit_hops.value += total * 8
+            handles = self._cat_handles
+            for index in range(4):
+                if cat[index]:
+                    handles[index].value += cat[index]
+                    cat[index] = 0
+            self._acc_hops = 0
+        if self._acc_queue_delay:
+            self._h_queue_delay.value += self._acc_queue_delay
+            self._acc_queue_delay = 0.0
 
     # -- construction ---------------------------------------------------------
     def register_endpoint(self, node_id: int, endpoint: NetworkEndpoint) -> None:
         if node_id not in self.topology.graph:
             raise ValueError(f"node {node_id} does not exist in topology {self.topology.name}")
         self.endpoints[node_id] = endpoint
+        self._endpoint_list[node_id] = endpoint
 
     def endpoint(self, node_id: int) -> NetworkEndpoint:
         return self.endpoints[node_id]
@@ -88,7 +130,7 @@ class MemoryNetwork(Component):
             # First time this packet enters the fabric; intermediate cubes that
             # re-inject it must not re-stamp (0.0 is a legitimate creation time).
             packet.created_at = self.sim.now
-        self._h_injected.value += 1
+        self._acc_injected += 1
         if packet.dst == at_node:
             # Local delivery (e.g. operand request for data in the same cube).
             self.schedule(0.0, lambda: self._deliver(packet, at_node, at_node))
@@ -103,10 +145,11 @@ class MemoryNetwork(Component):
 
     def _hop(self, packet: Packet, current: int) -> None:
         nxt = self._next_rows[current][packet.dst]
-        link = self.links[(current, nxt)]
+        link = self._link_grid[current][nxt]
         # Inlined Link.transmit(): one hop is the innermost simulator loop and
-        # the extra call frame + result tuple are measurable.  Keep the stat
-        # updates in the exact order transmit() performs them.
+        # the extra call frame + result tuple are measurable.  Stats go into
+        # the link's and the network's epoch-batched accumulators, in the
+        # exact order transmit() feeds them.
         size = packet.size
         serialization = size / link._bandwidth
         now = self.sim.now
@@ -117,23 +160,26 @@ class MemoryNetwork(Component):
         link.busy_until = finish
         queue_delay = start - now
         if queue_delay > 0:
-            link._queue_wait_cycles.value += queue_delay
-            self._h_queue_delay.value += queue_delay
-        link._busy_cycles.value += serialization
-        link._h_packets.value += 1
-        link._h_bytes.value += size
-        link._h_bytes_by_category[packet._category].value += size
-        link._h_energy_pj.value += size * 8 * link._energy_pj_per_bit
-        self._h_hops.value += 1
-        self._h_bytes.value += size
-        self._h_bytes_by_category[packet._category].value += size
-        self._h_bit_hops.value += size * 8
-        self.sim.events.push(finish + link._latency + self.router_delay,
-                             lambda: self._deliver(packet, nxt, current))
+            link._acc_queue_wait += queue_delay
+            self._acc_queue_delay += queue_delay
+        link._acc_busy += serialization
+        link._acc_packets += 1
+        cat_index = packet._cat_index
+        link._acc_cat_bytes[cat_index] += size
+        self._acc_hops += 1
+        self._acc_cat_bytes[cat_index] += size
+        # Inlined EventQueue.push (delivery times are never negative): one hop
+        # schedules exactly one delivery and the wrapper call is measurable.
+        events = self.sim.events
+        heapq.heappush(events._heap,
+                       [finish + link._latency + self.router_delay, events._seq,
+                        lambda: self._deliver(packet, nxt, current)])
+        events._seq += 1
+        events._live += 1
 
     def _deliver(self, packet: Packet, node: int, from_node: int) -> None:
         packet.hops += 1
-        endpoint = self.endpoints.get(node)
+        endpoint = self._endpoint_list[node]
         if endpoint is None:
             raise RuntimeError(f"packet {packet.pkt_id} arrived at node {node} "
                                f"which has no registered endpoint")

@@ -8,13 +8,17 @@ Two families exist:
   offloaded by the Message Interface, the operand requests/responses generated
   by the Active-Routing Engines, and the Gather responses that aggregate
   partial results up the ARTree.
+
+Packets are the hottest allocation in the simulator (every hop of every
+packet touches one), so the whole hierarchy is plain slotted classes: no
+per-instance ``__dict__``, hand-written single-frame ``__init__`` methods, and
+per-type derived data cached on the :class:`PacketType` members.
 """
 
 from __future__ import annotations
 
 import enum
 import itertools
-from dataclasses import dataclass, field
 from typing import Optional
 
 HEADER_BYTES = 16
@@ -82,20 +86,24 @@ MOVEMENT_CATEGORIES = ("norm_req", "norm_resp", "active_req", "active_resp")
 # Python-level call, so even a dict keyed by PacketType is measurable):
 #   ``_code``         small dense int for list-based dispatch tables,
 #   ``_default_size`` the PACKET_SIZES entry,
-#   ``_flags``        ``(is_active, is_request, movement category)``.
+#   ``_flags``        ``(is_active, is_request, category, category index)``
+#                     where the index points into MOVEMENT_CATEGORIES (links
+#                     batch per-category byte counts in a 4-slot array).
 for _index, _ptype in enumerate(PacketType):
     _ptype._code = _index
     _ptype._default_size = PACKET_SIZES[_ptype]
+    _category = (("active_req" if _ptype.is_request else "active_resp")
+                 if _ptype.is_active
+                 else ("norm_req" if _ptype.is_request else "norm_resp"))
     _ptype._flags = (
         _ptype.is_active,
         _ptype.is_request,
-        (("active_req" if _ptype.is_request else "active_resp") if _ptype.is_active
-         else ("norm_req" if _ptype.is_request else "norm_resp")),
+        _category,
+        MOVEMENT_CATEGORIES.index(_category),
     )
-del _index, _ptype
+del _index, _ptype, _category
 
 
-@dataclass
 class Packet:
     """Base network packet (node ids are memory-network node indices).
 
@@ -104,17 +112,10 @@ class Packet:
     legitimate creation time, so ``None`` is the only safe sentinel).
     """
 
-    ptype: PacketType
-    src: int
-    dst: int
-    size: int = 0
-    flow_id: Optional[int] = None
-    created_at: Optional[float] = None
-    hops: int = 0
-    pkt_id: int = field(default_factory=lambda: next(_packet_ids))
+    __slots__ = ("ptype", "src", "dst", "size", "flow_id", "created_at",
+                 "hops", "pkt_id", "is_active", "is_request", "_category",
+                 "_cat_index")
 
-    # Hand-written so construction is one frame (packets are created on the hot
-    # path; the generated dataclass __init__ plus __post_init__ costs two).
     def __init__(self, ptype: PacketType, src: int, dst: int, size: int = 0,
                  flow_id: Optional[int] = None, created_at: Optional[float] = None,
                  hops: int = 0, pkt_id: Optional[int] = None) -> None:
@@ -127,19 +128,21 @@ class Packet:
         self.hops = hops
         self.pkt_id = next(_packet_ids) if pkt_id is None else pkt_id
         # Cache derived attributes: packets cross many links and these are hot.
-        self.is_active, self.is_request, self._category = ptype._flags
+        self.is_active, self.is_request, self._category, self._cat_index = ptype._flags
 
     def movement_category(self) -> str:
         """Bucket used by the Figure 5.4 data-movement breakdown."""
         return self._category
 
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<{type(self).__name__} #{self.pkt_id} {self.ptype.value} "
+                f"{self.src}->{self.dst} size={self.size} flow={self.flow_id}>")
 
-@dataclass
+
 class MemReadPacket(Packet):
     """Passive read of one cache block (controller -> cube)."""
 
-    addr: int = 0
-    req_id: int = 0
+    __slots__ = ("addr", "req_id")
 
     def __init__(self, src: int, dst: int, addr: int, req_id: int = 0, **kw) -> None:
         super().__init__(ptype=PacketType.READ_REQ, src=src, dst=dst, **kw)
@@ -147,12 +150,10 @@ class MemReadPacket(Packet):
         self.req_id = req_id
 
 
-@dataclass
 class MemWritePacket(Packet):
     """Passive write of one cache block (controller -> cube)."""
 
-    addr: int = 0
-    req_id: int = 0
+    __slots__ = ("addr", "req_id")
 
     def __init__(self, src: int, dst: int, addr: int, req_id: int = 0, **kw) -> None:
         super().__init__(ptype=PacketType.WRITE_REQ, src=src, dst=dst, **kw)
@@ -160,12 +161,10 @@ class MemWritePacket(Packet):
         self.req_id = req_id
 
 
-@dataclass
 class MemRespPacket(Packet):
     """Response to a passive read or write."""
 
-    addr: int = 0
-    req_id: int = 0
+    __slots__ = ("addr", "req_id")
 
     def __init__(self, src: int, dst: int, addr: int, is_read: bool, req_id: int = 0, **kw) -> None:
         ptype = PacketType.READ_RESP if is_read else PacketType.WRITE_RESP
@@ -174,7 +173,6 @@ class MemRespPacket(Packet):
         self.req_id = req_id
 
 
-@dataclass
 class UpdatePacket(Packet):
     """Offloaded ``Update(src1, src2, target, op)`` command.
 
@@ -184,17 +182,9 @@ class UpdatePacket(Packet):
     distinguish trees of the same flow rooted at different ports.
     """
 
-    opcode: str = "add"
-    src1_addr: Optional[int] = None
-    src2_addr: Optional[int] = None
-    target_addr: int = 0
-    src1_value: float = 1.0
-    src2_value: float = 1.0
-    imm_value: float = 0.0
-    thread_id: int = 0
-    root_node: int = 0
-    update_id: int = 0
-    issue_time: float = 0.0
+    __slots__ = ("opcode", "src1_addr", "src2_addr", "target_addr", "src1_value",
+                 "src2_value", "imm_value", "thread_id", "root_node", "update_id",
+                 "issue_time")
 
     def __init__(self, src: int, dst: int, *, opcode: str, target_addr: int,
                  src1_addr: Optional[int] = None, src2_addr: Optional[int] = None,
@@ -222,14 +212,10 @@ class UpdatePacket(Packet):
         return int(self.src1_addr is not None) + int(self.src2_addr is not None)
 
 
-@dataclass
 class GatherRequestPacket(Packet):
     """Gather command travelling from the root toward the leaves of an ARTree."""
 
-    target_addr: int = 0
-    num_threads: int = 1
-    thread_id: int = 0
-    root_node: int = 0
+    __slots__ = ("target_addr", "num_threads", "thread_id", "root_node")
 
     def __init__(self, src: int, dst: int, *, target_addr: int, num_threads: int = 1,
                  thread_id: int = 0, root_node: int = 0, flow_id: Optional[int] = None,
@@ -243,14 +229,10 @@ class GatherRequestPacket(Packet):
             self.flow_id = target_addr
 
 
-@dataclass
 class GatherResponsePacket(Packet):
     """Partial reduction result travelling from a child node to its tree parent."""
 
-    target_addr: int = 0
-    partial_result: float = 0.0
-    completed_updates: int = 0
-    root_node: int = 0
+    __slots__ = ("target_addr", "partial_result", "completed_updates", "root_node")
 
     def __init__(self, src: int, dst: int, *, target_addr: int, partial_result: float,
                  completed_updates: int, root_node: int = 0,
@@ -264,15 +246,10 @@ class GatherResponsePacket(Packet):
             self.flow_id = target_addr
 
 
-@dataclass
 class OperandRequestPacket(Packet):
     """Operand fetch issued by an ARE toward the cube holding the operand."""
 
-    addr: int = 0
-    buffer_slot: int = 0
-    operand_index: int = 0
-    compute_node: int = 0
-    value: float = 0.0
+    __slots__ = ("addr", "buffer_slot", "operand_index", "compute_node", "value")
 
     def __init__(self, src: int, dst: int, *, addr: int, buffer_slot: int,
                  operand_index: int, compute_node: int, value: float = 0.0,
@@ -285,14 +262,10 @@ class OperandRequestPacket(Packet):
         self.value = value
 
 
-@dataclass
 class OperandResponsePacket(Packet):
     """Operand value returning to the ARE that requested it."""
 
-    addr: int = 0
-    buffer_slot: int = 0
-    operand_index: int = 0
-    value: float = 0.0
+    __slots__ = ("addr", "buffer_slot", "operand_index", "value")
 
     def __init__(self, src: int, dst: int, *, addr: int, buffer_slot: int,
                  operand_index: int, value: float = 0.0,

@@ -53,6 +53,15 @@ class Component:
         """Read back a counter previously written by :meth:`count`."""
         return self.sim.stats.counter(f"{self.name}.{stat}")
 
+    def flush(self) -> None:
+        """Fold any locally-batched stat accumulators into the registry.
+
+        The default is a no-op; components that batch their hottest counters
+        (see :meth:`~repro.sim.stats.StatsRegistry.register_flushable`)
+        override this and register themselves so every registry reader sees
+        up-to-date values.
+        """
+
     # -- time shortcuts -------------------------------------------------------
     @property
     def now(self) -> float:
@@ -107,4 +116,5 @@ class SharedResource(Component):
         elapsed = self.now if elapsed is None else elapsed
         if elapsed <= 0:
             return 0.0
+        self.flush()  # subclasses may batch busy_cycles locally
         return min(1.0, self._busy_cycles.value / elapsed)

@@ -79,6 +79,10 @@ class Simulator:
                 time = entry[0]
                 if until is not None and time > until:
                     self.now = until
+                    # Live events remain beyond the horizon; update _finished on
+                    # this exit path too so `finished` never reports a previous
+                    # run's outcome after a bounded run stops early.
+                    self._finished = not events
                     return until
                 heappop(heap)
                 callback = entry[2]

@@ -15,6 +15,12 @@ Counters have two access paths:
 
 Both paths are transparently visible to every reader (``counter()``,
 ``counters()``, ``sum()``, ``snapshot()``, ``merge()``).
+
+Components that batch their hottest counters in plain local accumulators
+(epoch-batched stats, e.g. :class:`~repro.network.link.Link`) register
+themselves with :meth:`StatsRegistry.register_flushable`; every reader calls
+:meth:`StatsRegistry.flush` first, which folds the pending accumulators into
+the bound cells, so batching is invisible to the string API.
 """
 
 from __future__ import annotations
@@ -200,6 +206,20 @@ class StatsRegistry:
         self._handles: Dict[str, CounterHandle] = {}
         self._gauges: Dict[str, float] = {}
         self._histograms: Dict[str, Histogram] = {}
+        self._flushables: List[object] = []
+
+    # -- epoch-batched sources ----------------------------------------------
+    def register_flushable(self, source: object) -> None:
+        """Register a component whose ``flush()`` folds locally-batched stat
+        accumulators into the registry.  Every reader flushes first, so batched
+        counters stay observationally identical to per-event increments."""
+        if source not in self._flushables:
+            self._flushables.append(source)
+
+    def flush(self) -> None:
+        """Fold every registered component's pending accumulators in."""
+        for source in self._flushables:
+            source.flush()
 
     # -- counters -----------------------------------------------------------
     def add(self, name: str, amount: float = 1.0) -> None:
@@ -223,6 +243,8 @@ class StatsRegistry:
         return handle
 
     def counter(self, name: str) -> float:
+        if self._flushables:
+            self.flush()
         handle = self._handles.get(name)
         if handle is not None:
             return handle.value
@@ -246,10 +268,14 @@ class StatsRegistry:
 
     def counters(self, prefix: str = "") -> Dict[str, float]:
         """Return all counters whose name starts with ``prefix``."""
+        if self._flushables:
+            self.flush()
         return {k: v for k, v in self._iter_counters() if k.startswith(prefix)}
 
     def sum(self, prefix: str) -> float:
         """Sum every counter whose name starts with ``prefix``."""
+        if self._flushables:
+            self.flush()
         return sum(v for k, v in self._iter_counters() if k.startswith(prefix))
 
     # -- gauges -------------------------------------------------------------
@@ -283,6 +309,10 @@ class StatsRegistry:
     # -- bulk helpers ---------------------------------------------------------
     def merge(self, other: "StatsRegistry") -> None:
         """Fold another registry into this one (used to combine per-run stats)."""
+        if self._flushables:
+            self.flush()
+        if other._flushables:
+            other.flush()
         for name, value in other._iter_counters():
             self.add(name, value)
         for name, value in other._gauges.items():
@@ -292,6 +322,8 @@ class StatsRegistry:
 
     def snapshot(self) -> Dict[str, float]:
         """Flatten everything into a single scalar mapping (histograms -> mean)."""
+        if self._flushables:
+            self.flush()
         flat: Dict[str, float] = dict(self._iter_counters())
         flat.update(self._gauges)
         for name, hist in self._histograms.items():
@@ -307,6 +339,10 @@ class StatsRegistry:
         return iter(self.snapshot().items())
 
     def clear(self) -> None:
+        # Flush first so batching components' accumulators restart from zero
+        # along with the cells they feed.
+        if self._flushables:
+            self.flush()
         self._counters.clear()
         # Bound cells stay registered (components hold references to them) but
         # restart from zero, matching the string-keyed counters.

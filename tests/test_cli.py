@@ -65,6 +65,27 @@ def test_cli_prefetch_cold_then_warm(capsys, tmp_path):
     assert "loaded from cache: 5" in warm and "simulated: 0" in warm
 
 
+def test_cli_prefetch_prune_garbage_collects(capsys, tmp_path):
+    argv = ["prefetch", "--scale", "tiny", "--figures", "speedup",
+            "--workloads", "mac", "--workers", "2", "--cache-dir", str(tmp_path)]
+    assert main(argv) == 0
+    capsys.readouterr()
+    # Plant litter: an orphaned tmp file and a corrupt (= stale) entry.
+    (tmp_path / f"dead.pkl.tmp{2**22 - 1}").write_bytes(b"partial")
+    (tmp_path / "corrupt.pkl").write_bytes(b"junk")
+
+    assert main(argv + ["--prune"]) == 0
+    out = capsys.readouterr().out
+    assert "removed 1 orphaned tmp files and 1 stale entries (5 kept)" in out
+    assert "simulated: 0" in out              # pruning kept the live entries
+
+
+def test_cli_prefetch_prune_requires_cache():
+    with pytest.raises(SystemExit):
+        main(["prefetch", "--scale", "tiny", "--figures", "speedup",
+              "--workloads", "mac", "--no-cache", "--prune"])
+
+
 def test_cli_prefetch_no_cache_does_not_persist(capsys, tmp_path, monkeypatch):
     # Point the default cache location somewhere observable: --no-cache must
     # keep it untouched, not merely claim to.

@@ -157,6 +157,41 @@ def test_roundtrip_latency_recorded():
         assert hist.count == 30
 
 
+def _single_update_response_mean(alu_latency, two_operand):
+    """Response-latency mean for exactly one update at the given ALU latency."""
+    sim, hmc, host = _setup(are_config=AREConfig(alu_latency=alu_latency))
+    addr2 = 0x2000_0000 if two_operand else None
+    opcode = "mac" if two_operand else "add"
+    pairs = [(0x1000_0000, addr2, 1.5, 2.0)]
+    _offload_flow(sim, host, opcode, pairs, target=0xA100, threads=1)
+    hist = sim.stats.histogram("ar.update_latency.response")
+    assert hist.count == 1
+    return hist.mean
+
+
+@pytest.mark.parametrize("two_operand", [False, True], ids=["single-operand", "two-operand"])
+def test_alu_latency_counted_exactly_once_in_response(two_operand):
+    """Raising alu_latency by D must raise the response latency by exactly D on
+    both commit paths.  The single-operand path used to count it twice (once in
+    the commit event's schedule time, once in _record_roundtrip), overstating
+    its response/total breakdown relative to the buffered two-operand path."""
+    base = _single_update_response_mean(2.0, two_operand)
+    shifted = _single_update_response_mean(12.0, two_operand)
+    assert shifted - base == pytest.approx(10.0)
+
+
+def test_single_and_two_operand_latency_breakdowns_consistent():
+    """With identical ALU latency, the two paths may differ only by the cost of
+    fetching the second operand — not by an extra ALU latency on one side."""
+    alu = 4.0
+    single = _single_update_response_mean(alu, two_operand=False)
+    double = _single_update_response_mean(alu, two_operand=True)
+    # Both are >= one ALU latency; the single-operand local-read path must not
+    # exceed the buffered path by carrying a second copy of the ALU latency.
+    assert single >= alu and double >= alu
+    assert single <= double
+
+
 def test_commit_for_unknown_update_rejected():
     sim, hmc, host = _setup()
     with pytest.raises(RuntimeError):

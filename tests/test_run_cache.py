@@ -58,6 +58,122 @@ def test_cache_tolerates_corrupt_entries(tmp_path):
     assert cache.get(key) == "result"
 
 
+def test_put_failure_leaves_no_tmp_litter(tmp_path):
+    cache = RunCache(tmp_path)
+
+    class Unpicklable:
+        def __reduce__(self):
+            raise RuntimeError("cannot pickle me")
+
+    with pytest.raises(RuntimeError):
+        cache.put(_key(), Unpicklable())
+    assert list(tmp_path.glob("*.tmp*")) == []
+    assert len(cache) == 0
+    cache.put(_key(), "result")              # the cache still works afterwards
+    assert cache.get(_key()) == "result"
+
+
+def test_prune_drops_orphaned_tmp_and_stale_entries(tmp_path):
+    cache = RunCache(tmp_path)
+    cache.put(_key(), "fresh")
+    # A stale entry from an old code digest, an unreadable entry, and tmp
+    # litter from a writer that is long gone (pid 2**22-1 is above the default
+    # Linux pid_max) plus one with no pid at all.
+    stale_key = _key(digest="0" * 64, workload="lud")
+    path = cache.path_for(stale_key)
+    import pickle
+    path.write_bytes(pickle.dumps({"key": stale_key, "result": "old"}))
+    (tmp_path / "corrupt.pkl").write_bytes(b"not a pickle")
+    (tmp_path / f"dead.pkl.tmp{2**22 - 1}").write_bytes(b"partial")
+    (tmp_path / "orphan.pkl.tmp").write_bytes(b"partial")
+    live = tmp_path / f"live.pkl.tmp{os.getpid()}"
+    live.write_bytes(b"in flight")
+
+    summary = cache.prune()
+    assert summary == {"tmp_removed": 2, "stale_removed": 2, "kept": 1}
+    assert cache.get(_key()) == "fresh"      # the current-digest entry survives
+    assert live.exists()                     # a live writer's tmp file is left alone
+    assert sorted(p.name for p in tmp_path.glob("*.tmp*")) == [live.name]
+    assert cache.prune() == {"tmp_removed": 0, "stale_removed": 0, "kept": 1}
+
+
+def test_prune_on_missing_directory_is_a_noop(tmp_path):
+    cache = RunCache(tmp_path / "never-created")
+    assert cache.prune() == {"tmp_removed": 0, "stale_removed": 0, "kept": 0}
+
+
+# -- measured-cost sidecar -------------------------------------------------------
+
+def test_cost_sidecar_roundtrip_and_digest_independence(tmp_path):
+    cache = RunCache(tmp_path)
+    key = _key()
+    assert cache.measured_cost(key) is None
+    cache.record_cost(key, 2.5)
+    assert cache.measured_cost(key) == 2.5
+    # Costs survive a code-digest change: same job, different digest.
+    assert cache.measured_cost(_key(digest="0" * 64)) == 2.5
+    # A fresh handle re-reads the sidecar from disk.
+    assert RunCache(tmp_path).measured_cost(key) == 2.5
+    # Different jobs have independent costs.
+    assert cache.measured_cost(_key(workload="lud")) is None
+    cache.record_cost(key, 4.0)              # last write wins
+    assert RunCache(tmp_path).measured_cost(key) == 4.0
+
+
+def test_cost_sidecar_ignores_garbage(tmp_path):
+    cache = RunCache(tmp_path)
+    cache.record_cost(_key(), 0.0)           # non-positive costs are dropped
+    cache.record_cost(_key(), -1.0)
+    assert cache.measured_cost(_key()) is None
+    (tmp_path / "costs.json").write_text("[1, 2, 3]")
+    assert RunCache(tmp_path).measured_cost(_key()) is None
+    (tmp_path / "costs.json").write_text("{garbage")
+    assert RunCache(tmp_path).measured_cost(_key()) is None
+
+
+def test_suite_records_costs_and_orders_by_measured_time(tmp_path):
+    kinds = [SystemKind.DRAM, SystemKind.HMC]
+    suite = EvaluationSuite("tiny", workloads=["mac"], kinds=kinds,
+                            cache_dir=tmp_path)
+    suite.prefetch(figures=["speedup"])
+    # Every simulated pair fed the sidecar a positive measured wall time.
+    for kind in kinds:
+        key = suite._cache_key("mac", kind.value, suite.scale.params_for("mac"))
+        assert suite.cache.measured_cost(key) > 0
+
+    # A fresh suite (results evicted, costs kept) orders pending jobs by the
+    # measured times, even where they contradict the static heuristic: make
+    # the DRAM run look 100x more expensive than HMC.
+    for path in tmp_path.glob("*.pkl"):
+        path.unlink()
+    params = suite.scale.params_for("mac")
+    cold = EvaluationSuite("tiny", workloads=["mac"], kinds=kinds,
+                           cache_dir=tmp_path)
+    cold.cache.record_cost(cold._cache_key("mac", "DRAM", params), 100.0)
+    cold.cache.record_cost(cold._cache_key("mac", "HMC", params), 1.0)
+    jobs = cold.pending_jobs({("mac", k) for k in kinds})
+    assert [job[0][1] for job in jobs] == ["DRAM", "HMC"]
+    # With the opposite measurements the order flips.
+    cold.cache.record_cost(cold._cache_key("mac", "DRAM", params), 0.5)
+    jobs = cold.pending_jobs({("mac", k) for k in kinds})
+    assert [job[0][1] for job in jobs] == ["HMC", "DRAM"]
+
+
+def test_unmeasured_jobs_fall_back_to_calibrated_heuristic(tmp_path):
+    """Jobs without a measurement rank by the static heuristic scaled into
+    seconds, so one measured cheap run cannot leapfrog an unmeasured
+    Active-Routing straggler."""
+    kinds = [SystemKind.DRAM, SystemKind.ARF_TID]
+    suite = EvaluationSuite("tiny", workloads=["mac"], kinds=kinds,
+                            cache_dir=tmp_path)
+    params = suite.scale.params_for("mac")
+    # Only DRAM was ever measured (0.1s); ARF-tid's static cost is 30x DRAM's,
+    # so its calibrated estimate (~3s) must still schedule it first.
+    suite.cache.record_cost(suite._cache_key("mac", "DRAM", params), 0.1)
+    jobs = suite.pending_jobs({("mac", k) for k in kinds})
+    assert [job[0][1] for job in jobs] == ["ARF-tid", "DRAM"]
+
+
 def test_default_cache_dir_honors_env(monkeypatch, tmp_path):
     monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "custom"))
     assert default_cache_dir() == tmp_path / "custom"

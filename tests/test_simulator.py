@@ -42,6 +42,30 @@ def test_run_until_bound():
     assert fired == [3, 100]
 
 
+def test_finished_updates_on_bounded_runs():
+    """run(until=...) must refresh `finished` on its early exit path, not
+    leave the previous run's answer behind."""
+    sim = Simulator()
+    sim.schedule(5, lambda: None)
+    sim.run_until_idle()
+    assert sim.finished
+    sim.schedule(100, lambda: None)
+    sim.run(until=10)
+    assert not sim.finished          # the cycle-100 event is still pending
+    sim.run(until=50)
+    assert not sim.finished          # still pending after another bounded run
+    sim.run()
+    assert sim.finished
+
+
+def test_finished_true_when_only_cancelled_events_remain_beyond_bound():
+    sim = Simulator()
+    handle = sim.schedule_cancellable(100, lambda: None)
+    handle.cancel()
+    sim.run(until=10)
+    assert sim.finished              # nothing live remains
+
+
 def test_nested_scheduling():
     sim = Simulator()
     seen = []

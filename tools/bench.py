@@ -12,6 +12,8 @@ Usage::
     PYTHONPATH=src python tools/bench.py --smoke           # tiny sizes, CI
     PYTHONPATH=src python tools/bench.py --no-write        # print only
     PYTHONPATH=src python tools/bench.py --prefetch tiny --workers 4
+    PYTHONPATH=src python tools/bench.py --smoke --no-write \
+        --check-against smoke-baseline --max-regression 1.5   # CI perf gate
 
 The basket sizes match the profiled PageRank/`ARF-tid` case the kernel fast
 path was tuned on; ``--smoke`` shrinks every run to seconds-scale sizes for CI.
@@ -102,6 +104,40 @@ def run_prefetch(scale: str, workers: int):
     return runs
 
 
+def check_regression(output: Path, runs, baseline_label: str, max_ratio: float) -> None:
+    """Exit non-zero when any measured run is slower than ``max_ratio`` times
+    the newest checked-in history entry labelled ``baseline_label``."""
+    if not output.exists():
+        raise SystemExit(f"no trajectory file at {output} to check against")
+    history = json.loads(output.read_text())["history"]
+    entries = [entry for entry in history if entry["label"] == baseline_label]
+    if not entries:
+        raise SystemExit(f"no history entry labelled {baseline_label!r} in {output}")
+    baseline = entries[-1]["runs"]
+    failures = []
+    compared = 0
+    for key, run in runs.items():
+        base = baseline.get(key)
+        if not base or not base.get("wall_s"):
+            continue
+        compared += 1
+        ratio = run["wall_s"] / base["wall_s"]
+        verdict = "ok" if ratio <= max_ratio else "REGRESSION"
+        print(f"check {key:24s} {run['wall_s']:7.3f}s vs baseline "
+              f"{base['wall_s']:7.3f}s  ({ratio:.2f}x)  {verdict}")
+        if ratio > max_ratio:
+            failures.append(key)
+    if not compared:
+        raise SystemExit(
+            f"baseline entry {baseline_label!r} shares no run keys with this basket")
+    if failures:
+        raise SystemExit(
+            f"performance regression: {', '.join(sorted(failures))} exceeded "
+            f"{max_ratio:.2f}x the {baseline_label!r} baseline")
+    print(f"perf gate passed: {compared} runs within {max_ratio:.2f}x "
+          f"of {baseline_label!r}")
+
+
 def append_history(output: Path, label: str, runs, num_threads: int) -> None:
     if output.exists():
         data = json.loads(output.read_text())
@@ -142,6 +178,12 @@ def main(argv=None) -> int:
                              "the run cache) instead of the kernel basket")
     parser.add_argument("--workers", type=int, default=1,
                         help="worker processes for --prefetch (0 = CPU count)")
+    parser.add_argument("--check-against", metavar="LABEL", default=None,
+                        help="compare this run against the newest history entry "
+                             "with the given label and fail on a regression")
+    parser.add_argument("--max-regression", type=float, default=1.5,
+                        help="failure threshold for --check-against as a wall-time "
+                             "ratio (default 1.5x)")
     args = parser.parse_args(argv)
 
     if args.prefetch:
@@ -149,6 +191,8 @@ def main(argv=None) -> int:
     else:
         basket = SMOKE_BASKET if args.smoke else BASKET
         runs = run_basket(basket, num_threads=args.threads, repeat=args.repeat)
+    if args.check_against:
+        check_regression(args.output, runs, args.check_against, args.max_regression)
     if not args.no_write:
         append_history(args.output, args.label, runs, args.threads)
     return 0
