@@ -1,28 +1,35 @@
 """Command-line interface.
 
-Three subcommands cover the common entry points::
+Four subcommands cover the common entry points::
 
     python -m repro run --config ARF-tid --workload mac --threads 4
     python -m repro report --scale tiny --workers 4 --output report.txt
     python -m repro prefetch --scale small --workers 0
+    python -m repro sweep --scale tiny --topologies dragonfly mesh torus
 
 ``run`` simulates one (configuration, workload) pair and prints the headline
 metrics; ``report`` regenerates the full evaluation (every table and figure);
 ``prefetch`` populates the persistent run cache so later reports and benchmark
-sessions perform zero simulations.  ``--workers 0`` means one worker per CPU
-core.
+sessions perform zero simulations; ``sweep`` runs the scheme x topology
+cross product and renders the network-shape figure.  ``--workers 0`` means one
+worker per CPU core.  Every subcommand accepts a memory-network override
+(``--topology``/``--num-cubes`` — ``sweep`` takes the plural ``--topologies``
+/``--num-cubes`` lists), making the network shape an experiment dimension.
 """
 
 from __future__ import annotations
 
 import argparse
+import contextlib
 import sys
 from typing import Optional, Sequence
 
 from .analysis import format_table
 from .experiments import (FIGURE_REGISTRY, SCALES, EvaluationSuite,
-                          default_cache_dir, full_report)
-from .system import CONFIG_ORDER, run_workload
+                          default_cache_dir, fig_topology, full_report)
+from .network.topology import TOPOLOGY_BUILDERS
+from .system import CONFIG_ORDER, SystemKind, make_system_config, run_workload
+from .system.config import make_network_config
 from .workloads import ALL_WORKLOADS
 
 
@@ -43,21 +50,44 @@ def _parse_workload_params(pairs: Sequence[str]) -> dict:
     return params
 
 
+def _config_name(value: str) -> str:
+    """Normalize a configuration name (``arf_tid`` -> ``ARF-tid``).
+
+    argparse treats the raised ``ArgumentTypeError`` as a usage error, so
+    unknown names still exit with the canonical list in the message.
+    """
+    try:
+        return SystemKind.from_name(value).value
+    except ValueError:
+        canonical = ", ".join(k.value for k in CONFIG_ORDER)
+        raise argparse.ArgumentTypeError(
+            f"unknown configuration {value!r}; choose from {canonical} "
+            f"(case- and underscore-insensitive)")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Active-Routing reproduction: run workloads or regenerate the evaluation.")
     sub = parser.add_subparsers(dest="command", required=True)
+    canonical_configs = ", ".join(k.value for k in CONFIG_ORDER)
 
     run_p = sub.add_parser("run", help="simulate one workload on one configuration")
-    run_p.add_argument("--config", default="ARF-tid",
-                       choices=[k.value for k in CONFIG_ORDER],
-                       help="system configuration (Section 5.1 scheme)")
+    run_p.add_argument("--config", default="ARF-tid", type=_config_name,
+                       metavar="CONFIG",
+                       help="system configuration (Section 5.1 scheme); one of "
+                            f"{canonical_configs} (case- and underscore-insensitive)")
     run_p.add_argument("--workload", default="mac", choices=sorted(ALL_WORKLOADS),
                        help="benchmark or microbenchmark to run")
     run_p.add_argument("--threads", type=int, default=4, help="number of worker threads")
     run_p.add_argument("--param", action="append", default=[], metavar="KEY=VALUE",
                        help="workload size override (repeatable), e.g. array_elements=4096")
+    run_p.add_argument("--topology", default=None, choices=sorted(TOPOLOGY_BUILDERS),
+                       help="memory-network topology (default: Table 4.1 dragonfly)")
+    run_p.add_argument("--num-cubes", type=int, default=None, metavar="N",
+                       help="memory-network cube count (default: 16); the "
+                            "topology is built with exactly this many cubes "
+                            "or the request is rejected up front")
 
     report_p = sub.add_parser("report", help="regenerate every evaluation table and figure")
     report_p.add_argument("--scale", default="small", choices=sorted(SCALES),
@@ -85,10 +115,39 @@ def build_parser() -> argparse.ArgumentParser:
                             ".tmp files and entries recorded under a stale code "
                             "digest, then prefetch as usual")
     _add_suite_options(pre_p)
+
+    sweep_p = sub.add_parser(
+        "sweep",
+        help="run the scheme x topology cross product and render the "
+             "network-shape figure")
+    sweep_p.add_argument("--scale", default="tiny", choices=sorted(SCALES),
+                         help="problem-size scale")
+    sweep_p.add_argument("--topologies", nargs="+",
+                         default=list(fig_topology.SWEEP_TOPOLOGIES),
+                         choices=sorted(TOPOLOGY_BUILDERS), metavar="TOPOLOGY",
+                         help="memory-network topologies to sweep (default: "
+                              f"{' '.join(fig_topology.SWEEP_TOPOLOGIES)}); one of "
+                              f"{', '.join(sorted(TOPOLOGY_BUILDERS))}")
+    sweep_p.add_argument("--num-cubes", dest="cube_counts", nargs="+", type=int,
+                         default=list(fig_topology.SWEEP_CUBE_COUNTS), metavar="N",
+                         help="cube counts to sweep (default: 16)")
+    sweep_p.add_argument("--configs", nargs="+", type=_config_name,
+                         default=["HMC", "ART", "ARF-tid", "ARF-addr"],
+                         metavar="CONFIG",
+                         help="HMC-backed schemes to sweep (default: all four); "
+                              f"one of {canonical_configs}")
+    sweep_p.add_argument("--workloads", nargs="+", default=None,
+                         choices=sorted(ALL_WORKLOADS), metavar="WORKLOAD",
+                         help="workloads to measure (default: "
+                              f"{' '.join(fig_topology.SWEEP_WORKLOADS)})")
+    sweep_p.add_argument("--output", default=None,
+                         help="optional path to also write the figure to")
+    _add_suite_options(sweep_p, network_override=False)
     return parser
 
 
-def _add_suite_options(parser: argparse.ArgumentParser) -> None:
+def _add_suite_options(parser: argparse.ArgumentParser,
+                       network_override: bool = True) -> None:
     parser.add_argument("--workers", type=int, default=1,
                         help="worker processes for the (workload x config) suite; "
                              "0 means one per CPU core (each pair is an "
@@ -98,18 +157,56 @@ def _add_suite_options(parser: argparse.ArgumentParser) -> None:
                              "$REPRO_CACHE_DIR or ~/.cache/repro)")
     parser.add_argument("--no-cache", action="store_true",
                         help="disable the persistent run cache entirely")
+    if not network_override:
+        return  # the sweep subcommand owns its own --topologies/--num-cubes
+    parser.add_argument("--topology", default=None, choices=sorted(TOPOLOGY_BUILDERS),
+                        help="memory-network topology for every HMC-backed "
+                             "scheme (default: Table 4.1 dragonfly); variant "
+                             "networks get their own run-cache entries")
+    parser.add_argument("--num-cubes", type=int, default=None, metavar="N",
+                        help="memory-network cube count (default: 16)")
 
 
 def _make_suite(args: argparse.Namespace, workloads: Optional[Sequence[str]] = None,
                 ) -> EvaluationSuite:
     cache_dir = None if args.no_cache else (args.cache_dir or default_cache_dir())
+    net = None
+    # The sweep subcommand has no suite-wide override (its --topologies /
+    # --num-cubes lists land in args.topologies/args.cube_counts instead).
+    topology = getattr(args, "topology", None)
+    num_cubes = getattr(args, "num_cubes", None)
+    if topology is not None or num_cubes is not None:
+        with _network_usage_errors():
+            net = make_network_config(topology=topology, num_cubes=num_cubes)
     return EvaluationSuite(args.scale, workloads=workloads, workers=args.workers,
-                           cache_dir=cache_dir)
+                           cache_dir=cache_dir, net=net)
+
+
+@contextlib.contextmanager
+def _network_usage_errors():
+    """Turn network-shape ValueErrors into clean CLI errors.
+
+    An impossible ``--topology``/``--num-cubes`` request is a usage mistake
+    like an unknown ``--config``; the user gets the builder's actionable
+    message, not a traceback.
+    """
+    try:
+        yield
+    except ValueError as exc:
+        raise SystemExit(f"repro: {exc}")
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
     params = _parse_workload_params(args.param)
-    result = run_workload(args.config, args.workload, num_threads=args.threads, **params)
+    if args.config == "DRAM" and (args.topology is not None
+                                  or args.num_cubes is not None):
+        raise SystemExit("repro: --topology/--num-cubes have no effect on the "
+                         "DRAM baseline (it has no memory network); pick an "
+                         "HMC-backed configuration")
+    with _network_usage_errors():
+        config = make_system_config(args.config, topology=args.topology,
+                                    num_cubes=args.num_cubes)
+    result = run_workload(config, args.workload, num_threads=args.threads, **params)
     rows = [
         ["cycles", f"{result.cycles:,.0f}"],
         ["instructions", f"{result.instructions:,d}"],
@@ -123,7 +220,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         rows.append(["update round-trip", f"{result.update_roundtrip:.0f} cycles"])
         checked, mismatched = result.flow_checks
         rows.append(["flows verified", f"{checked - mismatched}/{checked}"])
-    print(f"{args.workload} on {args.config} ({args.threads} threads)")
+    print(f"{args.workload} on {config.label} ({args.threads} threads)")
     print(format_table(["metric", "value"], rows))
     return 0 if result.flows_verified else 1
 
@@ -161,6 +258,40 @@ def _cmd_prefetch(args: argparse.Namespace) -> int:
     return 0 if suite.verified() else 1
 
 
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    kinds = []
+    for name in args.configs:
+        kind = SystemKind.from_name(name)
+        if not kind.uses_hmc:
+            raise SystemExit(f"--configs {kind.value}: the DRAM baseline has no "
+                             f"memory network to sweep (it is still simulated "
+                             f"once as the speedup denominator)")
+        if kind not in kinds:
+            kinds.append(kind)
+    suite = _make_suite(args, workloads=args.workloads)
+    with _network_usage_errors():
+        # Planning-time shape validation only; simulation/rendering errors
+        # below keep their tracebacks.
+        fig_topology.sweep_networks(args.topologies, args.cube_counts)
+    text, stats = fig_topology.run_sweep(
+        suite, topologies=args.topologies, cube_counts=args.cube_counts,
+        kinds=kinds, workloads=args.workloads)
+    print(text)
+    print()
+    print(f"sweep: {stats['pairs']} runs at scale {suite.scale.name!r} "
+          f"(workload x network x scheme cells + shared DRAM baselines)")
+    print(f"  reused in memory: {stats['reused']}, loaded from cache: "
+          f"{stats['disk_hits']}, simulated: {stats['simulated']}")
+    if suite.cache is not None:
+        print(f"cache: {suite.cache.root} ({len(suite.cache)} entries)")
+    else:
+        print("cache: disabled (--no-cache); results were not persisted")
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(text)
+    return 0 if suite.verified() else 1
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
@@ -170,6 +301,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_report(args)
     if args.command == "prefetch":
         return _cmd_prefetch(args)
+    if args.command == "sweep":
+        return _cmd_sweep(args)
     raise SystemExit(f"unknown command {args.command!r}")
 
 

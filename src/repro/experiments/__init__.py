@@ -7,6 +7,7 @@ from . import (
     fig_lud_heatmap,
     fig_power_energy,
     fig_speedup,
+    fig_topology,
 )
 from .registry import FIGURE_REGISTRY, FigureSpec
 from .report import full_report
@@ -22,6 +23,7 @@ __all__ = [
     "fig_lud_heatmap",
     "fig_power_energy",
     "fig_speedup",
+    "fig_topology",
     "full_report",
     "FIGURE_REGISTRY",
     "FigureSpec",

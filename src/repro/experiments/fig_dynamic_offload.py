@@ -20,7 +20,7 @@ from typing import Dict, List, Optional, Set, Tuple
 
 from ..analysis import crossover_index, format_table, windowed_rates
 from ..core.offload import DynamicOffloadPolicy
-from ..system import RunResult, SystemKind, make_system_config
+from ..system import RunResult, SystemKind
 from ..workloads import WorkloadConfig
 from ..workloads.lud import LUDWorkload
 from .suite import BespokeJob, EvaluationSuite, Pair
@@ -32,11 +32,11 @@ def required_pairs(suite: EvaluationSuite) -> Set[Pair]:
     return set()
 
 
-def _configs(suite: EvaluationSuite, threads: int):
-    hmc = make_system_config(SystemKind.HMC, profile=suite.profile, num_cores=threads)
-    arf = make_system_config(SystemKind.ARF_TID, profile=suite.profile,
-                             num_cores=threads)
-    return hmc, arf
+def _configs(suite: EvaluationSuite):
+    # Through config_for so a suite-wide network override applies here too:
+    # a mesh-suite report must replay the Figure 5.8 traces on the mesh, and
+    # run_cached keys on config.label, which keeps the variants apart.
+    return suite.config_for(SystemKind.HMC), suite.config_for(SystemKind.ARF_TID)
 
 
 def bespoke_jobs(suite: EvaluationSuite, workload: str = "lud") -> List[BespokeJob]:
@@ -47,7 +47,7 @@ def bespoke_jobs(suite: EvaluationSuite, workload: str = "lud") -> List[BespokeJ
     """
     params = suite.scale.params_for(workload)
     threads = suite.scale.num_threads
-    hmc, arf = _configs(suite, threads)
+    hmc, arf = _configs(suite)
     return [
         (f"{workload}-baseline", hmc, _lud(params, threads), params),
         (f"{workload}-offload", arf, _lud(params, threads), params),
@@ -67,7 +67,7 @@ def compute(suite: EvaluationSuite, workload: str = "lud") -> Dict[str, object]:
     threads = suite.scale.num_threads
     policy = DynamicOffloadPolicy()
 
-    hmc_config, arf_config = _configs(suite, threads)
+    hmc_config, arf_config = _configs(suite)
     runs: Dict[str, RunResult] = {
         "HMC": suite.run_cached(
             f"{workload}-baseline", hmc_config,

@@ -57,4 +57,7 @@ def render(data: Dict[str, Dict[str, object]], num_cubes: int = 16) -> str:
 
 
 def run(suite: EvaluationSuite) -> str:
-    return render(compute(suite))
+    # Render the grid at the suite's actual cube count: a network-variant
+    # suite (e.g. an 8-cube mesh) must not draw phantom always-zero cubes.
+    num_cubes = suite.config_for(SCHEMES[0]).hmc_net.num_cubes
+    return render(compute(suite), num_cubes=num_cubes)

@@ -1,0 +1,230 @@
+"""Topology sweep — scheme x network-shape speedup and queueing matrix.
+
+The paper evaluates one network (the 16-cube dragonfly of Table 4.1), but its
+headline effect — ART's many-to-one hotspots versus the flow-level schemes
+(Section 5.2.2) — is a function of the network shape.  This figure makes the
+memory-network topology a first-class experiment dimension: every cell runs
+the same workloads on the same scheme but a different network
+(topology x cube count), reporting the geomean runtime speedup over the DRAM
+baseline and the average link queue delay per hop (the hotspot signal).
+
+Like every other figure it declares its runs to the registry, so
+:meth:`~repro.experiments.suite.EvaluationSuite.prefetch` executes them in one
+parallel batch and the persistent run cache — whose keys embed the network
+fingerprint via ``SystemConfig.label`` — makes a warm sweep simulate nothing.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..analysis import format_table, geomean_speedup
+from ..hmc.config import HMCNetworkConfig
+from ..system import SystemKind
+from ..system.config import make_network_config
+from .suite import EvaluationSuite, ExtraJob, Pair
+
+#: Network shapes swept by default (all at the Table 4.1 cube/controller
+#: counts, so the dragonfly column is exactly the paper's default network and
+#: shares its runs with every other figure).
+SWEEP_TOPOLOGIES: Tuple[str, ...] = ("dragonfly", "mesh", "torus")
+#: Cube counts swept by default.
+SWEEP_CUBE_COUNTS: Tuple[int, ...] = (16,)
+#: Schemes swept by default in the full report (one baseline, one flow
+#: scheme); the CLI sweep defaults to every HMC-backed scheme instead.
+SWEEP_KINDS: Tuple[SystemKind, ...] = (SystemKind.HMC, SystemKind.ARF_TID)
+#: Representative workloads (one microbenchmark, one irregular benchmark).
+SWEEP_WORKLOADS: Tuple[str, ...] = ("mac", "pagerank")
+
+
+def sweep_network(topology: str, num_cubes: int = 16,
+                  num_controllers: Optional[int] = None) -> HMCNetworkConfig:
+    """The network config for one sweep cell (defaults elsewhere untouched).
+
+    Overrides default to the default network's values, so the default-shape
+    cell compares equal to :func:`default_network` and shares its labels/runs
+    with the plain evaluation matrix.  Validated eagerly (inside
+    :func:`make_network_config`): an impossible shape — say, an 8-cube
+    dragonfly — must fail while the sweep is being planned, not mid-batch in
+    a worker process after other cells already simulated.
+    """
+    return make_network_config(topology=topology, num_cubes=num_cubes,
+                               num_controllers=num_controllers)
+
+
+def sweep_networks(topologies: Optional[Sequence[str]] = None,
+                   cube_counts: Optional[Sequence[int]] = None,
+                   num_controllers: Optional[int] = None) -> List[HMCNetworkConfig]:
+    """The swept networks, ordered topology-major then by cube count.
+
+    Deduplicated by fingerprint, so repeated CLI operands cannot produce
+    repeated figure rows or double-counted cells.
+    """
+    topologies = list(topologies) if topologies is not None else list(SWEEP_TOPOLOGIES)
+    cube_counts = list(cube_counts) if cube_counts is not None else list(SWEEP_CUBE_COUNTS)
+    networks: Dict[str, HMCNetworkConfig] = {}
+    for topology in topologies:
+        for num_cubes in cube_counts:
+            net = sweep_network(topology, num_cubes, num_controllers)
+            networks.setdefault(net.label, net)
+    return list(networks.values())
+
+
+def sweep_workloads(suite: EvaluationSuite,
+                    workloads: Optional[Sequence[str]] = None) -> List[str]:
+    """The workloads a sweep measures on ``suite``.
+
+    Defaults to the representative :data:`SWEEP_WORKLOADS` restricted to what
+    the suite carries; a suite built around other workloads falls back to its
+    own list so the sweep never comes up empty.
+    """
+    if workloads is not None:
+        return list(workloads)
+    selected = [w for w in SWEEP_WORKLOADS if w in suite.workloads]
+    return selected or list(suite.workloads)
+
+
+def required_pairs(suite: EvaluationSuite) -> Set[Pair]:
+    """The DRAM baselines every sweep speedup divides by.
+
+    The sweep cells themselves are declared as :func:`extra_jobs` because they
+    run on network-variant configurations, which plain (workload, kind) pairs
+    cannot express.
+    """
+    return {(workload, SystemKind.DRAM) for workload in sweep_workloads(suite)}
+
+
+def extra_jobs(suite: EvaluationSuite) -> List[ExtraJob]:
+    """Every (workload, network-variant config) cell of the default sweep."""
+    jobs: List[ExtraJob] = []
+    for net in sweep_networks():
+        for kind in SWEEP_KINDS:
+            config = suite.config_for(kind, net=net)
+            for workload in sweep_workloads(suite):
+                jobs.append((workload, config))
+    return jobs
+
+
+def compute(suite: EvaluationSuite,
+            topologies: Optional[Sequence[str]] = None,
+            cube_counts: Optional[Sequence[int]] = None,
+            kinds: Optional[Sequence[SystemKind]] = None,
+            workloads: Optional[Sequence[str]] = None,
+            num_controllers: Optional[int] = None) -> Dict[str, object]:
+    """Speedup-over-DRAM and queue-delay matrices over (network, scheme).
+
+    Rows are network fingerprints (``dragonfly16c4``, ``mesh16c4``, ...),
+    columns are scheme labels; ``speedup`` holds the geomean over the swept
+    workloads, ``queue_delay`` the mean link queue delay per network hop in
+    cycles, and ``per_workload`` the full per-workload speedup breakdown.
+    """
+    kinds = list(kinds) if kinds is not None else list(SWEEP_KINDS)
+    names = sweep_workloads(suite, workloads)
+    networks = sweep_networks(topologies, cube_counts, num_controllers)
+    speedup: Dict[str, Dict[str, float]] = {}
+    queue_delay: Dict[str, Dict[str, float]] = {}
+    per_workload: Dict[str, Dict[str, Dict[str, float]]] = {}
+    for net in networks:
+        row_speedup: Dict[str, float] = {}
+        row_queue: Dict[str, float] = {}
+        row_detail: Dict[str, Dict[str, float]] = {}
+        for kind in kinds:
+            config = suite.config_for(kind, net=net)
+            cells: Dict[str, float] = {}
+            delays: List[float] = []
+            for workload in names:
+                result = suite.result_for_config(workload, config)
+                baseline = suite.result(workload, SystemKind.DRAM)
+                cells[workload] = result.speedup_over(baseline)
+                delays.append(result.network_stats.get("queue_delay_per_hop", 0.0))
+            row_detail[kind.value] = cells
+            row_speedup[kind.value] = geomean_speedup(cells.values())
+            row_queue[kind.value] = sum(delays) / len(delays) if delays else 0.0
+        speedup[net.label] = row_speedup
+        queue_delay[net.label] = row_queue
+        per_workload[net.label] = row_detail
+    return {
+        "networks": [net.label for net in networks],
+        "kinds": [kind.value for kind in kinds],
+        "workloads": names,
+        "speedup": speedup,
+        "queue_delay": queue_delay,
+        "per_workload": per_workload,
+    }
+
+
+def render(data: Dict[str, object]) -> str:
+    """Plain-text rendering of the scheme x topology sweep."""
+    networks: List[str] = data["networks"]
+    kinds: List[str] = data["kinds"]
+    lines: List[str] = [
+        "Topology sweep: geomean speedup over DRAM "
+        f"(workloads: {', '.join(data['workloads'])})",
+        "",
+        format_table(
+            ["network"] + kinds,
+            [[net] + [data["speedup"][net][kind] for kind in kinds]
+             for net in networks],
+            float_format="{:.2f}"),
+        "",
+        "Average link queue delay per hop (cycles; the many-to-one hotspot signal)",
+        "",
+        format_table(
+            ["network"] + kinds,
+            [[net] + [data["queue_delay"][net][kind] for kind in kinds]
+             for net in networks],
+            float_format="{:.2f}"),
+    ]
+    per_workload = data["per_workload"]
+    lines.append("")
+    lines.append("Per-workload speedup over DRAM")
+    rows = []
+    for net in networks:
+        for kind in kinds:
+            cells = per_workload[net][kind]
+            rows.append([net, kind] + [cells[w] for w in data["workloads"]])
+    lines.append(format_table(["network", "config"] + list(data["workloads"]),
+                              rows, float_format="{:.2f}"))
+    return "\n".join(lines)
+
+
+def run(suite: EvaluationSuite) -> str:
+    return render(compute(suite))
+
+
+def sweep_extras(suite: EvaluationSuite,
+                 topologies: Optional[Sequence[str]] = None,
+                 cube_counts: Optional[Sequence[int]] = None,
+                 kinds: Optional[Sequence[SystemKind]] = None,
+                 workloads: Optional[Sequence[str]] = None,
+                 num_controllers: Optional[int] = None) -> List[ExtraJob]:
+    """Every run a custom sweep needs, DRAM baselines included, as extra jobs."""
+    kinds = list(kinds) if kinds is not None else list(SWEEP_KINDS)
+    names = sweep_workloads(suite, workloads)
+    jobs: List[ExtraJob] = [(workload, suite.config_for(SystemKind.DRAM))
+                            for workload in names]
+    for net in sweep_networks(topologies, cube_counts, num_controllers):
+        for kind in kinds:
+            config = suite.config_for(kind, net=net)
+            jobs.extend((workload, config) for workload in names)
+    return jobs
+
+
+def run_sweep(suite: EvaluationSuite,
+              topologies: Optional[Sequence[str]] = None,
+              cube_counts: Optional[Sequence[int]] = None,
+              kinds: Optional[Sequence[SystemKind]] = None,
+              workloads: Optional[Sequence[str]] = None,
+              num_controllers: Optional[int] = None,
+              workers: Optional[int] = None) -> Tuple[str, Dict[str, int]]:
+    """Prefetch a custom sweep in one parallel batch, then render the figure.
+
+    Returns ``(figure text, prefetch summary)``; the summary's ``simulated``
+    count is zero on a warm cache, which the CI smoke job asserts.
+    """
+    extras = sweep_extras(suite, topologies, cube_counts, kinds, workloads,
+                          num_controllers)
+    stats = suite.prefetch_extra(extras, workers=workers)
+    text = render(compute(suite, topologies, cube_counts, kinds, workloads,
+                          num_controllers))
+    return text, stats

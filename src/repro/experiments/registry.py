@@ -24,8 +24,9 @@ from . import (
     fig_lud_heatmap,
     fig_power_energy,
     fig_speedup,
+    fig_topology,
 )
-from .suite import BespokeJob, Pair
+from .suite import BespokeJob, ExtraJob, Pair
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from .suite import EvaluationSuite
@@ -33,14 +34,18 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 @dataclass(frozen=True)
 class FigureSpec:
-    """One figure's declared needs: matrix pairs plus optional bespoke runs."""
+    """One figure's declared needs: matrix pairs plus optional bespoke runs
+    (non-matrix traces) and extra runs (matrix cells on network-variant
+    configurations)."""
 
     required_pairs: Callable[["EvaluationSuite"], Set[Pair]]
     bespoke_jobs: Optional[Callable[["EvaluationSuite"], List[BespokeJob]]] = None
+    extra_jobs: Optional[Callable[["EvaluationSuite"], List[ExtraJob]]] = None
 
 
 #: Paper figure name -> requirement declaration (5.1 through 5.8; the power /
-#: energy / EDP figures share one module and one requirement set).
+#: energy / EDP figures share one module and one requirement set; ``topology``
+#: is this reproduction's network-shape sweep on top of the paper's figures).
 FIGURE_REGISTRY: Dict[str, FigureSpec] = {
     "speedup": FigureSpec(fig_speedup.required_pairs),
     "latency": FigureSpec(fig_latency.required_pairs),
@@ -51,4 +56,6 @@ FIGURE_REGISTRY: Dict[str, FigureSpec] = {
     "edp": FigureSpec(fig_power_energy.required_pairs),
     "dynamic_offload": FigureSpec(fig_dynamic_offload.required_pairs,
                                   bespoke_jobs=fig_dynamic_offload.bespoke_jobs),
+    "topology": FigureSpec(fig_topology.required_pairs,
+                           extra_jobs=fig_topology.extra_jobs),
 }

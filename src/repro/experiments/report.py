@@ -11,6 +11,7 @@ from . import (
     fig_lud_heatmap,
     fig_power_energy,
     fig_speedup,
+    fig_topology,
 )
 from .registry import FIGURE_REGISTRY
 from .suite import EvaluationSuite
@@ -41,6 +42,7 @@ def full_report(suite: Optional[EvaluationSuite] = None,
         fig_power_energy.run_power(suite),
         fig_power_energy.run_energy(suite),
         fig_power_energy.run_edp(suite),
+        fig_topology.run(suite),
     ]
     if include_dynamic_offload:
         sections.append(fig_dynamic_offload.run(suite))

@@ -28,7 +28,9 @@ import os
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Optional, Set, Tuple
 
+from ..hmc.config import HMCNetworkConfig
 from ..isa import ProgramTrace
+from ..network.topology import build_network_topology
 from ..system import (CONFIG_ORDER, RunResult, SystemConfig, SystemKind,
                       make_system_config, normalize_workers, run_jobs,
                       run_program, run_workload)
@@ -44,6 +46,9 @@ Pair = Tuple[str, SystemKind]
 Job = Tuple[Tuple[str, str], SystemConfig, "str | Workload", Dict[str, object]]
 #: A bespoke figure requirement: tag, configuration, workload, cache params.
 BespokeJob = Tuple[str, SystemConfig, Workload, Dict[str, object]]
+#: A matrix run on an explicit (possibly network-variant) configuration, as
+#: declared by sweep figures: registered workload name + full system config.
+ExtraJob = Tuple[str, SystemConfig]
 
 
 @dataclass(frozen=True)
@@ -153,7 +158,8 @@ class EvaluationSuite:
                  workloads: Optional[Iterable[str]] = None,
                  kinds: Optional[Iterable[SystemKind]] = None,
                  workers: int = 1,
-                 cache_dir: "str | os.PathLike | None" = None) -> None:
+                 cache_dir: "str | os.PathLike | None" = None,
+                 net: Optional[HMCNetworkConfig] = None) -> None:
         if isinstance(scale, str):
             scale = SCALES[scale]
         self.scale = scale
@@ -162,7 +168,21 @@ class EvaluationSuite:
         self.kinds: List[SystemKind] = list(kinds) if kinds is not None else list(CONFIG_ORDER)
         self.workers = normalize_workers(workers)
         self.cache: Optional[RunCache] = RunCache(cache_dir) if cache_dir is not None else None
+        #: Memory-network shape every HMC-backed configuration uses (``None`` =
+        #: the default Table 4.1 dragonfly).  Because the network fingerprint
+        #: is part of :attr:`SystemConfig.label`, a non-default suite keys its
+        #: results — in memory and on disk — apart from the default one.
+        if net is not None:
+            # Fail fast on an impossible shape, mirroring the CLI path: a bad
+            # request must not surface as a mid-batch crash in a worker.
+            build_network_topology(net.topology, num_cubes=net.num_cubes,
+                                   num_controllers=net.num_controllers)
+        self.net = net
         self._results: Dict[Tuple[str, str], RunResult] = {}
+        #: kind -> config label under the suite-wide network; building a
+        #: SystemConfig just to read its label is the expensive part of key
+        #: planning, and the mapping is fixed for the suite's lifetime.
+        self._labels: Dict[SystemKind, str] = {}
         #: Simulations actually executed by this suite (persistent-cache hits
         #: do not count; the zero-simulation warm-path tests assert on this).
         self.simulations_run = 0
@@ -170,9 +190,27 @@ class EvaluationSuite:
         self.disk_hits = 0
 
     # -- persistent cache plumbing -----------------------------------------------
-    def _config_for(self, kind: SystemKind) -> SystemConfig:
-        return make_system_config(kind, profile=self.profile,
-                                  num_cores=self.scale.num_threads)
+    def config_for(self, kind: SystemKind,
+                   net: Optional[HMCNetworkConfig] = None) -> SystemConfig:
+        """The scale/profile-matched configuration for ``kind``.
+
+        ``net`` overrides the memory-network shape for this one config;
+        otherwise the suite-wide :attr:`net` (when set) applies.
+        """
+        config = make_system_config(kind, profile=self.profile,
+                                    num_cores=self.scale.num_threads)
+        effective = net if net is not None else self.net
+        if effective is not None:
+            config = config.with_network(effective)
+        return config
+
+    def _label_for(self, kind: SystemKind) -> str:
+        """Memoized ``self.config_for(kind).label``."""
+        label = self._labels.get(kind)
+        if label is None:
+            label = self.config_for(kind).label
+            self._labels[kind] = label
+        return label
 
     def _cache_key(self, workload: str, config_label: str,
                    params: Dict[str, object]) -> Dict[str, object]:
@@ -234,17 +272,28 @@ class EvaluationSuite:
         """The run result for one pair, simulating it on first use."""
         if isinstance(kind, str):
             kind = SystemKind.from_name(kind)
-        key = (workload, kind.value)
+        return self.result_for_config(workload, self.config_for(kind))
+
+    def result_for_config(self, workload: str, config: SystemConfig) -> RunResult:
+        """The run result for a workload on an explicit configuration.
+
+        This is the primitive behind :meth:`result` and the topology sweeps:
+        results key on ``config.label`` — which embeds the network fingerprint
+        when the network is non-default — in the in-memory matrix and the
+        persistent cache alike, so network variants of the same scheme occupy
+        distinct entries by construction.
+        """
+        key = (workload, config.label)
         cached = self._results.get(key)
         if cached is not None:
             return cached
         params = self.scale.params_for(workload)
-        result = self._cache_get(workload, kind.value, params)
+        result = self._cache_get(workload, config.label, params)
         if result is None:
-            result = run_workload(self._config_for(kind), workload,
+            result = run_workload(config, workload,
                                   num_threads=self.scale.num_threads, **params)
             self.simulations_run += 1
-            self._cache_put(workload, kind.value, params, result)
+            self._cache_put(workload, config.label, params, result)
         self._results[key] = result
         return result
 
@@ -293,15 +342,16 @@ class EvaluationSuite:
         the in-memory matrix here and excluded from the returned batch."""
         jobs: List[Job] = []
         for workload, kind in sorted(set(pairs), key=lambda p: (p[0], p[1].value)):
-            key = (workload, kind.value)
+            label = self._label_for(kind)
+            key = (workload, label)
             if key in self._results:
                 continue
             params = self.scale.params_for(workload)
-            result = self._cache_get(workload, kind.value, params)
+            result = self._cache_get(workload, label, params)
             if result is not None:
                 self._results[key] = result
                 continue
-            jobs.append((key, self._config_for(kind), workload, params))
+            jobs.append((key, self.config_for(kind), workload, params))
         return self._order_jobs(jobs)
 
     def _run_jobs(self, jobs: List[Job], workers: Optional[int]) -> None:
@@ -316,10 +366,11 @@ class EvaluationSuite:
                  workers: Optional[int] = None) -> Dict[str, int]:
         """Run everything the requested figures need in one parallel batch.
 
-        Bespoke figure runs (e.g. the 5.8 adaptive-offload traces) join the
-        matrix pairs in the same batch, so nothing expensive runs serially.
-        Returns a summary: ``pairs`` required, ``reused`` from memory,
-        ``disk_hits`` loaded from the persistent cache and ``simulated`` fresh.
+        Bespoke figure runs (e.g. the 5.8 adaptive-offload traces) and
+        network-variant sweep runs (the topology figure) join the matrix pairs
+        in the same batch, so nothing expensive runs serially.  Returns a
+        summary: ``pairs`` required, ``reused`` from memory, ``disk_hits``
+        loaded from the persistent cache and ``simulated`` fresh.
         """
         from .registry import FIGURE_REGISTRY
         figures = (list(dict.fromkeys(figures)) if figures is not None
@@ -329,7 +380,12 @@ class EvaluationSuite:
         jobs = self.pending_jobs(pairs)
         total = len(pairs)
         pair_jobs = len(jobs)
-        queued: Set[Tuple[str, str]] = set()
+        # Keys already counted toward the batch: every matrix pair, plus each
+        # bespoke/extra key as it is queued.  Extra jobs legitimately overlap
+        # the matrix (a sweep's default-network cells *are* matrix pairs), so
+        # this guard is what keeps each key counted and simulated at most once.
+        queued: Set[Tuple[str, str]] = {
+            (workload, self._label_for(kind)) for workload, kind in pairs}
         for name in figures:
             bespoke_jobs = FIGURE_REGISTRY[name].bespoke_jobs
             if bespoke_jobs is None:
@@ -347,12 +403,63 @@ class EvaluationSuite:
                     self._results[key] = result
                     continue
                 jobs.append((key, config, workload, params))
+        for name in figures:
+            extra_jobs = FIGURE_REGISTRY[name].extra_jobs
+            if extra_jobs is None:
+                continue
+            total += self._queue_extras(extra_jobs(self), queued, jobs)
         if len(jobs) > pair_jobs:
             # pending_jobs already ordered the matrix pairs; re-rank only when
-            # bespoke jobs joined the batch.
+            # bespoke/extra jobs joined the batch.
             jobs = self._order_jobs(jobs)
         disk_hits = self.disk_hits - disk_before
         self._run_jobs(jobs, workers)
+        return {"pairs": total,
+                "reused": total - len(jobs) - disk_hits,
+                "disk_hits": disk_hits,
+                "simulated": len(jobs)}
+
+    def _queue_extras(self, extras: Iterable[ExtraJob],
+                      queued: Set[Tuple[str, str]], jobs: List[Job]) -> int:
+        """Fold extra (workload, config) cells into a pending batch.
+
+        Deduplicates against ``queued``, counts in-memory results as reused,
+        loads persistent-cache hits into the matrix, and appends the rest to
+        ``jobs``.  Returns how many new cells were counted; shared by
+        :meth:`prefetch` and :meth:`prefetch_extra` so the two entry points
+        can never drift apart in accounting.
+        """
+        total = 0
+        for workload, config in extras:
+            key = (workload, config.label)
+            if key in queued:
+                continue
+            queued.add(key)
+            total += 1
+            if key in self._results:
+                continue
+            params = self.scale.params_for(workload)
+            result = self._cache_get(workload, config.label, params)
+            if result is not None:
+                self._results[key] = result
+                continue
+            jobs.append((key, config, workload, params))
+        return total
+
+    def prefetch_extra(self, extras: Iterable[ExtraJob],
+                       workers: Optional[int] = None) -> Dict[str, int]:
+        """Run explicit (workload, configuration) cells in one parallel batch.
+
+        The sweep CLI uses this to execute a custom topology/scheme cross
+        product; keys, caching and scheduling behave exactly like
+        :meth:`prefetch` (network variants land in distinct cache entries, a
+        warm repeat simulates nothing).
+        """
+        disk_before = self.disk_hits
+        jobs: List[Job] = []
+        total = self._queue_extras(extras, set(), jobs)
+        disk_hits = self.disk_hits - disk_before
+        self._run_jobs(self._order_jobs(jobs), workers)
         return {"pairs": total,
                 "reused": total - len(jobs) - disk_hits,
                 "disk_hits": disk_hits,

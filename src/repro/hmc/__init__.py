@@ -1,6 +1,6 @@
 """Hybrid Memory Cube substrate: vaults, cubes, host controllers, memory network."""
 
-from .config import HMCConfig, HMCNetworkConfig
+from .config import HMCConfig, HMCNetworkConfig, default_network
 from .cube import HMCCube
 from .hmc_controller import HMCController
 from .hmc_memory import HMCMemorySystem
@@ -9,6 +9,7 @@ from .vault import VaultController
 __all__ = [
     "HMCConfig",
     "HMCNetworkConfig",
+    "default_network",
     "HMCCube",
     "HMCController",
     "HMCMemorySystem",

@@ -2,7 +2,8 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import hashlib
+from dataclasses import dataclass, field, replace
 
 from ..dram.timing import HMC_VAULT_TIMING, DRAMTiming
 from ..network.link import LinkConfig
@@ -37,3 +38,39 @@ class HMCNetworkConfig:
     controller_latency: float = 4.0
     #: Granule for interleaving normal requests across the host-side controllers.
     controller_interleave: int = 4096
+
+    @property
+    def is_default(self) -> bool:
+        """True for the Table 4.1 network every existing figure was built on."""
+        return self == default_network()
+
+    @property
+    def label(self) -> str:
+        """Short deterministic fingerprint of this network, e.g. ``mesh16c4``.
+
+        The shape dimensions (topology, cube count, controller count) are
+        spelled out; any further deviation from the defaults (link parameters,
+        router delay, ...) is folded into an 8-hex digest suffix so that two
+        different networks can never share a label.  Experiment labels and
+        run-cache keys embed this string, which is what keeps results from
+        different networks apart.
+        """
+        base = f"{self.topology}{self.num_cubes}c{self.num_controllers}"
+        shape_only = replace(default_network(), topology=self.topology,
+                             num_cubes=self.num_cubes,
+                             num_controllers=self.num_controllers)
+        if self == shape_only:
+            return base
+        digest = hashlib.sha256(repr(self).encode()).hexdigest()[:8]
+        return f"{base}-{digest}"
+
+
+_DEFAULT_NETWORK: "HMCNetworkConfig | None" = None
+
+
+def default_network() -> HMCNetworkConfig:
+    """The shared default :class:`HMCNetworkConfig` instance (Table 4.1)."""
+    global _DEFAULT_NETWORK
+    if _DEFAULT_NETWORK is None:
+        _DEFAULT_NETWORK = HMCNetworkConfig()
+    return _DEFAULT_NETWORK

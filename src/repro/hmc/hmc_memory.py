@@ -13,7 +13,7 @@ from typing import List, Optional
 from ..mem import HMCAddressMapping, MemoryRequest
 from ..network.link import LinkConfig
 from ..network.network import MemoryNetwork
-from ..network.topology import Topology, build_topology
+from ..network.topology import Topology, build_network_topology
 from ..sim import Component, Simulator
 from .config import HMCConfig, HMCNetworkConfig
 from .cube import HMCCube
@@ -37,6 +37,7 @@ class HMCMemorySystem(Component):
         )
         if topology is None:
             topology = self._build_topology()
+        self._check_topology(topology)
         self.topology = topology
         self.network = MemoryNetwork(sim, topology, link_config=self.net_config.link,
                                      router_delay=self.net_config.router_delay)
@@ -54,20 +55,34 @@ class HMCMemorySystem(Component):
             self.controllers.append(controller)
 
     def _build_topology(self) -> Topology:
-        kind = self.net_config.topology
-        if kind == "dragonfly":
-            groups = max(2, self.net_config.num_controllers)
-            routers = self.net_config.num_cubes // groups
-            return build_topology("dragonfly", num_groups=groups, routers_per_group=routers,
-                                  num_controllers=self.net_config.num_controllers)
-        if kind == "mesh":
-            side = int(round(self.net_config.num_cubes ** 0.5))
-            return build_topology("mesh", rows=side, cols=side,
-                                  num_controllers=self.net_config.num_controllers)
-        if kind == "chain":
-            return build_topology("chain", num_cubes=self.net_config.num_cubes,
-                                  num_controllers=self.net_config.num_controllers)
-        raise ValueError(f"unknown topology kind {kind!r}")
+        """Build the configured topology with *exactly* ``num_cubes`` cubes.
+
+        Shape parameters (groups, rows, columns) are derived from the cube
+        count, so the network can never silently disagree with the address
+        mapping (which is sized from the same ``num_cubes``); an impossible
+        request fails here, before any simulation starts.
+        """
+        return build_network_topology(self.net_config.topology,
+                                      num_cubes=self.net_config.num_cubes,
+                                      num_controllers=self.net_config.num_controllers)
+
+    def _check_topology(self, topology: Topology) -> None:
+        """Reject any network/mapping cube-count divergence up front.
+
+        A mismatch would otherwise surface only mid-run, when
+        ``mapping.cube_of`` names a cube the network never built and routing
+        fails with an opaque "no route" error.
+        """
+        topology.validate()
+        if topology.num_cubes != self.net_config.num_cubes:
+            raise ValueError(
+                f"topology {topology.name!r} has {topology.num_cubes} cubes but the "
+                f"network config asks for {self.net_config.num_cubes}; requests would "
+                f"be mapped to cubes that do not exist")
+        if self.mapping.num_cubes != topology.num_cubes:
+            raise ValueError(
+                f"address mapping interleaves across {self.mapping.num_cubes} cubes "
+                f"but topology {topology.name!r} has {topology.num_cubes}")
 
     # -- MemorySystem protocol --------------------------------------------------
     @property

@@ -47,7 +47,11 @@ class HMCAddressMapping:
     row_size: int = 2048
 
     def __post_init__(self) -> None:
-        _require_power_of_two(self.num_cubes, "num_cubes")
+        # Cube selection is a modulo over hashed granules, so any positive cube
+        # count interleaves correctly; topology factorizations (2x4 mesh, 3x6
+        # dragonfly, ...) legitimately produce non-power-of-two counts.
+        if self.num_cubes < 1:
+            raise ValueError(f"num_cubes must be positive, got {self.num_cubes}")
         _require_power_of_two(self.num_vaults, "num_vaults")
         _require_power_of_two(self.banks_per_vault, "banks_per_vault")
         _require_power_of_two(self.block_size, "block_size")

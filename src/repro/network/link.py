@@ -10,7 +10,7 @@ paper (Section 5.2.2).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Tuple
+from typing import Dict, Tuple
 
 from ..sim import SharedResource, Simulator
 from .packet import MOVEMENT_CATEGORIES, Packet
@@ -88,6 +88,22 @@ class Link(SharedResource):
         if self._acc_queue_wait:
             self._queue_wait_cycles.value += self._acc_queue_wait
             self._acc_queue_wait = 0.0
+
+    # -- aggregation-friendly readers ----------------------------------------
+    # Network-wide aggregations (off-chip traffic, per-node load) read these
+    # instead of the string-keyed registry API: folding this one link's
+    # accumulators and reading its bound cells avoids a full registry flush
+    # per counter lookup (links x categories of them per aggregation).
+    def total_bytes(self) -> float:
+        """Bytes that crossed this link so far."""
+        self.flush()
+        return self._h_bytes.value
+
+    def bytes_by_category(self) -> Dict[str, float]:
+        """Bytes that crossed this link, keyed by movement category."""
+        self.flush()
+        return {category: self._h_bytes_by_category[category].value
+                for category in MOVEMENT_CATEGORIES}
 
     def transmit(self, packet: Packet, earliest: float | None = None) -> Tuple[float, float]:
         """Send ``packet`` over the link.

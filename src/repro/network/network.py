@@ -198,18 +198,22 @@ class MemoryNetwork(Component):
         Only the controller-adjacent links are counted: this is the on/off-chip
         traffic of Figure 5.4, as opposed to traffic staying inside the memory
         network (operand fetches between cubes, tree reductions, ...).
+
+        Reads go through each link's own flushed counter cells: the
+        string-keyed registry path would trigger a full flush of *every*
+        epoch-batched component per lookup, links x categories times per call.
         """
         totals = {cat: 0.0 for cat in MOVEMENT_CATEGORIES}
         controller_nodes = set(self.topology.controller_nodes)
         for (src, dst), link in self.links.items():
             if src in controller_nodes or dst in controller_nodes:
-                for cat in MOVEMENT_CATEGORIES:
-                    totals[cat] += self.sim.stats.counter(f"{link.name}.bytes.{cat}")
+                for cat, value in link.bytes_by_category().items():
+                    totals[cat] += value
         return totals
 
     def link_load_by_node(self) -> Dict[int, float]:
         """Bytes forwarded out of each node (used for the Figure 5.3 heat maps)."""
         load: Dict[int, float] = {n: 0.0 for n in self.topology.graph.nodes}
         for (src, _dst), link in self.links.items():
-            load[src] += self.sim.stats.counter(f"{link.name}.bytes")
+            load[src] += link.total_bytes()
         return load

@@ -4,6 +4,12 @@ The paper connects 16 HMC cubes in a dragonfly and attaches 4 host-side HMC
 controllers at the edges (Table 4.1).  Controllers are modelled as extra graph
 nodes so that routing treats them uniformly; cube nodes are ``0 .. num_cubes-1``
 and controller nodes follow immediately after.
+
+The topology is data: every builder takes shape parameters and returns the
+same :class:`Topology` record, and :func:`build_network_topology` derives the
+shape parameters from a plain ``(kind, num_cubes, num_controllers)`` request —
+honoring the requested cube count *exactly* or failing immediately with an
+actionable message, never silently building a different network.
 """
 
 from __future__ import annotations
@@ -40,10 +46,47 @@ class Topology:
         return sorted(tuple(sorted(e)) for e in self.graph.edges())
 
     def validate(self) -> None:
-        """Sanity-check connectivity; raises ``ValueError`` on a broken build."""
+        """Cross-check the whole record; raises ``ValueError`` on a broken build.
+
+        Checks connectivity, that the graph holds exactly the advertised cube
+        nodes ``0 .. num_cubes-1`` plus the controller nodes (so an address
+        mapping sized from ``num_cubes`` can never route to a nonexistent
+        cube), that controller ids are disjoint from the cube id range and
+        listed without duplicates, and that every controller is attached to an
+        existing cube by a real edge.
+        """
+        if self.num_cubes < 1:
+            raise ValueError(f"topology {self.name!r} has no cubes")
+        nodes = set(self.graph.nodes)
+        cube_nodes = set(range(self.num_cubes))
+        missing = cube_nodes - nodes
+        if missing:
+            raise ValueError(
+                f"topology {self.name!r} advertises {self.num_cubes} cubes but "
+                f"the graph is missing cube nodes {sorted(missing)}")
+        if len(self.controller_nodes) != len(set(self.controller_nodes)):
+            raise ValueError(f"topology {self.name!r} lists duplicate controller nodes")
+        controllers = set(self.controller_nodes)
+        if controllers != set(self.controller_attach):
+            raise ValueError(
+                f"topology {self.name!r}: controller_nodes and controller_attach "
+                f"disagree ({sorted(controllers)} vs {sorted(self.controller_attach)})")
+        overlap = controllers & cube_nodes
+        if overlap:
+            raise ValueError(
+                f"topology {self.name!r}: controller nodes {sorted(overlap)} "
+                f"collide with the cube id range 0..{self.num_cubes - 1}")
+        extras = nodes - cube_nodes - controllers
+        if extras:
+            raise ValueError(
+                f"topology {self.name!r} contains unexpected nodes {sorted(extras)} "
+                f"(neither cube nor controller)")
         if not nx.is_connected(self.graph):
             raise ValueError(f"topology {self.name!r} is not connected")
         for ctrl, cube in self.controller_attach.items():
+            if cube not in cube_nodes:
+                raise ValueError(
+                    f"controller {ctrl} attaches to {cube}, which is not a cube")
             if not self.graph.has_edge(ctrl, cube):
                 raise ValueError(f"controller {ctrl} is not attached to cube {cube}")
 
@@ -102,6 +145,23 @@ def build_dragonfly(num_groups: int = 4, routers_per_group: int = 4,
     return topo
 
 
+def _corner_attach(rows: int, cols: int, num_controllers: int) -> List[int]:
+    """The four grid corners, deduplicated and recycled to ``num_controllers``."""
+    def node(r: int, c: int) -> int:
+        return r * cols + c
+
+    corners = [node(0, 0), node(0, cols - 1), node(rows - 1, 0), node(rows - 1, cols - 1)]
+    # Deduplicate for degenerate grids (single row/column).
+    seen: List[int] = []
+    for c in corners:
+        if c not in seen:
+            seen.append(c)
+    attach_cubes = seen[:num_controllers]
+    if len(attach_cubes) < num_controllers:
+        attach_cubes = (attach_cubes * num_controllers)[:num_controllers]
+    return attach_cubes
+
+
 def build_mesh(rows: int = 4, cols: int = 4, num_controllers: int = 4) -> Topology:
     """2-D mesh of cubes with controllers attached at the four corners."""
     if rows < 1 or cols < 1:
@@ -120,17 +180,78 @@ def build_mesh(rows: int = 4, cols: int = 4, num_controllers: int = 4) -> Topolo
             if r + 1 < rows:
                 graph.add_edge(node(r, c), node(r + 1, c))
 
-    corners = [node(0, 0), node(0, cols - 1), node(rows - 1, 0), node(rows - 1, cols - 1)]
-    # Deduplicate for degenerate meshes (single row/column).
-    seen: List[int] = []
-    for c in corners:
-        if c not in seen:
-            seen.append(c)
-    attach_cubes = seen[:num_controllers]
-    if len(attach_cubes) < num_controllers:
-        attach_cubes = (attach_cubes * num_controllers)[:num_controllers]
+    attach_cubes = _corner_attach(rows, cols, num_controllers)
     controllers, attach = _add_controllers(graph, num_cubes, attach_cubes)
     topo = Topology(name=f"mesh{rows}x{cols}", num_cubes=num_cubes, graph=graph,
+                    controller_nodes=controllers, controller_attach=attach)
+    topo.validate()
+    return topo
+
+
+def build_torus(rows: int = 4, cols: int = 4, num_controllers: int = 4) -> Topology:
+    """2-D torus: a mesh with wrap-around links closing every row and column.
+
+    For dimensions of at least 3 the wrap links halve the worst-case hop count
+    of the mesh and double its bisection, which is what makes the torus an
+    interesting middle point between the mesh and the dragonfly in a topology
+    sweep.  A dimension of exactly 2 is degenerate: its wrap link coincides
+    with the mesh link (the network is a simple graph — one link per node
+    pair, no parallel links), so that dimension keeps mesh connectivity; a
+    dimension of 1 gets no wrap link at all (no self-loops).
+    """
+    if rows < 1 or cols < 1:
+        raise ValueError("torus dimensions must be positive")
+    num_cubes = rows * cols
+    graph = nx.Graph()
+    graph.add_nodes_from(range(num_cubes))
+
+    def node(r: int, c: int) -> int:
+        return r * cols + c
+
+    for r in range(rows):
+        for c in range(cols):
+            if cols > 1:
+                graph.add_edge(node(r, c), node(r, (c + 1) % cols))
+            if rows > 1:
+                graph.add_edge(node(r, c), node((r + 1) % rows, c))
+
+    attach_cubes = _corner_attach(rows, cols, num_controllers)
+    controllers, attach = _add_controllers(graph, num_cubes, attach_cubes)
+    topo = Topology(name=f"torus{rows}x{cols}", num_cubes=num_cubes, graph=graph,
+                    controller_nodes=controllers, controller_attach=attach)
+    topo.validate()
+    return topo
+
+
+def build_flattened_butterfly(rows: int = 4, cols: int = 4,
+                              num_controllers: int = 4) -> Topology:
+    """2-D flattened butterfly: full connectivity within every row and column.
+
+    Any cube reaches any other in at most two hops (one row hop plus one
+    column hop), trading link count for the lowest diameter of the swept
+    topologies.
+    """
+    if rows < 1 or cols < 1:
+        raise ValueError("flattened butterfly dimensions must be positive")
+    num_cubes = rows * cols
+    graph = nx.Graph()
+    graph.add_nodes_from(range(num_cubes))
+
+    def node(r: int, c: int) -> int:
+        return r * cols + c
+
+    for r in range(rows):
+        for c1 in range(cols):
+            for c2 in range(c1 + 1, cols):
+                graph.add_edge(node(r, c1), node(r, c2))
+    for c in range(cols):
+        for r1 in range(rows):
+            for r2 in range(r1 + 1, rows):
+                graph.add_edge(node(r1, c), node(r2, c))
+
+    attach_cubes = _corner_attach(rows, cols, num_controllers)
+    controllers, attach = _add_controllers(graph, num_cubes, attach_cubes)
+    topo = Topology(name=f"fbfly{rows}x{cols}", num_cubes=num_cubes, graph=graph,
                     controller_nodes=controllers, controller_attach=attach)
     topo.validate()
     return topo
@@ -155,14 +276,87 @@ def build_chain(num_cubes: int = 4, num_controllers: int = 1) -> Topology:
 TOPOLOGY_BUILDERS = {
     "dragonfly": build_dragonfly,
     "mesh": build_mesh,
+    "torus": build_torus,
+    "flattened_butterfly": build_flattened_butterfly,
     "chain": build_chain,
 }
 
 
 def build_topology(kind: str, **kwargs) -> Topology:
-    """Build a topology by name (``dragonfly``, ``mesh`` or ``chain``)."""
+    """Build a topology by name with explicit shape parameters."""
     try:
         builder = TOPOLOGY_BUILDERS[kind]
     except KeyError:
         raise ValueError(f"unknown topology {kind!r}; choose from {sorted(TOPOLOGY_BUILDERS)}")
     return builder(**kwargs)
+
+
+# -- cube-count driven construction ---------------------------------------------
+
+def grid_shape(num_cubes: int) -> Tuple[int, int]:
+    """The most balanced exact ``rows x cols`` factorization of ``num_cubes``.
+
+    ``rows`` is the largest divisor not exceeding ``sqrt(num_cubes)``, so the
+    grid is as square as possible and ``rows <= cols`` always holds; a prime
+    count degenerates to ``1 x num_cubes`` but still builds *exactly* the
+    requested number of cubes.
+    """
+    if num_cubes < 1:
+        raise ValueError(f"num_cubes must be positive, got {num_cubes}")
+    rows = 1
+    for candidate in range(1, int(num_cubes ** 0.5) + 1):
+        if num_cubes % candidate == 0:
+            rows = candidate
+    return rows, num_cubes // rows
+
+
+def dragonfly_shape(num_cubes: int, num_controllers: int) -> Tuple[int, int]:
+    """An exact ``(num_groups, routers_per_group)`` factorization for a dragonfly.
+
+    Valid shapes satisfy ``groups * routers == num_cubes`` with ``groups >=
+    max(2, num_controllers)`` (one controller per group at most) and ``groups -
+    1 <= routers`` (each group hosts one global link per peer group).  Among
+    the valid factorizations the most balanced wins, smaller group count
+    breaking ties; when none exists the request fails immediately with the
+    constraints spelled out, instead of silently truncating the cube count.
+    """
+    if num_cubes < 2:
+        raise ValueError(f"a dragonfly needs at least 2 cubes, got {num_cubes}")
+    min_groups = max(2, num_controllers)
+    candidates = []
+    for groups in range(min_groups, num_cubes + 1):
+        if num_cubes % groups:
+            continue
+        routers = num_cubes // groups
+        if groups - 1 <= routers:
+            candidates.append((groups, routers))
+    if not candidates:
+        raise ValueError(
+            f"cannot build a dragonfly with exactly {num_cubes} cubes and "
+            f"{num_controllers} controllers: need num_cubes = groups x routers "
+            f"with groups >= {min_groups} and groups - 1 <= routers; "
+            f"pick a cube count with such a factorization (e.g. 16 = 4x4) "
+            f"or reduce --num-controllers")
+    return min(candidates, key=lambda shape: (abs(shape[0] - shape[1]), shape[0]))
+
+
+def build_network_topology(kind: str, num_cubes: int, num_controllers: int) -> Topology:
+    """Build the ``kind`` topology with *exactly* ``num_cubes`` cubes.
+
+    This is the entry point :class:`~repro.hmc.hmc_memory.HMCMemorySystem`
+    uses: shape parameters (groups/rows/columns) are derived from the cube
+    count rather than the other way round, so the network always agrees with
+    the address mapping sized from the same ``num_cubes`` — or the build fails
+    up front with an actionable error.
+    """
+    if kind == "dragonfly":
+        groups, routers = dragonfly_shape(num_cubes, num_controllers)
+        return build_dragonfly(num_groups=groups, routers_per_group=routers,
+                               num_controllers=num_controllers)
+    if kind in ("mesh", "torus", "flattened_butterfly"):
+        rows, cols = grid_shape(num_cubes)
+        builder = TOPOLOGY_BUILDERS[kind]
+        return builder(rows=rows, cols=cols, num_controllers=num_controllers)
+    if kind == "chain":
+        return build_chain(num_cubes=num_cubes, num_controllers=num_controllers)
+    raise ValueError(f"unknown topology {kind!r}; choose from {sorted(TOPOLOGY_BUILDERS)}")

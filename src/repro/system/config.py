@@ -15,7 +15,8 @@ from typing import List, Optional, Tuple
 from ..core.config import AREConfig
 from ..core.schemes import Scheme
 from ..cpu.config import CMPConfig, paper_cmp_config, scaled_cmp_config
-from ..hmc.config import HMCConfig, HMCNetworkConfig
+from ..hmc.config import HMCConfig, HMCNetworkConfig, default_network
+from ..network.topology import build_network_topology
 from ..mem import DRAMAddressMapping
 
 
@@ -74,21 +75,70 @@ class SystemConfig:
     profile: str = "scaled"
 
     @property
+    def network_label(self) -> Optional[str]:
+        """The network fingerprint, or ``None`` when it cannot matter.
+
+        ``None`` for the DRAM baseline (no memory network) and for the default
+        Table 4.1 network, so every label and cache key that predates the
+        topology dimension stays byte-identical.
+        """
+        if not self.kind.uses_hmc or self.hmc_net.is_default:
+            return None
+        return self.hmc_net.label
+
+    @property
     def label(self) -> str:
-        return self.kind.value
+        """Scheme label, suffixed with the network fingerprint when non-default.
+
+        ``"ARF-tid"`` on the default network, ``"ARF-tid@mesh16c4"`` on a
+        variant one; this string keys the in-memory result matrix and joins
+        the persistent run-cache key, so two network variants of the same
+        scheme can never collide.
+        """
+        network = self.network_label
+        return self.kind.value if network is None else f"{self.kind.value}@{network}"
 
     def with_kind(self, kind: SystemKind) -> "SystemConfig":
         """The same machine with a different memory/offload configuration."""
         return replace(self, kind=kind)
 
+    def with_network(self, net: HMCNetworkConfig) -> "SystemConfig":
+        """The same machine with a different memory-network shape."""
+        return replace(self, hmc_net=net)
+
+
+def make_network_config(topology: Optional[str] = None,
+                        num_cubes: Optional[int] = None,
+                        num_controllers: Optional[int] = None) -> HMCNetworkConfig:
+    """An :class:`HMCNetworkConfig` with the given overrides, validated eagerly.
+
+    The topology is test-built once (cheap, graph-only) so an impossible shape
+    — e.g. 18 cubes in a dragonfly — fails right here with the builder's
+    actionable message instead of deep inside a system build.
+    """
+    overrides = {name: value for name, value in (("topology", topology),
+                                                 ("num_cubes", num_cubes),
+                                                 ("num_controllers", num_controllers))
+                 if value is not None}
+    net = replace(default_network(), **overrides) if overrides else default_network()
+    build_network_topology(net.topology, num_cubes=net.num_cubes,
+                           num_controllers=net.num_controllers)
+    return net
+
 
 def make_system_config(kind: "SystemKind | str", profile: str = "scaled",
-                       num_cores: Optional[int] = None) -> SystemConfig:
+                       num_cores: Optional[int] = None,
+                       topology: Optional[str] = None,
+                       num_cubes: Optional[int] = None,
+                       num_controllers: Optional[int] = None) -> SystemConfig:
     """Build a :class:`SystemConfig` for one of the five evaluation schemes.
 
     ``profile`` selects between the full Table 4.1 machine (``"paper"``) and the
     scaled-down machine used by the default experiments (``"scaled"``), whose
     cache capacities shrink together with the workload footprints.
+    ``topology``/``num_cubes``/``num_controllers`` override the memory-network
+    shape (default: the 16-cube dragonfly of Table 4.1); impossible shapes are
+    rejected here rather than mid-build.
     """
     if isinstance(kind, str):
         kind = SystemKind.from_name(kind)
@@ -100,7 +150,11 @@ def make_system_config(kind: "SystemKind | str", profile: str = "scaled",
         raise ValueError(f"unknown profile {profile!r}; choose 'paper' or 'scaled'")
     if num_cores is not None and profile == "paper":
         cmp = replace(cmp, num_cores=num_cores)
-    return SystemConfig(kind=kind, cmp=cmp, profile=profile)
+    config = SystemConfig(kind=kind, cmp=cmp, profile=profile)
+    if topology is not None or num_cubes is not None or num_controllers is not None:
+        config = config.with_network(make_network_config(
+            topology=topology, num_cubes=num_cubes, num_controllers=num_controllers))
+    return config
 
 
 def all_system_configs(profile: str = "scaled",

@@ -28,6 +28,10 @@ class RunResult:
     stall_breakdown: Dict[str, float] = field(default_factory=dict)
     cache_stats: Dict[str, float] = field(default_factory=dict)
     per_cube: Dict[str, Dict[int, float]] = field(default_factory=dict)
+    #: Memory-network fabric totals (HMC-backed configs only): hops, injected
+    #: packets, accumulated link queue delay.  The topology-sweep figure reads
+    #: queueing pressure from here; empty for the DRAM baseline.
+    network_stats: Dict[str, float] = field(default_factory=dict)
     flow_checks: Tuple[int, int] = (0, 0)
     ipc_samples: List[Tuple[float, int]] = field(default_factory=list)
     metadata: Dict[str, object] = field(default_factory=dict)
@@ -97,6 +101,21 @@ def _collect_data_movement(system: BuiltSystem) -> Dict[str, float]:
             "network_total": reads + writes}
 
 
+def _collect_network(system: BuiltSystem) -> Dict[str, float]:
+    if not system.config.kind.uses_hmc:
+        return {}
+    stats = system.sim.stats
+    hops = stats.counter("network.hops")
+    queue_delay = stats.counter("network.queue_delay_cycles")
+    return {
+        "hops": hops,
+        "injected": stats.counter("network.injected"),
+        "bytes": stats.counter("network.bytes"),
+        "queue_delay_cycles": queue_delay,
+        "queue_delay_per_hop": queue_delay / hops if hops else 0.0,
+    }
+
+
 def _collect_update_latency(system: BuiltSystem) -> Dict[str, float]:
     stats = system.sim.stats
     out = {}
@@ -163,6 +182,7 @@ def collect_results(system: BuiltSystem, program: ProgramTrace) -> RunResult:
         instructions=system.cmp.total_instructions(),
         energy=energy,
         data_movement=_collect_data_movement(system),
+        network_stats=_collect_network(system),
         update_latency=_collect_update_latency(system),
         stall_breakdown=system.cmp.stall_breakdown(),
         cache_stats=cache_stats,

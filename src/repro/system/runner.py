@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import os
 import time
+from dataclasses import replace
 from typing import Dict, Iterable, List, Optional, Tuple, Union
 
 from ..isa import ProgramTrace
@@ -63,7 +64,12 @@ def run_workload(config: Union[SystemConfig, SystemKind, str],
     if not isinstance(config, SystemConfig):
         config = make_system_config(config)
     if isinstance(workload, str):
-        wconfig = workload_config or WorkloadConfig()
+        if workload_config is None:
+            wconfig = WorkloadConfig()
+        else:
+            # Copy before overriding: the caller still owns workload_config and
+            # a thread-count override must not write through into it.
+            wconfig = replace(workload_config, extra=dict(workload_config.extra))
         if num_threads is not None:
             wconfig.num_threads = num_threads
         workload = make_workload(workload, wconfig, **workload_params)

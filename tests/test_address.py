@@ -8,11 +8,22 @@ from repro.mem import DRAMAddressMapping, HMCAddressMapping
 addresses = st.integers(min_value=0, max_value=2**40)
 
 
-def test_hmc_mapping_rejects_non_power_of_two():
+def test_hmc_mapping_rejects_invalid_shapes():
+    # Non-power-of-two cube counts are legal (exact topology factorizations
+    # like a 2x4 mesh produce them); zero/negative counts are not.
+    assert HMCAddressMapping(num_cubes=10).num_cubes == 10
     with pytest.raises(ValueError):
-        HMCAddressMapping(num_cubes=10)
+        HMCAddressMapping(num_cubes=0)
+    with pytest.raises(ValueError):
+        HMCAddressMapping(num_vaults=12)
     with pytest.raises(ValueError):
         HMCAddressMapping(cube_interleave=48)
+
+
+def test_hmc_mapping_non_power_of_two_cubes_stay_in_range():
+    mapping = HMCAddressMapping(num_cubes=10)
+    cubes = {mapping.cube_of(page * 4096) for page in range(512)}
+    assert cubes == set(range(10))
 
 
 def test_hmc_block_alignment():

@@ -98,3 +98,91 @@ def test_cli_prefetch_no_cache_does_not_persist(capsys, tmp_path, monkeypatch):
     assert "simulated: 3" in out
     assert "cache: disabled" in out
     assert not default_dir.exists()
+
+
+def test_cli_config_names_are_normalized():
+    parser = build_parser()
+    # argparse choices used to reject spellings SystemKind.from_name accepts.
+    for spelling in ("arf_tid", "ARF_TID", "arf-tid", "ARF-tid"):
+        assert parser.parse_args(["run", "--config", spelling]).config == "ARF-tid"
+    assert parser.parse_args(["run", "--config", "dram"]).config == "DRAM"
+    with pytest.raises(SystemExit):
+        parser.parse_args(["run", "--config", "arf"])
+
+
+def test_cli_run_with_network_override(capsys):
+    exit_code = main(["run", "--config", "arf_tid", "--workload", "reduce",
+                      "--threads", "2", "--param", "array_elements=256",
+                      "--topology", "mesh", "--num-cubes", "8"])
+    assert exit_code == 0
+    out = capsys.readouterr().out
+    assert "reduce on ARF-tid@mesh8c4" in out
+    assert "flows verified" in out
+
+
+def test_cli_run_rejects_impossible_network(capsys):
+    # A clean usage error (no traceback), carrying the builder's message.
+    with pytest.raises(SystemExit, match="exactly 18 cubes"):
+        main(["run", "--config", "HMC", "--workload", "reduce",
+              "--num-cubes", "18"])
+
+
+def test_cli_sweep_parser_defaults():
+    parser = build_parser()
+    args = parser.parse_args(["sweep", "--scale", "tiny"])
+    assert args.topologies == ["dragonfly", "mesh", "torus"]
+    assert args.cube_counts == [16]
+    assert args.configs == ["HMC", "ART", "ARF-tid", "ARF-addr"]
+    args = parser.parse_args(["sweep", "--topologies", "mesh", "--num-cubes",
+                              "8", "16", "--configs", "hmc", "arf_addr"])
+    assert args.topologies == ["mesh"] and args.cube_counts == [8, 16]
+    assert args.configs == ["HMC", "ARF-addr"]
+    with pytest.raises(SystemExit):
+        parser.parse_args(["sweep", "--topologies", "hypercube"])
+
+
+def test_cli_sweep_cold_then_warm(capsys, tmp_path):
+    argv = ["sweep", "--scale", "tiny", "--topologies", "mesh", "torus",
+            "--configs", "HMC", "--workloads", "mac", "--workers", "2",
+            "--cache-dir", str(tmp_path)]
+    assert main(argv) == 0
+    cold = capsys.readouterr().out
+    # 1 DRAM baseline + 2 topologies x 1 scheme x 1 workload.
+    assert "simulated: 3" in cold
+    assert "mesh16c4" in cold and "torus16c4" in cold
+
+    assert main(argv) == 0
+    warm = capsys.readouterr().out
+    assert "loaded from cache: 3" in warm and "simulated: 0" in warm
+
+
+def test_cli_sweep_rejects_dram():
+    with pytest.raises(SystemExit, match="DRAM"):
+        main(["sweep", "--scale", "tiny", "--configs", "DRAM"])
+
+
+def test_cli_sweep_rejects_impossible_shape_before_simulating(tmp_path):
+    # 8 cubes cannot form a 4-controller dragonfly; the sweep must fail while
+    # planning (no cache entries written), not mid-batch in a worker — and as
+    # a clean usage error, not a traceback.
+    with pytest.raises(SystemExit, match="exactly 8 cubes"):
+        main(["sweep", "--scale", "tiny", "--topologies", "dragonfly",
+              "--num-cubes", "8", "--workloads", "mac",
+              "--cache-dir", str(tmp_path)])
+    assert list(tmp_path.glob("*.pkl")) == []
+
+
+def test_cli_sweep_deduplicates_repeated_operands(capsys, tmp_path):
+    assert main(["sweep", "--scale", "tiny", "--topologies", "mesh", "mesh",
+                 "--num-cubes", "16", "16", "--configs", "HMC", "hmc",
+                 "--workloads", "mac", "--cache-dir", str(tmp_path)]) == 0
+    out = capsys.readouterr().out
+    # One mesh row per table (speedup, queue delay, per-workload), not two.
+    assert out.count("mesh16c4") == 3
+    assert "simulated: 2" in out        # 1 DRAM baseline + 1 mesh/HMC cell
+
+
+def test_cli_run_rejects_network_flags_on_dram():
+    with pytest.raises(SystemExit, match="DRAM baseline"):
+        main(["run", "--config", "dram", "--workload", "reduce",
+              "--topology", "mesh"])

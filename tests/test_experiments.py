@@ -115,3 +115,90 @@ def test_fig_5_8_dynamic_offload(suite):
     assert data["speedups"]["ARF-tid-adaptive"] >= data["speedups"]["ARF-tid"] * 0.9
     assert data["threshold"] > 0
     assert "Figure 5.8" in fig_dynamic_offload.render(data)
+
+
+def test_topology_sweep_figure(suite):
+    from repro.experiments import fig_topology
+
+    data = fig_topology.compute(suite)
+    assert data["networks"] == ["dragonfly16c4", "mesh16c4", "torus16c4"]
+    assert data["kinds"] == ["HMC", "ARF-tid"]
+    assert data["workloads"] == ["mac", "pagerank"]
+    for net in data["networks"]:
+        for kind in data["kinds"]:
+            assert data["speedup"][net][kind] > 0
+            assert data["queue_delay"][net][kind] >= 0.0
+    # The default-network column reuses the plain matrix runs: the dragonfly
+    # cells must agree exactly with the headline speedup figure.
+    assert data["per_workload"]["dragonfly16c4"]["ARF-tid"]["mac"] == \
+        pytest.approx(suite.speedup("mac", "ARF-tid"))
+    text = fig_topology.render(data)
+    assert "Topology sweep" in text and "mesh16c4" in text
+
+
+def test_topology_figure_prefetch_batches_variant_runs(tmp_path):
+    from repro.experiments import fig_topology
+
+    cold = EvaluationSuite("tiny", workloads=["mac"], workers=2,
+                           cache_dir=tmp_path)
+    stats = cold.prefetch(figures=["topology"])
+    # 1 DRAM baseline pair + 3 networks x 2 schemes (the dragonfly cells are
+    # the default network, so they double as plain matrix runs).
+    assert stats == {"pairs": 7, "reused": 0, "disk_hits": 0, "simulated": 7}
+    before = cold.simulations_run
+    fig_topology.compute(cold)
+    assert cold.simulations_run == before      # figure served from the batch
+
+    warm = EvaluationSuite("tiny", workloads=["mac"], cache_dir=tmp_path)
+    warm_stats = warm.prefetch(figures=["topology"])
+    assert warm_stats["simulated"] == 0
+    assert warm_stats["disk_hits"] == 7
+
+
+def test_suite_with_network_variant_runs_every_figure(tmp_path):
+    """A non-default suite parameterizes the whole figure family by network
+    shape: same API, distinct labels and cache entries."""
+    from repro.hmc import HMCNetworkConfig
+
+    net = HMCNetworkConfig(topology="mesh", num_cubes=8)
+    mesh_suite = EvaluationSuite("tiny", workloads=["mac"],
+                                 kinds=[SystemKind.DRAM, SystemKind.HMC,
+                                        SystemKind.ARF_TID],
+                                 net=net, cache_dir=tmp_path)
+    data = fig_speedup.compute(mesh_suite)
+    row = data["panels"]["microbenchmarks"]["mac"]
+    # Figure columns stay scheme-keyed (the network is suite-wide context)...
+    assert set(row) == {"DRAM", "HMC", "ARF-tid"}
+    assert row["DRAM"] == pytest.approx(1.0)
+    # ...but the runs themselves carry the variant label, and the result
+    # matrix + cache key on it.
+    result = mesh_suite.result("mac", SystemKind.HMC)
+    assert result.config == "HMC@mesh8c4"
+    assert ("mac", "HMC@mesh8c4") in mesh_suite._results
+    assert ("mac", "HMC") not in mesh_suite._results
+
+
+def test_lud_heatmap_renders_at_the_suite_cube_count(tmp_path):
+    from repro.experiments import fig_lud_heatmap
+    from repro.hmc import HMCNetworkConfig
+
+    suite = EvaluationSuite("tiny", workloads=["lud"],
+                            net=HMCNetworkConfig(topology="mesh", num_cubes=8))
+    text = fig_lud_heatmap.run(suite)
+    assert "Figure 5.3" in text
+    data = fig_lud_heatmap.compute(suite)
+    # 8-cube network: per-cube counts stop at cube 7, no phantom cubes.
+    assert set(data["ARF-tid"]["updates_received"]) == set(range(8))
+    assert " c8" not in text and "c15" not in text
+
+
+def test_dynamic_offload_respects_suite_network():
+    from repro.experiments import fig_dynamic_offload
+    from repro.hmc import HMCNetworkConfig
+
+    suite = EvaluationSuite("tiny", net=HMCNetworkConfig(topology="mesh"))
+    jobs = fig_dynamic_offload.bespoke_jobs(suite)
+    # The bespoke LUD replays must run on the suite's network, with the
+    # variant label keeping their cache entries apart from the default's.
+    assert {config.label for _tag, config, _w, _p in jobs} == \
+        {"HMC@mesh16c4", "ARF-tid@mesh16c4"}

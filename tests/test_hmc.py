@@ -81,3 +81,48 @@ def test_controller_interleaving(hmc_memory):
                    for page in range(32)}
     assert controllers == {0, 1, 2, 3}
     assert hmc_memory.controller_for_port(5).port_id == 1
+
+
+# -- network shape as an experiment dimension ------------------------------------
+
+def test_hmc_memory_honors_exact_cube_counts(sim):
+    from repro.hmc import HMCNetworkConfig
+
+    net = HMCNetworkConfig(topology="mesh", num_cubes=8)
+    memory = HMCMemorySystem(sim, net_config=net)
+    assert len(memory.cubes) == 8                      # 2x4, not a rounded 3x3
+    assert memory.mapping.num_cubes == 8
+    assert memory.topology.name == "mesh2x4"
+
+
+def test_hmc_memory_rejects_impossible_shapes_up_front(sim):
+    from repro.hmc import HMCNetworkConfig
+
+    with pytest.raises(ValueError, match="exactly 18 cubes"):
+        HMCMemorySystem(sim, net_config=HMCNetworkConfig(num_cubes=18))
+
+
+def test_hmc_memory_rejects_mapping_topology_divergence(sim):
+    from repro.hmc import HMCNetworkConfig
+    from repro.network import build_mesh
+
+    # A hand-passed topology that disagrees with the network config (and hence
+    # the mapping) must fail at construction, not mid-run inside routing.
+    topo = build_mesh(rows=3, cols=3, num_controllers=4)
+    with pytest.raises(ValueError, match="9"):
+        HMCMemorySystem(sim, net_config=HMCNetworkConfig(num_cubes=16),
+                        topology=topo)
+
+
+def test_hmc_variant_network_serves_requests(sim):
+    from repro.hmc import HMCNetworkConfig
+
+    net = HMCNetworkConfig(topology="torus", num_cubes=8)
+    memory = HMCMemorySystem(sim, net_config=net)
+    done = []
+    for page in range(16):
+        memory.access(MemoryRequest(addr=page * 4096,
+                                    on_complete=lambda r: done.append(r.latency)))
+    sim.run_until_idle()
+    assert len(done) == 16
+    assert all(latency > 0 for latency in done)

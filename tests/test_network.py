@@ -172,3 +172,39 @@ def test_network_hop_matches_link_transmit():
     # Delivery time = link arrival + router delay; recover and compare.
     expected_last_arrival = arrivals[-1]
     assert sim_b.now == pytest.approx(expected_last_arrival + net.router_delay)
+
+
+def test_offchip_aggregation_avoids_full_registry_flushes():
+    """offchip_bytes()/link_load_by_node() must fold only the links they read,
+    not trigger a full registry flush per string-keyed counter lookup."""
+    sim, topo, net, sinks = _build_network()
+    ctrl = topo.controller_nodes[0]
+    net.inject(MemReadPacket(src=ctrl, dst=3, addr=0x40), ctrl)
+    sim.run_until_idle()
+
+    calls = {"flush": 0}
+    original = type(sim.stats).flush
+
+    def counting_flush(registry):
+        calls["flush"] += 1
+        return original(registry)
+
+    type(sim.stats).flush = counting_flush
+    try:
+        offchip = net.offchip_bytes()
+        load = net.link_load_by_node()
+    finally:
+        type(sim.stats).flush = original
+    assert calls["flush"] == 0
+
+    # The per-link reads agree exactly with the string-keyed registry API.
+    assert offchip == {cat: sum(sim.stats.counter(f"{link.name}.bytes.{cat}")
+                                for (src, dst), link in net.links.items()
+                                if src in set(topo.controller_nodes)
+                                or dst in set(topo.controller_nodes))
+                       for cat in ("norm_req", "norm_resp",
+                                   "active_req", "active_resp")}
+    assert load == {n: sum(sim.stats.counter(f"{link.name}.bytes")
+                           for (src, _dst), link in net.links.items() if src == n)
+                    for n in topo.graph.nodes}
+    assert sum(load.values()) > 0

@@ -202,7 +202,7 @@ def test_suite_normalizes_workers():
 def test_registry_covers_every_figure():
     assert set(FIGURE_REGISTRY) == {"speedup", "latency", "lud_heatmap",
                                     "data_movement", "power", "energy", "edp",
-                                    "dynamic_offload"}
+                                    "dynamic_offload", "topology"}
 
 
 def test_required_pairs_per_figure():
@@ -313,3 +313,80 @@ def test_prefetch_stats_and_run_all_reuse(tmp_path):
                             cache_dir=tmp_path)
     other.run_all()
     assert other.simulations_run == 0 and other.disk_hits == 2
+
+
+# -- network fingerprints in cache keys -------------------------------------------
+
+def test_make_key_layout_unchanged_for_default_network():
+    """Default-network keys must stay bit-identical to the PR 3 layout, so a
+    populated cache survives the topology dimension unchanged."""
+    key = _key()
+    assert key == {
+        "digest": code_digest(),
+        "scale": "tiny",
+        "workload": "mac",
+        "params": {"array_elements": 64},
+        "config": "HMC",
+        "profile": "scaled",
+        "num_threads": 2,
+    }
+
+
+def test_network_variants_occupy_distinct_cache_entries(tmp_path):
+    """Regression for the cache-collision bug: two network variants of the
+    same (workload, kind, scale) must never share a RunCache entry, while the
+    default network keeps its historical key."""
+    from repro.hmc import HMCNetworkConfig
+
+    default = EvaluationSuite("tiny", workloads=["mac"], cache_dir=tmp_path)
+    mesh = EvaluationSuite("tiny", workloads=["mac"], cache_dir=tmp_path,
+                           net=HMCNetworkConfig(topology="mesh"))
+    torus = EvaluationSuite("tiny", workloads=["mac"], cache_dir=tmp_path,
+                            net=HMCNetworkConfig(topology="torus"))
+    params = default.scale.params_for("mac")
+
+    labels = [s.config_for(SystemKind.HMC).label for s in (default, mesh, torus)]
+    assert labels == ["HMC", "HMC@mesh16c4", "HMC@torus16c4"]
+    paths = {s.cache.path_for(s._cache_key("mac", label, params))
+             for s, label in zip((default, mesh, torus), labels)}
+    assert len(paths) == 3
+
+    # End to end: each variant simulates once, then hits only its own entry.
+    default.result("mac", SystemKind.HMC)
+    mesh.result("mac", SystemKind.HMC)
+    torus.result("mac", SystemKind.HMC)
+    assert (default.simulations_run, mesh.simulations_run,
+            torus.simulations_run) == (1, 1, 1)
+    warm = EvaluationSuite("tiny", workloads=["mac"], cache_dir=tmp_path,
+                           net=HMCNetworkConfig(topology="mesh"))
+    assert warm.result("mac", SystemKind.HMC).cycles == \
+        mesh.result("mac", SystemKind.HMC).cycles
+    assert warm.simulations_run == 0 and warm.disk_hits == 1
+
+    # The DRAM baseline is network-independent and shared across variants.
+    default.result("mac", SystemKind.DRAM)
+    assert mesh.result("mac", SystemKind.DRAM).cycles == \
+        default.result("mac", SystemKind.DRAM).cycles
+    assert mesh.simulations_run == 1      # loaded from disk, not re-simulated
+    assert mesh.disk_hits == 1
+
+
+def test_prefetch_reuses_in_memory_extra_jobs():
+    """An extra (network-variant) cell already in the in-memory matrix must be
+    counted as reused, not re-simulated (cache disabled) or re-read from disk."""
+    from repro.experiments import fig_topology
+
+    suite = EvaluationSuite("tiny", workloads=["mac"])        # no cache
+    fig_topology.compute(suite)                               # lazy path first
+    before = suite.simulations_run
+    stats = suite.prefetch(figures=["topology"])
+    assert suite.simulations_run == before
+    assert stats["simulated"] == 0
+    assert stats["reused"] == stats["pairs"]
+
+
+def test_suite_rejects_impossible_network_at_construction(tmp_path):
+    from repro.hmc import HMCNetworkConfig
+
+    with pytest.raises(ValueError, match="exactly 18 cubes"):
+        EvaluationSuite("tiny", net=HMCNetworkConfig(num_cubes=18))

@@ -115,3 +115,53 @@ def test_benchmarks_run_and_verify_on_arf(name):
     assert result.cycles > 0
     per_cube_updates = result.per_cube["updates_received"]
     assert sum(per_cube_updates.values()) > 0
+
+
+# -- network-variant configuration labels ----------------------------------------
+
+def test_network_labels_default_and_variant():
+    from repro.hmc import HMCNetworkConfig, default_network
+
+    default = make_system_config(SystemKind.ARF_TID)
+    assert default.network_label is None
+    assert default.label == "ARF-tid"                  # unchanged from PR 3
+    assert default_network().label == "dragonfly16c4"
+
+    variant = make_system_config(SystemKind.ARF_TID, topology="mesh")
+    assert variant.network_label == "mesh16c4"
+    assert variant.label == "ARF-tid@mesh16c4"
+
+    # The DRAM baseline has no memory network: its label never forks, so one
+    # cached baseline serves every network sweep.
+    dram = make_system_config(SystemKind.DRAM, topology="mesh")
+    assert dram.network_label is None and dram.label == "DRAM"
+
+    # Non-shape deviations fold into a digest suffix so labels stay unique.
+    import dataclasses
+    tweaked = variant.with_network(
+        dataclasses.replace(variant.hmc_net, router_delay=5.0))
+    assert tweaked.network_label.startswith("mesh16c4-")
+    assert tweaked.network_label != variant.network_label
+
+
+def test_make_system_config_rejects_impossible_networks_eagerly():
+    with pytest.raises(ValueError, match="exactly 18 cubes"):
+        make_system_config(SystemKind.ART, topology="dragonfly", num_cubes=18)
+
+
+def test_build_system_with_variant_network():
+    config = make_system_config(SystemKind.HMC, topology="torus", num_cubes=8)
+    system = build_system(config)
+    assert isinstance(system.memory, HMCMemorySystem)
+    assert len(system.memory.cubes) == 8
+    assert system.memory.topology.name == "torus2x4"
+
+
+def test_run_workload_does_not_mutate_callers_workload_config():
+    wconfig = WorkloadConfig(num_threads=4)
+    wconfig.extra["marker"] = 1
+    run_workload("HMC", "mac", num_threads=2, workload_config=wconfig,
+                 array_elements=128)
+    # The caller's object keeps its thread count and its extra dict untouched.
+    assert wconfig.num_threads == 4
+    assert wconfig.extra == {"marker": 1}

@@ -3,7 +3,10 @@
 import networkx as nx
 import pytest
 
-from repro.network import build_chain, build_dragonfly, build_mesh, build_topology
+from repro.network import (Topology, build_chain, build_dragonfly,
+                           build_flattened_butterfly, build_mesh,
+                           build_network_topology, build_topology, build_torus,
+                           dragonfly_shape, grid_shape)
 
 
 def test_dragonfly_structure():
@@ -54,8 +57,9 @@ def test_chain_structure():
 
 def test_build_topology_by_name():
     assert build_topology("mesh", rows=2, cols=2, num_controllers=1).num_cubes == 4
+    assert build_topology("torus", rows=2, cols=3, num_controllers=2).num_cubes == 6
     with pytest.raises(ValueError):
-        build_topology("torus")
+        build_topology("hypercube")
 
 
 def test_neighbors_sorted_and_edges_normalized():
@@ -64,3 +68,146 @@ def test_neighbors_sorted_and_edges_normalized():
         assert topo.neighbors(node) == sorted(topo.neighbors(node))
     for a, b in topo.edges():
         assert a <= b
+
+
+# -- torus / flattened butterfly ------------------------------------------------
+
+def test_torus_structure():
+    topo = build_torus(rows=4, cols=4, num_controllers=4)
+    assert topo.num_cubes == 16
+    # The 24 mesh edges plus 8 wrap-around links, plus 4 controller edges.
+    assert topo.graph.number_of_edges() == 24 + 8 + 4
+    cube_graph = topo.graph.subgraph(range(16))
+    assert nx.is_connected(cube_graph)
+    # Every cube has degree 4 in the cube-only torus.
+    assert {d for _n, d in cube_graph.degree()} == {4}
+    # Wrap links halve the cube-graph diameter relative to the mesh.
+    assert nx.diameter(cube_graph) == 4
+    mesh_cubes = build_mesh(rows=4, cols=4).graph.subgraph(range(16))
+    assert nx.diameter(mesh_cubes) == 6
+
+
+def test_torus_degenerate_dimensions_have_no_self_loops():
+    for rows, cols in ((1, 4), (2, 3), (1, 1)):
+        topo = build_torus(rows=rows, cols=cols, num_controllers=1)
+        assert topo.num_cubes == rows * cols
+        assert nx.number_of_selfloops(topo.graph) == 0
+        topo.validate()
+
+
+def test_flattened_butterfly_structure():
+    topo = build_flattened_butterfly(rows=4, cols=4, num_controllers=4)
+    assert topo.num_cubes == 16
+    # Full row cliques (4 * C(4,2)) + full column cliques, + 4 controller links.
+    assert topo.graph.number_of_edges() == 24 + 24 + 4
+    cube_graph = topo.graph.subgraph(range(16))
+    # Any cube reaches any other in at most two hops (row hop + column hop).
+    assert nx.diameter(cube_graph) == 2
+
+
+def test_new_builders_controllers_are_disjoint_from_cubes():
+    for topo in (build_torus(rows=2, cols=4, num_controllers=4),
+                 build_flattened_butterfly(rows=2, cols=4, num_controllers=3)):
+        controllers = set(topo.controller_nodes)
+        assert len(controllers) == len(topo.controller_nodes)
+        assert controllers.isdisjoint(range(topo.num_cubes))
+        for ctrl in controllers:
+            assert topo.graph.has_edge(ctrl, topo.controller_attach[ctrl])
+
+
+# -- cube-count driven construction ----------------------------------------------
+
+def test_grid_shape_is_exact_and_balanced():
+    assert grid_shape(16) == (4, 4)
+    assert grid_shape(8) == (2, 4)
+    assert grid_shape(12) == (3, 4)
+    assert grid_shape(7) == (1, 7)       # prime counts degenerate but stay exact
+    with pytest.raises(ValueError):
+        grid_shape(0)
+
+
+def test_dragonfly_shape_honors_constraints():
+    assert dragonfly_shape(16, 4) == (4, 4)
+    assert dragonfly_shape(12, 3) == (3, 4)
+    # 18 cubes cannot satisfy groups >= 4 and groups - 1 <= routers.
+    with pytest.raises(ValueError, match="exactly 18 cubes"):
+        dragonfly_shape(18, 4)
+    with pytest.raises(ValueError, match="exactly 8 cubes"):
+        dragonfly_shape(8, 4)
+
+
+@pytest.mark.parametrize("kind", ["dragonfly", "mesh", "torus",
+                                  "flattened_butterfly", "chain"])
+def test_build_network_topology_builds_exact_cube_counts(kind):
+    num_cubes = 16 if kind == "dragonfly" else 12
+    topo = build_network_topology(kind, num_cubes=num_cubes, num_controllers=4)
+    assert topo.num_cubes == num_cubes
+    assert set(topo.graph.nodes) == set(range(num_cubes + 4))
+    topo.validate()
+
+
+def test_build_network_topology_default_matches_explicit_dragonfly():
+    derived = build_network_topology("dragonfly", num_cubes=16, num_controllers=4)
+    explicit = build_dragonfly(num_groups=4, routers_per_group=4, num_controllers=4)
+    assert derived.name == explicit.name
+    assert derived.edges() == explicit.edges()
+    assert derived.controller_attach == explicit.controller_attach
+
+
+def test_build_network_topology_rejects_impossible_requests():
+    with pytest.raises(ValueError, match="dragonfly"):
+        build_network_topology("dragonfly", num_cubes=18, num_controllers=4)
+    with pytest.raises(ValueError, match="unknown topology"):
+        build_network_topology("hypercube", num_cubes=16, num_controllers=4)
+
+
+# -- Topology.validate cross-checks ----------------------------------------------
+
+def _valid_topology():
+    return build_mesh(rows=2, cols=2, num_controllers=2)
+
+
+def test_validate_rejects_cube_count_divergence():
+    topo = _valid_topology()
+    topo.num_cubes = 7                    # advertises a cube the graph lacks
+    with pytest.raises(ValueError, match="missing cube nodes"):
+        topo.validate()
+
+
+def test_validate_rejects_controller_overlapping_cube_range():
+    topo = _valid_topology()
+    topo.num_cubes = 3                    # node 3 is both cube and controller... almost
+    with pytest.raises(ValueError):
+        topo.validate()
+    graph = nx.path_graph(4)
+    overlapping = Topology(name="broken", num_cubes=4, graph=graph,
+                           controller_nodes=[3], controller_attach={3: 0})
+    with pytest.raises(ValueError, match="collide with the cube id range"):
+        overlapping.validate()
+
+
+def test_validate_rejects_duplicate_and_inconsistent_controllers():
+    graph = nx.path_graph(3)
+    graph.add_edge(3, 0)
+    dupes = Topology(name="dupes", num_cubes=3, graph=graph,
+                     controller_nodes=[3, 3], controller_attach={3: 0})
+    with pytest.raises(ValueError, match="duplicate controller"):
+        dupes.validate()
+    mismatch = Topology(name="mismatch", num_cubes=3, graph=graph,
+                        controller_nodes=[3], controller_attach={})
+    with pytest.raises(ValueError, match="disagree"):
+        mismatch.validate()
+
+
+def test_validate_rejects_detached_controller_and_stray_nodes():
+    graph = nx.path_graph(3)
+    graph.add_node(3)                     # controller node with no edge
+    graph.add_edge(3, 1)
+    detached = Topology(name="detached", num_cubes=3, graph=graph,
+                        controller_nodes=[3], controller_attach={3: 0})
+    with pytest.raises(ValueError, match="not attached"):
+        detached.validate()
+    stray = nx.path_graph(5)
+    with pytest.raises(ValueError, match="unexpected nodes"):
+        Topology(name="stray", num_cubes=3, graph=stray,
+                 controller_nodes=[3], controller_attach={3: 2}).validate()
