@@ -14,7 +14,10 @@ sessions perform zero simulations; ``sweep`` runs the scheme x topology
 cross product and renders the network-shape figure.  ``--workers 0`` means one
 worker per CPU core.  Every subcommand accepts a memory-network override
 (``--topology``/``--num-cubes`` — ``sweep`` takes the plural ``--topologies``
-/``--num-cubes`` lists), making the network shape an experiment dimension.
+/``--num-cubes`` lists), making the network shape an experiment dimension, and
+an event-scheduler override (``--scheduler heap|calendar``, also settable via
+``$REPRO_SCHEDULER``) that swaps the kernel's event queue for the calendar
+queue without changing any result bit.
 """
 
 from __future__ import annotations
@@ -28,6 +31,8 @@ from .analysis import format_table
 from .experiments import (FIGURE_REGISTRY, SCALES, EvaluationSuite,
                           default_cache_dir, fig_topology, full_report)
 from .network.topology import TOPOLOGY_BUILDERS
+from .sim.event_queue import (DEFAULT_SCHEDULER, SCHEDULER_BACKENDS,
+                              scheduler_env)
 from .system import CONFIG_ORDER, SystemKind, make_system_config, run_workload
 from .system.config import make_network_config
 from .workloads import ALL_WORKLOADS
@@ -88,6 +93,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="memory-network cube count (default: 16); the "
                             "topology is built with exactly this many cubes "
                             "or the request is rejected up front")
+    _add_scheduler_option(run_p)
 
     report_p = sub.add_parser("report", help="regenerate every evaluation table and figure")
     report_p.add_argument("--scale", default="small", choices=sorted(SCALES),
@@ -146,8 +152,18 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _add_scheduler_option(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--scheduler", default=None,
+                        choices=sorted(SCHEDULER_BACKENDS),
+                        help="event-scheduler backend for every simulation "
+                             f"(default: $REPRO_SCHEDULER or {DEFAULT_SCHEDULER}); "
+                             "results are bit-identical across backends, only "
+                             "wall time differs")
+
+
 def _add_suite_options(parser: argparse.ArgumentParser,
                        network_override: bool = True) -> None:
+    _add_scheduler_option(parser)
     parser.add_argument("--workers", type=int, default=1,
                         help="worker processes for the (workload x config) suite; "
                              "0 means one per CPU core (each pair is an "
@@ -295,14 +311,17 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
-    if args.command == "run":
-        return _cmd_run(args)
-    if args.command == "report":
-        return _cmd_report(args)
-    if args.command == "prefetch":
-        return _cmd_prefetch(args)
-    if args.command == "sweep":
-        return _cmd_sweep(args)
+    # --scheduler routes through $REPRO_SCHEDULER for the duration of the
+    # command so prefetch worker processes inherit it too.
+    with scheduler_env(getattr(args, "scheduler", None)):
+        if args.command == "run":
+            return _cmd_run(args)
+        if args.command == "report":
+            return _cmd_report(args)
+        if args.command == "prefetch":
+            return _cmd_prefetch(args)
+        if args.command == "sweep":
+            return _cmd_sweep(args)
     raise SystemExit(f"unknown command {args.command!r}")
 
 

@@ -15,12 +15,18 @@ entry; unreadable or stale files are simply treated as misses.
 
 from __future__ import annotations
 
+import contextlib
 import hashlib
 import json
 import os
 import pickle
 from pathlib import Path
-from typing import Dict, Optional
+from typing import Dict, Iterator, Optional
+
+try:
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    fcntl = None  # type: ignore[assignment]
 
 from ..system import RunResult
 
@@ -56,15 +62,24 @@ def default_cache_dir() -> Path:
 #: Name of the per-cache-dir measured-cost sidecar (see :meth:`RunCache.record_cost`).
 COSTS_FILE = "costs.json"
 
+#: Smoothing factor for the sidecar's exponentially-weighted moving average:
+#: a fresh sample moves the stored estimate 30% of the way toward itself, so
+#: one slow outlier run (a loaded machine, a cold page cache) cannot corrupt
+#: prefetch scheduling, while a genuine cost shift still converges in a few
+#: runs.
+COST_EWMA_ALPHA = 0.3
+
 
 class RunCache:
     """One pickle file per ``(scale, workload, params, config, code digest)`` key.
 
     Besides the result entries, the cache directory carries a ``costs.json``
-    sidecar mapping digest-independent job descriptions to their last measured
-    wall time.  Costs deliberately survive code-digest changes: editing the
-    simulator invalidates cached *results*, but "pagerank on ARF-tid at this
-    scale takes ~2s" remains the best available scheduling estimate.
+    sidecar mapping digest-independent job descriptions to an exponentially-
+    weighted moving average of their measured wall times (updates serialize on
+    an ``fcntl`` lock, so concurrent sessions merge instead of clobbering).
+    Costs deliberately survive code-digest changes: editing the simulator
+    invalidates cached *results*, but "pagerank on ARF-tid at this scale takes
+    ~2s" remains the best available scheduling estimate.
     """
 
     def __init__(self, root: "str | os.PathLike") -> None:
@@ -157,35 +172,65 @@ class RunCache:
         return {k: float(v) for k, v in data.items()
                 if isinstance(v, (int, float)) and v > 0}
 
-    def record_cost(self, key: Key, wall_s: float) -> None:
-        """Persist the measured wall time for ``key``'s job description.
+    @contextlib.contextmanager
+    def _costs_lock(self) -> Iterator[None]:
+        """Hold an exclusive advisory lock over sidecar read-modify-write.
 
-        Last write wins; the file is re-read before each update so concurrent
-        sessions recording different jobs roughly merge instead of clobbering
-        each other wholesale.  Failures are swallowed — the sidecar is advisory.
+        The lock lives on a dedicated ``costs.json.lock`` file (never renamed,
+        so every process locks the same inode — locking ``costs.json`` itself
+        would race with the atomic-replace that swaps it out from under the
+        lock).  On platforms without ``fcntl`` the lock degrades to a no-op
+        and the re-read-under-update merge is the only protection.
+        """
+        if fcntl is None:  # pragma: no cover - non-POSIX platforms
+            yield
+            return
+        with open(self.root / f"{COSTS_FILE}.lock", "a") as handle:
+            fcntl.flock(handle, fcntl.LOCK_EX)
+            try:
+                yield
+            finally:
+                fcntl.flock(handle, fcntl.LOCK_UN)
+
+    def record_cost(self, key: Key, wall_s: float) -> None:
+        """Fold the measured wall time for ``key``'s job into the sidecar.
+
+        Samples merge as an exponentially-weighted moving average
+        (:data:`COST_EWMA_ALPHA`) rather than last-write-wins, so one slow
+        outlier run cannot corrupt prefetch scheduling.  The whole
+        read-modify-write cycle holds an ``fcntl`` lock and re-reads the file
+        under it, so two concurrent sessions can never clobber each other's
+        entries wholesale.  The temporary file is removed in a ``finally`` so
+        a failed write never leaves ``costs.json.tmp<pid>`` litter behind
+        (``prune()`` sweeps the litter of writers that died mid-write).
+        Failures are swallowed — the sidecar is advisory.
         """
         if not wall_s or wall_s <= 0:
             return
         try:
             self.root.mkdir(parents=True, exist_ok=True)
-            costs = self._read_costs()
-            costs[self.cost_key_for(key)] = round(float(wall_s), 6)
-            tmp = self._costs_path().with_name(f"{COSTS_FILE}.tmp{os.getpid()}")
-            try:
-                tmp.write_text(json.dumps(costs, sort_keys=True, indent=1) + "\n")
-                os.replace(tmp, self._costs_path())
-            except BaseException:
+            with self._costs_lock():
+                costs = self._read_costs()  # re-read under the lock
+                name = self.cost_key_for(key)
+                previous = costs.get(name)
+                if previous is None:
+                    merged = float(wall_s)
+                else:
+                    merged = previous + COST_EWMA_ALPHA * (float(wall_s) - previous)
+                costs[name] = round(merged, 6)
+                tmp = self._costs_path().with_name(f"{COSTS_FILE}.tmp{os.getpid()}")
                 try:
-                    os.unlink(tmp)
-                except OSError:
-                    pass
-                raise
+                    tmp.write_text(json.dumps(costs, sort_keys=True, indent=1) + "\n")
+                    os.replace(tmp, self._costs_path())
+                finally:
+                    with contextlib.suppress(OSError):
+                        os.unlink(tmp)  # no-op after a successful replace
             self._costs = costs
         except Exception:
             self._costs = None
 
     def measured_cost(self, key: Key) -> Optional[float]:
-        """The last measured wall time for ``key``'s job, or ``None``."""
+        """The EWMA of measured wall times for ``key``'s job, or ``None``."""
         if self._costs is None:
             self._costs = self._read_costs()
         return self._costs.get(self.cost_key_for(key))
@@ -195,9 +240,12 @@ class RunCache:
         """Drop cache litter: orphaned temp files and out-of-date entries.
 
         Removes ``*.tmp<pid>`` files whose writing process is gone (a live
-        writer's temp file is left alone), plus every ``.pkl`` entry that is
-        unreadable or whose stored key carries a code digest other than the
-        current one (those can never hit again).  Returns removal counts.
+        writer's temp file is left alone) — both result-entry temporaries and
+        the cost sidecar's ``costs.json.tmp<pid>`` — plus every ``.pkl`` entry
+        that is unreadable or whose stored key carries a code digest other
+        than the current one (those can never hit again).  The sidecar's
+        ``.lock`` file is deliberately left in place: processes must always
+        lock the same inode.  Returns removal counts.
         """
         summary = {"tmp_removed": 0, "stale_removed": 0, "kept": 0}
         if not self.root.is_dir():

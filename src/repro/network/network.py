@@ -54,7 +54,11 @@ class MemoryNetwork(Component):
             self._link_grid[a][b] = link
         self._endpoint_list: List[Optional[NetworkEndpoint]] = [None] * num_nodes
         # _hop() runs once per network hop: pre-bind every counter it touches
-        # and keep a direct reference to the dense next-hop matrix.
+        # and keep a direct reference to the dense next-hop matrix.  The
+        # delivery push mirrors the simulator's scheduler fast path: against
+        # the heap backend it pushes straight onto the aliased heap list,
+        # against any other backend it goes through the scheduler's push().
+        self._event_heap = sim._heap
         self._next_rows = self.routing.next_hop_table
         self._h_injected = self.counter_handle("injected")
         self._h_hops = self.counter_handle("hops")
@@ -170,12 +174,18 @@ class MemoryNetwork(Component):
         self._acc_cat_bytes[cat_index] += size
         # Inlined EventQueue.push (delivery times are never negative): one hop
         # schedules exactly one delivery and the wrapper call is measurable.
-        events = self.sim.events
-        heapq.heappush(events._heap,
-                       [finish + link._latency + self.router_delay, events._seq,
-                        lambda: self._deliver(packet, nxt, current)])
-        events._seq += 1
-        events._live += 1
+        # Non-heap scheduler backends take their own push() instead.
+        heap = self._event_heap
+        if heap is not None:
+            events = self.sim.events
+            heapq.heappush(heap,
+                           [finish + link._latency + self.router_delay, events._seq,
+                            lambda: self._deliver(packet, nxt, current)])
+            events._seq += 1
+            events._live += 1
+        else:
+            self.sim.events.push(finish + link._latency + self.router_delay,
+                                 lambda: self._deliver(packet, nxt, current))
 
     def _deliver(self, packet: Packet, node: int, from_node: int) -> None:
         packet.hops += 1

@@ -1,19 +1,26 @@
-"""Discrete-event simulation kernel: event queue, simulator, components, stats."""
+"""Discrete-event simulation kernel: event schedulers, simulator, components, stats."""
 
 from .component import Component, SharedResource
-from .event_queue import EventHandle, EventQueue
+from .event_queue import (DEFAULT_SCHEDULER, SCHEDULER_BACKENDS, CalendarQueue,
+                          EventHandle, EventQueue, make_event_queue,
+                          resolve_scheduler)
 from .simulator import SimulationError, Simulator
 from .stats import CounterHandle, Histogram, StatsRegistry, geometric_mean
 
 __all__ = [
     "Component",
     "SharedResource",
+    "CalendarQueue",
     "CounterHandle",
+    "DEFAULT_SCHEDULER",
     "EventHandle",
     "EventQueue",
+    "SCHEDULER_BACKENDS",
     "SimulationError",
     "Simulator",
     "Histogram",
     "StatsRegistry",
     "geometric_mean",
+    "make_event_queue",
+    "resolve_scheduler",
 ]

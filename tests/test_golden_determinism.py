@@ -5,12 +5,17 @@ next-hop tables, inlined dispatch) must not change simulation results *at all*:
 the golden values below — final cycle count, executed event count and a SHA-256
 digest over the full stats snapshot — were captured from the pre-optimization
 seed code and every scheme must keep reproducing them bit-for-bit.
+
+The same bar applies across scheduler backends: the calendar queue promises
+the binary heap's exact ``[time, seq]`` dispatch order, so the golden digests
+must hold under either backend (the scheme x scheduler matrix below).
 """
 
 import hashlib
 
 import pytest
 
+from repro.sim.event_queue import SCHEDULER_BACKENDS
 from repro.system import CONFIG_ORDER, run_suite
 from repro.system.builder import build_system
 from repro.system.config import make_system_config
@@ -43,7 +48,10 @@ def snapshot_digest(stats) -> str:
     return hasher.hexdigest()
 
 
-def run_tiny_pagerank(kind):
+def run_tiny_pagerank(kind, scheduler=None, monkeypatch=None):
+    if scheduler is not None:
+        assert monkeypatch is not None
+        monkeypatch.setenv("REPRO_SCHEDULER", scheduler)
     config = make_system_config(kind)
     wconfig = WorkloadConfig()
     wconfig.num_threads = 4
@@ -57,9 +65,11 @@ def run_tiny_pagerank(kind):
     return system
 
 
+@pytest.mark.parametrize("scheduler", sorted(SCHEDULER_BACKENDS))
 @pytest.mark.parametrize("kind", CONFIG_ORDER, ids=[k.value for k in CONFIG_ORDER])
-def test_golden_cycles_events_and_stats_digest(kind):
-    system = run_tiny_pagerank(kind)
+def test_golden_cycles_events_and_stats_digest(kind, scheduler, monkeypatch):
+    system = run_tiny_pagerank(kind, scheduler=scheduler, monkeypatch=monkeypatch)
+    assert system.sim.scheduler == scheduler
     cycles, events, digest = GOLDEN[kind.value]
     assert system.sim.now == cycles
     assert system.sim.executed_events == events

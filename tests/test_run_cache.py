@@ -12,7 +12,7 @@ from repro.experiments import (
     estimated_cost,
     full_report,
 )
-from repro.experiments.run_cache import default_cache_dir
+from repro.experiments.run_cache import COST_EWMA_ALPHA, default_cache_dir
 from repro.system import AR_CONFIGS, CONFIG_ORDER, SystemKind, normalize_workers
 
 
@@ -116,8 +116,88 @@ def test_cost_sidecar_roundtrip_and_digest_independence(tmp_path):
     assert RunCache(tmp_path).measured_cost(key) == 2.5
     # Different jobs have independent costs.
     assert cache.measured_cost(_key(workload="lud")) is None
-    cache.record_cost(key, 4.0)              # last write wins
-    assert RunCache(tmp_path).measured_cost(key) == 4.0
+    cache.record_cost(key, 4.0)              # EWMA merge, not last-write-wins
+    expected = 2.5 + COST_EWMA_ALPHA * (4.0 - 2.5)
+    assert RunCache(tmp_path).measured_cost(key) == pytest.approx(expected)
+
+
+def test_cost_sidecar_ewma_absorbs_one_outlier(tmp_path):
+    """One slow outlier run must nudge, not replace, the cost estimate, so
+    prefetch scheduling keeps a sane ordering afterwards."""
+    cache = RunCache(tmp_path)
+    key = _key()
+    for _ in range(4):
+        cache.record_cost(key, 2.0)
+    assert cache.measured_cost(key) == pytest.approx(2.0)
+    cache.record_cost(key, 100.0)            # a loaded-machine outlier
+    outlier_view = cache.measured_cost(key)
+    assert outlier_view == pytest.approx(2.0 + COST_EWMA_ALPHA * 98.0)
+    assert outlier_view < 100.0 / 2          # far closer to truth than the outlier
+    cache.record_cost(key, 2.0)              # one normal run pulls it back down
+    assert cache.measured_cost(key) < outlier_view
+
+
+def _record_batch(root, start, count):
+    """Worker for the concurrency test: record ``count`` distinct job costs."""
+    cache = RunCache(root)
+    for index in range(start, start + count):
+        cache.record_cost(_key(workload=f"w{index}"), float(index + 1))
+
+
+def test_concurrent_record_cost_never_clobbers_entries(tmp_path):
+    """Regression for the read-modify-write race: sessions recording costs in
+    parallel must all land in costs.json (the fcntl lock serializes the whole
+    cycle; before it, one session's write could erase another's wholesale)."""
+    import multiprocessing
+
+    ctx = multiprocessing.get_context("fork")
+    per_worker = 8
+    workers = [ctx.Process(target=_record_batch, args=(tmp_path, n * per_worker, per_worker))
+               for n in range(3)]
+    for proc in workers:
+        proc.start()
+    for proc in workers:
+        proc.join(timeout=60)
+        assert proc.exitcode == 0
+    cache = RunCache(tmp_path)
+    for index in range(3 * per_worker):
+        assert cache.measured_cost(_key(workload=f"w{index}")) == float(index + 1)
+
+
+def test_record_cost_failure_leaves_no_tmp_litter(tmp_path, monkeypatch):
+    """A write failure inside record_cost must unlink costs.json.tmp<pid>
+    (the sidecar twin of the RunCache.put fix) and stay advisory."""
+    cache = RunCache(tmp_path)
+    cache.record_cost(_key(), 2.0)
+
+    def broken_replace(src, dst):
+        raise OSError("disk full")
+
+    monkeypatch.setattr(os, "replace", broken_replace)
+    cache.record_cost(_key(workload="lud"), 5.0)  # swallowed, sidecar advisory
+    monkeypatch.undo()
+    assert list(tmp_path.glob("*.tmp*")) == []
+    fresh = RunCache(tmp_path)
+    assert fresh.measured_cost(_key()) == 2.0     # old contents intact
+    assert fresh.measured_cost(_key(workload="lud")) is None
+
+
+def test_prune_sweeps_cost_sidecar_tmp_litter(tmp_path):
+    """prune() collects costs.json.tmp<pid> files of dead writers but leaves
+    the sidecar itself and its lock file alone."""
+    cache = RunCache(tmp_path)
+    cache.record_cost(_key(), 3.0)
+    dead = tmp_path / f"costs.json.tmp{2**22 - 1}"   # above default pid_max
+    dead.write_text("{}")
+    live = tmp_path / f"costs.json.tmp{os.getpid()}"
+    live.write_text("{}")
+    summary = cache.prune()
+    assert summary["tmp_removed"] == 1
+    assert not dead.exists()
+    assert live.exists()                      # a live writer's tmp is kept
+    assert (tmp_path / "costs.json").exists()
+    assert (tmp_path / "costs.json.lock").exists()
+    assert RunCache(tmp_path).measured_cost(_key()) == 3.0
 
 
 def test_cost_sidecar_ignores_garbage(tmp_path):
@@ -153,8 +233,8 @@ def test_suite_records_costs_and_orders_by_measured_time(tmp_path):
     cold.cache.record_cost(cold._cache_key("mac", "HMC", params), 1.0)
     jobs = cold.pending_jobs({("mac", k) for k in kinds})
     assert [job[0][1] for job in jobs] == ["DRAM", "HMC"]
-    # With the opposite measurements the order flips.
-    cold.cache.record_cost(cold._cache_key("mac", "DRAM", params), 0.5)
+    # A dominating EWMA-merged measurement on the other job flips the order.
+    cold.cache.record_cost(cold._cache_key("mac", "HMC", params), 500.0)
     jobs = cold.pending_jobs({("mac", k) for k in kinds})
     assert [job[0][1] for job in jobs] == ["HMC", "DRAM"]
 

@@ -1,12 +1,23 @@
-"""Unit tests for the simulator driver."""
+"""Unit tests for the simulator driver.
+
+Execution-behavior tests run against both scheduler backends: the simulator
+promises identical event dispatch regardless of which one it was built on.
+"""
 
 import pytest
 
 from repro.sim import SimulationError, Simulator
+from repro.sim.event_queue import SCHEDULER_BACKENDS, CalendarQueue, EventQueue
+
+BACKENDS = sorted(SCHEDULER_BACKENDS)
 
 
-def test_schedule_and_run_advances_time():
-    sim = Simulator()
+@pytest.fixture(params=BACKENDS)
+def sim(request):
+    return Simulator(scheduler=request.param)
+
+
+def test_schedule_and_run_advances_time(sim):
     seen = []
     sim.schedule(10, lambda: seen.append(sim.now))
     sim.schedule(5, lambda: seen.append(sim.now))
@@ -16,22 +27,19 @@ def test_schedule_and_run_advances_time():
     assert sim.finished
 
 
-def test_schedule_negative_delay_rejected():
-    sim = Simulator()
+def test_schedule_negative_delay_rejected(sim):
     with pytest.raises(ValueError):
         sim.schedule(-1, lambda: None)
 
 
-def test_schedule_at_in_past_rejected():
-    sim = Simulator()
+def test_schedule_at_in_past_rejected(sim):
     sim.schedule(5, lambda: None)
     sim.run()
     with pytest.raises(ValueError):
         sim.schedule_at(1, lambda: None)
 
 
-def test_run_until_bound():
-    sim = Simulator()
+def test_run_until_bound(sim):
     fired = []
     sim.schedule(3, lambda: fired.append(3))
     sim.schedule(100, lambda: fired.append(100))
@@ -42,10 +50,9 @@ def test_run_until_bound():
     assert fired == [3, 100]
 
 
-def test_finished_updates_on_bounded_runs():
+def test_finished_updates_on_bounded_runs(sim):
     """run(until=...) must refresh `finished` on its early exit path, not
     leave the previous run's answer behind."""
-    sim = Simulator()
     sim.schedule(5, lambda: None)
     sim.run_until_idle()
     assert sim.finished
@@ -58,16 +65,45 @@ def test_finished_updates_on_bounded_runs():
     assert sim.finished
 
 
-def test_finished_true_when_only_cancelled_events_remain_beyond_bound():
-    sim = Simulator()
+def test_finished_true_when_only_cancelled_events_remain_beyond_bound(sim):
     handle = sim.schedule_cancellable(100, lambda: None)
     handle.cancel()
     sim.run(until=10)
     assert sim.finished              # nothing live remains
 
 
-def test_nested_scheduling():
-    sim = Simulator()
+def test_finished_updates_when_a_callback_raises(sim):
+    """An exception escaping a callback must not leave `finished` reporting
+    the previous run's outcome (regression: it was only set on the normal
+    exit path)."""
+    sim.schedule(1, lambda: None)
+    sim.run_until_idle()
+    assert sim.finished
+
+    def boom():
+        raise RuntimeError("boom")
+
+    sim.schedule(5, boom)
+    sim.schedule(10, lambda: None)
+    with pytest.raises(RuntimeError, match="boom"):
+        sim.run()
+    assert not sim.finished          # the cycle-10 event is still pending
+    assert sim.executed_events == 2  # the raising event still counted
+    sim.run()                        # the queue is still consistent
+    assert sim.finished
+
+
+def test_finished_true_when_the_raising_event_was_the_last(sim):
+    def boom():
+        raise RuntimeError("boom")
+
+    sim.schedule(5, boom)
+    with pytest.raises(RuntimeError):
+        sim.run()
+    assert sim.finished              # nothing pending after the exception
+
+
+def test_nested_scheduling(sim):
     seen = []
 
     def outer():
@@ -79,9 +115,7 @@ def test_nested_scheduling():
     assert seen == [("outer", 2), ("inner", 9)]
 
 
-def test_run_until_idle_guards_against_runaway():
-    sim = Simulator()
-
+def test_run_until_idle_guards_against_runaway(sim):
     def rearm():
         sim.schedule(1, rearm)
 
@@ -100,8 +134,7 @@ def test_invalid_frequency():
         Simulator(cpu_freq_ghz=0)
 
 
-def test_reset_clears_state():
-    sim = Simulator()
+def test_reset_clears_state(sim):
     sim.schedule(5, lambda: None)
     sim.run_until_idle()
     sim.stats.add("x", 3)
@@ -109,13 +142,168 @@ def test_reset_clears_state():
     assert sim.now == 0
     assert len(sim.events) == 0
     assert sim.stats.counter("x") == 0
+    # The simulator is fully reusable after a reset, on either backend.
+    seen = []
+    sim.schedule(2, lambda: seen.append(sim.now))
+    sim.run_until_idle()
+    assert seen == [2]
 
 
-def test_schedule_cancellable_forwards_label():
-    sim = Simulator()
+def test_schedule_cancellable_forwards_label(sim):
     handle = sim.schedule_cancellable(5.0, lambda: None, label="flow-timeout")
     assert handle.label == "flow-timeout"
     handle.cancel()
     assert handle.cancelled
     # The unlabeled form keeps working and defaults to an empty label.
     assert sim.schedule_cancellable(1.0, lambda: None).label == ""
+
+
+def test_cancel_across_reset_is_inert(sim):
+    """A handle held across Simulator.reset() must see its event as gone and
+    stay a no-op — on both backends — instead of corrupting the live count."""
+    fired = []
+    handle = sim.schedule_cancellable(5, lambda: fired.append("stale"))
+    sim.reset()
+    assert handle.cancelled
+    handle.cancel()
+    handle.cancel()
+    sim.schedule(1, lambda: fired.append("fresh"))
+    sim.run_until_idle()
+    assert fired == ["fresh"]
+    assert len(sim.events) == 0
+    assert sim.finished
+
+
+def test_cancelled_event_skipped_by_run_loop(sim):
+    """The fused run loops must skip cancelled entries without dispatching
+    or counting them."""
+    fired = []
+    handle = sim.schedule_cancellable(5, lambda: fired.append("cancelled"))
+    sim.schedule(6, lambda: fired.append("kept"))
+    handle.cancel()
+    sim.run_until_idle()
+    assert fired == ["kept"]
+    assert sim.executed_events == 1
+
+
+# -- scheduler selection ---------------------------------------------------------
+
+def test_scheduler_backend_selection(monkeypatch):
+    monkeypatch.delenv("REPRO_SCHEDULER", raising=False)
+    assert isinstance(Simulator().events, EventQueue)
+    assert isinstance(Simulator(scheduler="heap").events, EventQueue)
+    assert isinstance(Simulator(scheduler="calendar").events, CalendarQueue)
+    assert Simulator(scheduler="calendar").scheduler == "calendar"
+    with pytest.raises(ValueError, match="unknown scheduler"):
+        Simulator(scheduler="splay-tree")
+
+
+def test_scheduler_env_selection(monkeypatch):
+    monkeypatch.setenv("REPRO_SCHEDULER", "calendar")
+    assert isinstance(Simulator().events, CalendarQueue)
+    # An explicit constructor argument beats the environment.
+    assert isinstance(Simulator(scheduler="heap").events, EventQueue)
+    monkeypatch.delenv("REPRO_SCHEDULER")
+    assert isinstance(Simulator().events, EventQueue)
+
+
+def test_future_backend_runs_through_the_generic_loop(monkeypatch):
+    """A backend that is neither the heap nor the calendar queue (the
+    C-accelerated-entries slot the ROADMAP reserves) must work out of the box
+    via Simulator's generic bound-method loop — interface only, no fused
+    loop required."""
+    from bisect import insort
+
+    class SortedListQueue:
+        """Minimal third backend: the interface, nothing else."""
+
+        def __init__(self):
+            self._entries = []
+            self._seq = 0
+            self._live = 0
+
+        def __len__(self):
+            return self._live
+
+        def __bool__(self):
+            return self._live > 0
+
+        def push(self, time, callback, label=""):
+            if time < 0:
+                raise ValueError("negative time")
+            insort(self._entries, [time, self._seq, callback])
+            self._seq += 1
+            self._live += 1
+
+        def peek_time(self):
+            for entry in self._entries:
+                if entry[2] is not None:
+                    return entry[0]
+            return None
+
+        def pop(self):
+            while self._entries:
+                entry = self._entries.pop(0)
+                if entry[2] is None:
+                    continue
+                callback = entry[2]
+                entry[2] = None
+                self._live -= 1
+                return [entry[0], entry[1], callback]
+            return None
+
+        def clear(self):
+            self._entries.clear()
+            self._live = 0
+
+    monkeypatch.setitem(SCHEDULER_BACKENDS, "sorted-list", SortedListQueue)
+    sim = Simulator(scheduler="sorted-list")
+    assert sim._run_impl == sim._run_generic
+    seen = []
+    sim.schedule(10, lambda: seen.append(sim.now))
+    sim.schedule(5, lambda: (seen.append(sim.now),
+                             sim.schedule(1, lambda: seen.append(sim.now))))
+    sim.run(until=7)
+    assert seen == [5, 6]
+    assert not sim.finished
+    sim.run()
+    assert seen == [5, 6, 10]
+    assert sim.finished and sim.executed_events == 3
+
+
+@pytest.mark.parametrize("scheduler", BACKENDS)
+def test_backends_execute_identically(scheduler):
+    """One seeded mixed workload of schedules + cancellations must land on
+    the same trace and final time on every backend."""
+    sim = Simulator(scheduler=scheduler)
+    trace = []
+
+    def spawner(depth):
+        trace.append((sim.now, depth))
+        if depth < 40:
+            sim.schedule((depth * 7) % 13 + 0.25, lambda: spawner(depth + 1))
+            handle = sim.schedule_cancellable((depth * 3) % 5 + 1,
+                                              lambda: trace.append(("x", depth)))
+            if depth % 3:
+                handle.cancel()
+
+    sim.schedule(0.5, lambda: spawner(0))
+    sim.run_until_idle()
+    reference_sim = Simulator(scheduler="heap")
+    reference = []
+
+    def ref_spawner(depth):
+        reference.append((reference_sim.now, depth))
+        if depth < 40:
+            reference_sim.schedule((depth * 7) % 13 + 0.25,
+                                   lambda: ref_spawner(depth + 1))
+            handle = reference_sim.schedule_cancellable(
+                (depth * 3) % 5 + 1, lambda: reference.append(("x", depth)))
+            if depth % 3:
+                handle.cancel()
+
+    reference_sim.schedule(0.5, lambda: ref_spawner(0))
+    reference_sim.run_until_idle()
+    assert trace == reference
+    assert sim.now == reference_sim.now
+    assert sim.executed_events == reference_sim.executed_events

@@ -14,12 +14,21 @@ Usage::
     PYTHONPATH=src python tools/bench.py --prefetch tiny --workers 4
     PYTHONPATH=src python tools/bench.py --smoke --no-write \
         --check-against smoke-baseline --max-regression 1.5   # CI perf gate
+    PYTHONPATH=src python tools/bench.py --scheduler calendar  # calendar queue
+    PYTHONPATH=src python tools/bench.py --scheduler both      # heap/calendar A/B
+    PYTHONPATH=src python tools/bench.py --cubes 64 --scheduler both  # sweep scale
 
 The basket sizes match the profiled PageRank/`ARF-tid` case the kernel fast
 path was tuned on; ``--smoke`` shrinks every run to seconds-scale sizes for CI.
-``--prefetch SCALE`` benchmarks the evaluation-suite orchestration layer
-instead: a cold parallel prefetch into a throwaway cache directory, then a warm
-re-run that must perform zero simulations.
+``--scheduler`` selects the event-scheduler backend (results are bit-identical
+either way; only wall time differs), and ``both`` runs the basket under each
+backend with ``@heap``/``@calendar``-suffixed run keys plus a printed ratio.
+``--cubes N`` rebuilds every HMC-backed configuration with an N-cube memory
+network (``+cN`` key suffix) — the 64-cube sweep scale exercises the scheduler
+at much larger pending-event counts.  ``--prefetch SCALE`` benchmarks the
+evaluation-suite orchestration layer instead: a cold parallel prefetch into a
+throwaway cache directory, then a warm re-run that must perform zero
+simulations.
 """
 
 from __future__ import annotations
@@ -35,7 +44,9 @@ from pathlib import Path
 REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
-from repro.system import run_workload  # noqa: E402
+from repro.sim.event_queue import (SCHEDULER_BACKENDS, resolve_scheduler,  # noqa: E402
+                                   scheduler_env)
+from repro.system import make_system_config, run_workload  # noqa: E402
 
 #: The fixed measurement basket: (workload, configuration, params).
 BASKET = [
@@ -53,26 +64,98 @@ SMOKE_BASKET = [
 ]
 
 
-def run_basket(basket, num_threads: int = 4, repeat: int = 3):
-    """Run every basket entry ``repeat`` times; keep the best wall time."""
+def run_basket(basket, num_threads: int = 4, repeat: int = 3,
+               scheduler=None, num_cubes=None):
+    """Run every basket entry ``repeat`` times; keep the best wall time.
+
+    ``scheduler`` picks the event-scheduler backend for every run (``None``
+    keeps the ambient ``$REPRO_SCHEDULER``/default); ``num_cubes`` rebuilds
+    each HMC-backed configuration with that many memory cubes and suffixes
+    the run keys with ``+cN`` so entries at different network scales never
+    alias in the trajectory file.
+    """
     runs = {}
+    suffix = f"+c{num_cubes}" if num_cubes else ""
     for workload, config, params in basket:
-        key = f"{workload}/{config}"
+        key = f"{workload}/{config}{suffix}"
+        system_config = config
+        if num_cubes and config != "DRAM":
+            system_config = make_system_config(config, num_cubes=num_cubes)
         best = float("inf")
         result = None
-        for _ in range(max(1, repeat)):
-            start = time.perf_counter()
-            result = run_workload(config, workload, num_threads=num_threads, **params)
-            best = min(best, time.perf_counter() - start)
+        with scheduler_env(scheduler):
+            for _ in range(max(1, repeat)):
+                start = time.perf_counter()
+                result = run_workload(system_config, workload,
+                                      num_threads=num_threads, **params)
+                best = min(best, time.perf_counter() - start)
         runs[key] = {
             "wall_s": round(best, 3),
             "events": result.events_executed,
             "events_per_s": round(result.events_executed / best, 1),
             "cycles": result.cycles,
             "params": params,
+            "scheduler": resolve_scheduler(scheduler),
         }
+        if num_cubes:
+            runs[key]["num_cubes"] = num_cubes
         print(f"{key:24s} {best:7.3f}s  {runs[key]['events_per_s']:>11,.0f} ev/s  "
               f"cycles={result.cycles:,.0f}")
+    return runs
+
+
+def run_scheduler_ab(basket, num_threads: int = 4, repeat: int = 3,
+                     num_cubes=None):
+    """Run the basket under every scheduler backend and print the A/B ratios.
+
+    The repeats are *interleaved* per basket entry (after one untimed warm-up
+    run) so process warm-up — imports, allocator growth, frequency scaling —
+    lands on no particular backend; measuring one backend's whole basket
+    before the other's skews the first one measurably.  Run keys get an
+    ``@<scheduler>`` suffix so one history entry carries the whole
+    comparison; simulated results must agree bit-for-bit across backends
+    (asserted here — a mismatch is a determinism bug, not noise).
+    """
+    runs = {}
+    schedulers = sorted(SCHEDULER_BACKENDS)
+    suffix = f"+c{num_cubes}" if num_cubes else ""
+    for workload, config, params in basket:
+        base_key = f"{workload}/{config}{suffix}"
+        system_config = config
+        if num_cubes and config != "DRAM":
+            system_config = make_system_config(config, num_cubes=num_cubes)
+        best = {scheduler: float("inf") for scheduler in schedulers}
+        result = {}
+        with scheduler_env("heap"):
+            run_workload(system_config, workload, num_threads=num_threads,
+                         **params)  # warm-up, untimed
+        for _ in range(max(1, repeat)):
+            for scheduler in schedulers:
+                with scheduler_env(scheduler):
+                    start = time.perf_counter()
+                    result[scheduler] = run_workload(
+                        system_config, workload, num_threads=num_threads, **params)
+                    best[scheduler] = min(best[scheduler],
+                                          time.perf_counter() - start)
+        fingerprints = {(result[s].events_executed, result[s].cycles)
+                        for s in schedulers}
+        if len(fingerprints) != 1:
+            raise SystemExit(f"scheduler backends diverged on {base_key}: "
+                             f"{fingerprints}")
+        for scheduler in schedulers:
+            wall = best[scheduler]
+            runs[f"{base_key}@{scheduler}"] = {
+                "wall_s": round(wall, 3),
+                "events": result[scheduler].events_executed,
+                "events_per_s": round(result[scheduler].events_executed / wall, 1),
+                "cycles": result[scheduler].cycles,
+                "params": params,
+                "scheduler": scheduler,
+                **({"num_cubes": num_cubes} if num_cubes else {}),
+            }
+        ratio = best["calendar"] / best["heap"] if best["heap"] else float("inf")
+        print(f"{base_key:24s} heap {best['heap']:7.3f}s  calendar "
+              f"{best['calendar']:7.3f}s  ({ratio:.2f}x; <1.00 = calendar wins)")
     return runs
 
 
@@ -118,6 +201,11 @@ def check_regression(output: Path, runs, baseline_label: str, max_ratio: float) 
     compared = 0
     for key, run in runs.items():
         base = baseline.get(key)
+        if base is None and "@" in key:
+            # A/B runs are keyed `workload/config@scheduler`; gate each one
+            # against the plain `workload/config` baseline when the baseline
+            # entry predates per-scheduler keys.
+            base = baseline.get(key.rsplit("@", 1)[0])
         if not base or not base.get("wall_s"):
             continue
         compared += 1
@@ -170,6 +258,15 @@ def main(argv=None) -> int:
     parser.add_argument("--threads", type=int, default=4)
     parser.add_argument("--smoke", action="store_true",
                         help="tiny problem sizes (CI smoke run)")
+    parser.add_argument("--scheduler", default=None,
+                        choices=sorted(SCHEDULER_BACKENDS) + ["both"],
+                        help="event-scheduler backend for the basket; 'both' "
+                             "runs an A/B comparison with @heap/@calendar run "
+                             "keys (default: $REPRO_SCHEDULER or heap)")
+    parser.add_argument("--cubes", type=int, default=None, metavar="N",
+                        help="memory-network cube count for every HMC-backed "
+                             "basket configuration (+cN run-key suffix); e.g. "
+                             "64 for the large-network sweep scale")
     parser.add_argument("--no-write", action="store_true",
                         help="print results without touching the trajectory file")
     parser.add_argument("--prefetch", metavar="SCALE", default=None,
@@ -187,10 +284,23 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
 
     if args.prefetch:
-        runs = run_prefetch(args.prefetch, workers=args.workers)
+        if args.cubes:
+            parser.error("--cubes only applies to the kernel basket, not "
+                         "--prefetch (the suite fixes its own network shapes)")
+        if args.scheduler == "both":
+            parser.error("--scheduler both is an A/B mode for the kernel "
+                         "basket; pick one backend for --prefetch")
+        with scheduler_env(args.scheduler):
+            runs = run_prefetch(args.prefetch, workers=args.workers)
     else:
         basket = SMOKE_BASKET if args.smoke else BASKET
-        runs = run_basket(basket, num_threads=args.threads, repeat=args.repeat)
+        if args.scheduler == "both":
+            runs = run_scheduler_ab(basket, num_threads=args.threads,
+                                    repeat=args.repeat, num_cubes=args.cubes)
+        else:
+            runs = run_basket(basket, num_threads=args.threads,
+                              repeat=args.repeat, scheduler=args.scheduler,
+                              num_cubes=args.cubes)
     if args.check_against:
         check_regression(args.output, runs, args.check_against, args.max_regression)
     if not args.no_write:
