@@ -77,27 +77,46 @@ class ALU(Component):
     def __init__(self, sim: Simulator, name: str, latency: float = 2.0) -> None:
         super().__init__(sim, name)
         self.latency = latency
-        # combine()/accumulate() run once per Update: pre-bind the counters
-        # (per-opcode cells are bound lazily, keyed by opcode string).
+        # combine()/accumulate() run once per Update: batch the counts on
+        # plain accumulators (per-opcode counts in a small dict) and fold them
+        # in via the flush() protocol.
         self._h_ops = self.counter_handle("ops")
         self._h_reductions = self.counter_handle("reductions")
-        self._h_ops_by_opcode = {}
+        self._n_ops = 0
+        self._n_reductions = 0
+        self._n_ops_by_opcode: Dict[str, int] = {}
+        sim.stats.register_flushable(self)
+
+    def flush(self) -> None:
+        if self._n_ops:
+            self._h_ops.value += self._n_ops
+            self._n_ops = 0
+        if self._n_reductions:
+            self._h_reductions.value += self._n_reductions
+            self._n_reductions = 0
+        for opcode, pending in self._n_ops_by_opcode.items():
+            if pending:
+                self.counter_handle(f"ops.{opcode}").value += pending
+                self._n_ops_by_opcode[opcode] = 0
 
     def combine(self, opcode: str, a: float, b: float = 0.0) -> float:
         """Execute the data-processing part of an Update (e.g. the multiply of a MAC)."""
-        spec = opcode_spec(opcode)
-        self._h_ops.value += 1
-        op_handle = self._h_ops_by_opcode.get(opcode)
-        if op_handle is None:
-            op_handle = self.counter_handle(f"ops.{opcode}")
-            self._h_ops_by_opcode[opcode] = op_handle
-        op_handle.value += 1
+        # Direct dict probe on the hot path; the opcode_spec() wrapper (and
+        # its friendly error) only runs for unknown names.
+        spec = OPCODES.get(opcode)
+        if spec is None:
+            spec = opcode_spec(opcode)
+        self._n_ops += 1
+        by_opcode = self._n_ops_by_opcode
+        by_opcode[opcode] = by_opcode.get(opcode, 0) + 1
         return spec.combine(a, b)
 
     def accumulate(self, opcode: str, accumulator: Optional[float], value: float) -> float:
         """Fold ``value`` into ``accumulator`` using the opcode's reduction."""
-        spec = opcode_spec(opcode)
+        spec = OPCODES.get(opcode)
+        if spec is None:
+            spec = opcode_spec(opcode)
         if accumulator is None:
             accumulator = spec.identity
-        self._h_reductions.value += 1
+        self._n_reductions += 1
         return spec.accumulate(accumulator, value)

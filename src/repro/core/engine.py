@@ -16,6 +16,14 @@ The engine implements the three-phase protocol of Section 3.3:
    parent and the entry is released.
 
 Packet handling follows the flow charts of Figure 3.4.
+
+Hot-path conventions: packets are drawn from the per-class arena
+(``Cls.acquire``) and handed back via ``release`` exactly where they retire —
+responses once consumed, updates after their commit notified the host.  Every
+field a later event needs is copied into locals *before* the release, because
+a released instance may be re-acquired (and re-initialised) by any packet the
+continuation creates.  Per-event counters are plain integer accumulators
+folded into the bound stat handles by the ``flush()`` protocol.
 """
 
 from __future__ import annotations
@@ -31,9 +39,10 @@ from ..network.packet import (
     Packet,
     PacketType,
     UpdatePacket,
+    release,
 )
 from ..sim import Component, Simulator
-from .alu import ALU, OpClass, opcode_spec
+from .alu import ALU, OPCODES, OpClass
 from .config import AREConfig
 from .flow_table import FlowTable, FlowTableEntry
 from .operand_buffer import OperandBufferEntry, OperandBufferPool
@@ -74,35 +83,34 @@ class ActiveRoutingEngine(Component):
                 (PacketType.GATHER_REQ, self._handle_gather_request),
                 (PacketType.GATHER_RESP, self._handle_gather_response)):
             self._dispatch[ptype._code] = handler
-        # handle_packet() fires for every active packet that crosses this cube;
-        # bind every hot-path counter and latency histogram at construction.
-        self._h_active_packets = self.counter_handle("active_packets")
-        self._h_updates_seen = self.counter_handle("updates_seen")
-        self._h_updates_forwarded = self.counter_handle("updates_forwarded")
-        self._h_updates_received = self.counter_handle("updates_received")
-        self._h_stores_forwarded = self.counter_handle("stores_forwarded")
-        self._h_stores_received = self.counter_handle("stores_received")
-        self._h_operand_buffer_stalls = self.counter_handle("operand_buffer_stalls")
-        self._h_local_operand_reads = self.counter_handle("local_operand_reads")
-        self._h_operand_reads_served = self.counter_handle("operand_reads_served")
-        self._h_remote_operand_requests = self.counter_handle("remote_operand_requests")
-        self._h_operands_arrived = self.counter_handle("operands_arrived")
-        self._h_updates_committed = self.counter_handle("updates_committed")
-        self._h_store_writes = self.counter_handle("store_writes")
-        self._h_stores_committed = self.counter_handle("stores_committed")
-        self._h_gathers_received = self.counter_handle("gathers_received")
-        self._h_gathers_replicated = self.counter_handle("gathers_replicated")
-        self._h_gather_responses_merged = self.counter_handle("gather_responses_merged")
-        self._h_gather_responses_sent = self.counter_handle("gather_responses_sent")
+        # handle_packet() fires for every active packet that crosses this cube,
+        # so counting runs on plain integer accumulators; flush() folds them
+        # into the bound handles on demand (the same epoch batching the links
+        # adopted in the round-2 fast path).
+        names = ("active_packets", "updates_seen", "updates_forwarded",
+                 "updates_received", "stores_forwarded", "stores_received",
+                 "operand_buffer_stalls", "local_operand_reads",
+                 "operand_reads_served", "remote_operand_requests",
+                 "operands_arrived", "updates_committed", "store_writes",
+                 "stores_committed", "gathers_received", "gathers_replicated",
+                 "gather_responses_merged", "gather_responses_sent")
+        pairs = []
+        for counter in names:
+            setattr(self, "_n_" + counter, 0)
+            pairs.append(("_n_" + counter, self.counter_handle(counter)))
+        self._register_batched_counters(*pairs)
         self._hist_latency_request = sim.stats.histogram("ar.update_latency.request")
         self._hist_latency_stall = sim.stats.histogram("ar.update_latency.stall")
         self._hist_latency_response = sim.stats.histogram("ar.update_latency.response")
         self._hist_latency_total = sim.stats.histogram("ar.update_latency.total")
+        # _record_roundtrip walks these in order with Histogram.add inlined.
+        self._hists_latency = (self._hist_latency_request, self._hist_latency_stall,
+                               self._hist_latency_response, self._hist_latency_total)
 
     # ------------------------------------------------------------------ dispatch
     def handle_packet(self, packet: Packet, from_node: int) -> None:
         """Entry point called by the cube for every active packet that arrives."""
-        self._h_active_packets.value += 1
+        self._n_active_packets += 1
         handler = self._dispatch[packet.ptype._code]
         if handler is None:
             raise RuntimeError(f"{self.name} cannot handle packet type {packet.ptype}")
@@ -110,32 +118,36 @@ class ActiveRoutingEngine(Component):
 
     # ---------------------------------------------------------------- update phase
     def _handle_update(self, packet: UpdatePacket, from_node: int) -> None:
-        spec = opcode_spec(packet.opcode)
+        # Direct OPCODES lookup: this fires once per Update *hop*, and the
+        # opcode was validated when the host offloaded it, so the wrapper's
+        # friendly-error frame is pure overhead here (same in the other
+        # per-Update paths below).
+        spec = OPCODES[packet.opcode]
         if spec.op_class is OpClass.REDUCE:
             entry = self.flow_table.get_or_create(packet.flow_id, packet.root_node,
                                                   packet.opcode, parent=from_node)
             entry.req_counter += 1
-            self._h_updates_seen.value += 1
+            self._n_updates_seen += 1
             if packet.dst != self.node_id:
                 next_hop = self._next_row[packet.dst]
                 entry.record_child(next_hop)
-                self._h_updates_forwarded.value += 1
+                self._n_updates_forwarded += 1
                 self.network.forward(packet, self.node_id)
                 return
-            self._h_updates_received.value += 1
+            self._n_updates_received += 1
             self._start_update_processing(packet, arrival=self.sim.now)
             return
 
         # Store-class Updates (mov / const_assign): no flow bookkeeping needed.
         if packet.dst != self.node_id:
-            self._h_stores_forwarded.value += 1
+            self._n_stores_forwarded += 1
             self.network.forward(packet, self.node_id)
             return
-        self._h_stores_received.value += 1
+        self._n_stores_received += 1
         self._start_store_processing(packet, arrival=self.sim.now)
 
     def _start_update_processing(self, packet: UpdatePacket, arrival: float) -> None:
-        spec = opcode_spec(packet.opcode)
+        spec = OPCODES[packet.opcode]
         if spec.num_operands <= 1:
             self._process_single_operand(packet, arrival)
             return
@@ -143,18 +155,18 @@ class ActiveRoutingEngine(Component):
                                              packet.opcode, packet, arrival,
                                              num_operands=2)
         if entry is None:
-            self._h_operand_buffer_stalls.value += 1
+            self._n_operand_buffer_stalls += 1
             self._stalled_updates.append((packet, arrival))
             return
         self._issue_operand_fetches(entry)
 
     def _start_store_processing(self, packet: UpdatePacket, arrival: float) -> None:
-        spec = opcode_spec(packet.opcode)
+        spec = OPCODES[packet.opcode]
         if spec.num_operands == 0:
             # const_assign: write the immediate to the (local) target.
             finish = self.cube.local_access(packet.target_addr,
                                             self.config.store_write_bytes, is_write=True)
-            self._h_store_writes.value += 1
+            self._n_store_writes += 1
             self.sim.schedule_at(finish, lambda: self._commit_store(packet, arrival),
                                  label=f"{self.name}.store")
             return
@@ -163,10 +175,10 @@ class ActiveRoutingEngine(Component):
                                              packet.opcode, packet, arrival,
                                              num_operands=1)
         if entry is None:
-            self._h_operand_buffer_stalls.value += 1
+            self._n_operand_buffer_stalls += 1
             self._stalled_updates.append((packet, arrival))
             return
-        entry.extra["is_store"] = 1.0
+        entry.is_store = True
         self._issue_operand_fetches(entry)
 
     def _process_single_operand(self, packet: UpdatePacket, arrival: float) -> None:
@@ -183,13 +195,13 @@ class ActiveRoutingEngine(Component):
                                                  packet.opcode, packet, arrival,
                                                  num_operands=1)
             if entry is None:
-                self._h_operand_buffer_stalls.value += 1
+                self._n_operand_buffer_stalls += 1
                 self._stalled_updates.append((packet, arrival))
                 return
             self._issue_operand_fetches(entry)
             return
         finish = self.cube.local_access(addr, self.config.operand_read_bytes, is_write=False)
-        self._h_local_operand_reads.value += 1
+        self._n_local_operand_reads += 1
         value = self.alu.combine(packet.opcode, packet.src1_value)
         # The commit event fires after the ALU latency has already elapsed, so
         # the roundtrip ends exactly at the commit time; _record_roundtrip must
@@ -216,19 +228,20 @@ class ActiveRoutingEngine(Component):
             if owner == self.node_id:
                 finish = self.cube.local_access(addr, self.config.operand_read_bytes,
                                                 is_write=False)
-                self._h_local_operand_reads.value += 1
-                self._h_operand_reads_served.value += 1
+                self._n_local_operand_reads += 1
+                self._n_operand_reads_served += 1
                 slot, op_index, op_value = entry.slot, index, value
                 self.sim.schedule_at(
                     finish,
                     lambda s=slot, i=op_index, v=op_value: self._operand_arrived(s, i, v),
                     label=f"{self.name}.local_operand")
             else:
-                request = OperandRequestPacket(src=self.node_id, dst=owner, addr=addr,
-                                               buffer_slot=entry.slot, operand_index=index,
-                                               compute_node=self.node_id, value=value,
-                                               flow_id=packet.flow_id)
-                self._h_remote_operand_requests.value += 1
+                request = OperandRequestPacket.acquire(
+                    src=self.node_id, dst=owner, addr=addr,
+                    buffer_slot=entry.slot, operand_index=index,
+                    compute_node=self.node_id, value=value,
+                    flow_id=packet.flow_id)
+                self._n_remote_operand_requests += 1
                 self.network.inject(request, self.node_id)
         if entry.ready:
             self._commit_buffered(entry)
@@ -240,13 +253,21 @@ class ActiveRoutingEngine(Component):
             return
         finish = self.cube.local_access(packet.addr, self.config.operand_read_bytes,
                                         is_write=False)
-        self._h_operand_reads_served.value += 1
+        self._n_operand_reads_served += 1
+        # The request retires here; copy out everything the response needs.
+        compute_node = packet.compute_node
+        addr = packet.addr
+        buffer_slot = packet.buffer_slot
+        operand_index = packet.operand_index
+        value = packet.value
+        flow_id = packet.flow_id
+        release(packet)
 
         def _respond() -> None:
-            response = OperandResponsePacket(src=self.node_id, dst=packet.compute_node,
-                                             addr=packet.addr, buffer_slot=packet.buffer_slot,
-                                             operand_index=packet.operand_index,
-                                             value=packet.value, flow_id=packet.flow_id)
+            response = OperandResponsePacket.acquire(
+                src=self.node_id, dst=compute_node, addr=addr,
+                buffer_slot=buffer_slot, operand_index=operand_index,
+                value=value, flow_id=flow_id)
             self.network.inject(response, self.node_id)
 
         self.sim.schedule_at(finish, _respond, label=f"{self.name}.operand_resp")
@@ -255,35 +276,47 @@ class ActiveRoutingEngine(Component):
         if packet.dst != self.node_id:
             self.network.forward(packet, self.node_id)
             return
-        self._operand_arrived(packet.buffer_slot, packet.operand_index, packet.value)
+        slot = packet.buffer_slot
+        index = packet.operand_index
+        value = packet.value
+        release(packet)
+        self._operand_arrived(slot, index, value)
 
     def _operand_arrived(self, slot: int, index: int, value: float) -> None:
         entry = self.operand_buffers.get(slot)
         entry.set_operand(index, value)
-        self._h_operands_arrived.value += 1
+        self._n_operands_arrived += 1
         if entry.ready:
             self._commit_buffered(entry)
 
     # ----------------------------------------------------------------- commit paths
     def _commit_buffered(self, entry: OperandBufferEntry) -> None:
+        # Copy the entry out before releasing its slot: a released slot may be
+        # re-reserved (and the entry re-initialised in place) by the stalled
+        # updates drained below or by any continuation.
         packet = entry.update
+        arrival = entry.arrival_time
+        operand_issue = entry.operand_issue_time
+        is_store = entry.is_store
+        value1 = entry.op_value1
+        value2 = entry.op_value2
         self.operand_buffers.release(entry.slot)
-        if entry.extra.get("is_store"):
+        if is_store:
             finish = self.cube.local_access(packet.target_addr,
                                             self.config.store_write_bytes, is_write=True)
-            self._h_store_writes.value += 1
+            self._n_store_writes += 1
             self.sim.schedule_at(finish,
-                                 lambda: self._commit_store(packet, entry.arrival_time),
+                                 lambda: self._commit_store(packet, arrival),
                                  label=f"{self.name}.store")
         else:
-            value = self.alu.combine(packet.opcode, entry.op_value1, entry.op_value2)
-            self._commit_reduce(packet, entry.arrival_time, entry.operand_issue_time, value)
+            value = self.alu.combine(packet.opcode, value1, value2)
+            self._commit_reduce(packet, arrival, operand_issue, value)
         self._drain_stalled()
 
     def _drain_stalled(self) -> None:
         while self._stalled_updates and self.operand_buffers.free_slots > 0:
             packet, arrival = self._stalled_updates.popleft()
-            spec = opcode_spec(packet.opcode)
+            spec = OPCODES[packet.opcode]
             if spec.op_class is OpClass.REDUCE:
                 self._start_update_processing(packet, arrival)
             else:
@@ -300,19 +333,26 @@ class ActiveRoutingEngine(Component):
             )
         entry.result = self.alu.accumulate(packet.opcode, entry.result, value)
         entry.resp_counter += 1
-        self._h_updates_committed.value += 1
+        self._n_updates_committed += 1
         self._record_roundtrip(packet, arrival, operand_issue, response_end)
-        self.host.notify_update_commit(packet.update_id)
+        update_id = packet.update_id
+        # The commit notification can synchronously trigger new offloads (the
+        # message interface regains a credit), which may acquire packets — so
+        # this update goes back to the arena only as the very last step.
+        self.host.notify_update_commit(update_id)
         self._check_flow_completion(entry)
+        release(packet)
 
     def _commit_store(self, packet: UpdatePacket, arrival: float) -> None:
-        self._h_stores_committed.value += 1
+        self._n_stores_committed += 1
         # Stores commit at the write-finish event and never double-count: the
         # default response_end adds one alu_latency here, modelling the
         # engine's commit-pipeline stage (stores skip alu.combine but not the
         # pipeline), which matches the seed accounting.
         self._record_roundtrip(packet, arrival, arrival)
-        self.host.notify_update_commit(packet.update_id)
+        update_id = packet.update_id
+        self.host.notify_update_commit(update_id)
+        release(packet)
 
     def _record_roundtrip(self, packet: UpdatePacket, arrival: float,
                           operand_issue: float,
@@ -337,23 +377,54 @@ class ActiveRoutingEngine(Component):
         response_latency = response_end - operand_issue
         if response_latency < 0.0:
             response_latency = 0.0
-        self._hist_latency_request.add(request_latency)
-        self._hist_latency_stall.add(stall_latency)
-        self._hist_latency_response.add(response_latency)
-        self._hist_latency_total.add(request_latency + stall_latency + response_latency)
+        # Histogram.add + _offer_sample inlined (8 call frames per Update
+        # otherwise).  The four histograms are unrolled rather than zipped so
+        # no values tuple / zip iterator is allocated per Update.  The
+        # under-cap append is the only fast-cased branch; a full reservoir
+        # falls back to the histogram's own replacement logic, which keeps the
+        # sample sequence identical to per-call add()s.
+        total_latency = request_latency + stall_latency + response_latency
+        hists = self._hists_latency
+        value = request_latency
+        for index in range(4):
+            hist = hists[index]
+            hist.count += 1
+            hist.total += value
+            if value < hist.minimum:
+                hist.minimum = value
+            if value > hist.maximum:
+                hist.maximum = value
+            samples = hist.samples
+            if len(samples) < hist.max_samples:
+                hist._seen += 1
+                samples.append(value)
+            else:
+                hist._offer_sample(value)
+            if index == 0:
+                value = stall_latency
+            elif index == 1:
+                value = response_latency
+            else:
+                value = total_latency
 
     # ----------------------------------------------------------------- gather phase
     def _handle_gather_request(self, packet: GatherRequestPacket, from_node: int) -> None:
-        self._h_gathers_received.value += 1
-        entry = self.flow_table.lookup(packet.flow_id, packet.root_node)
+        self._n_gathers_received += 1
+        # Gather requests travel exactly one hop (src to a recorded child), so
+        # every arrival consumes the packet; replication below re-acquires.
+        flow_id = packet.flow_id
+        root_node = packet.root_node
+        target_addr = packet.target_addr
+        num_threads = packet.num_threads
+        release(packet)
+        entry = self.flow_table.lookup(flow_id, root_node)
         if entry is None:
             # No Update of this flow ever crossed this cube through this tree:
             # answer immediately with an empty partial result.
-            response = GatherResponsePacket(src=self.node_id, dst=from_node,
-                                            target_addr=packet.target_addr,
-                                            partial_result=0.0, completed_updates=0,
-                                            root_node=packet.root_node,
-                                            flow_id=packet.flow_id)
+            response = GatherResponsePacket.acquire(
+                src=self.node_id, dst=from_node, target_addr=target_addr,
+                partial_result=0.0, completed_updates=0,
+                root_node=root_node, flow_id=flow_id)
             self.network.inject(response, self.node_id)
             return
         entry.gflag = True
@@ -362,12 +433,11 @@ class ActiveRoutingEngine(Component):
         if entry.children:
             entry.pending_children = set(entry.children)
             for child in sorted(entry.children):
-                request = GatherRequestPacket(src=self.node_id, dst=child,
-                                              target_addr=packet.target_addr,
-                                              num_threads=packet.num_threads,
-                                              root_node=packet.root_node,
-                                              flow_id=packet.flow_id)
-                self._h_gathers_replicated.value += 1
+                request = GatherRequestPacket.acquire(
+                    src=self.node_id, dst=child, target_addr=target_addr,
+                    num_threads=num_threads, root_node=root_node,
+                    flow_id=flow_id)
+                self._n_gathers_replicated += 1
                 self.network.inject(request, self.node_id)
             entry.children.clear()
         self._check_flow_completion(entry)
@@ -385,7 +455,8 @@ class ActiveRoutingEngine(Component):
         entry.resp_counter += packet.completed_updates
         entry.result = self.alu.accumulate(entry.opcode, entry.result, packet.partial_result)
         entry.pending_children.discard(from_node)
-        self._h_gather_responses_merged.value += 1
+        self._n_gather_responses_merged += 1
+        release(packet)
         self._check_flow_completion(entry)
 
     def _check_flow_completion(self, entry: FlowTableEntry) -> None:
@@ -393,11 +464,10 @@ class ActiveRoutingEngine(Component):
             return
         if entry.parent is None:
             raise RuntimeError(f"{self.name}: completed flow entry has no parent")
-        response = GatherResponsePacket(src=self.node_id, dst=entry.parent,
-                                        target_addr=entry.flow_id,
-                                        partial_result=entry.result,
-                                        completed_updates=entry.resp_counter,
-                                        root_node=entry.root, flow_id=entry.flow_id)
-        self._h_gather_responses_sent.value += 1
+        response = GatherResponsePacket.acquire(
+            src=self.node_id, dst=entry.parent, target_addr=entry.flow_id,
+            partial_result=entry.result, completed_updates=entry.resp_counter,
+            root_node=entry.root, flow_id=entry.flow_id)
+        self._n_gather_responses_sent += 1
         self.flow_table.release(entry.key)
         self.network.inject(response, self.node_id)

@@ -71,15 +71,31 @@ class ActiveRoutingHost(Component):
 
         self._update_ids = itertools.count()
         # offload_update()/notify_update_commit() run once per Update packet:
-        # pre-bind their counters (per-port cells are bound lazily by port id).
+        # count on plain accumulators drained by the flush() protocol (the
+        # per-port accumulators live in a small dict keyed by port id).
         self._h_updates_offloaded = self.counter_handle("updates_offloaded")
         self._h_updates_committed = self.counter_handle("updates_committed")
-        self._h_updates_by_port = {}
+        self._n_updates_offloaded = 0
+        self._n_updates_committed = 0
+        self._n_updates_by_port: Dict[int, int] = {}
+        sim.stats.register_flushable(self)
         self._update_commits: Dict[int, Callable[[], None]] = {}
         self._flows: Dict[int, _FlowState] = {}
         #: Final reduction results, kept for functional verification.
         self.flow_results: Dict[int, float] = {}
         self.flow_history: Dict[int, List[float]] = {}
+
+    def flush(self) -> None:
+        if self._n_updates_offloaded:
+            self._h_updates_offloaded.value += self._n_updates_offloaded
+            self._n_updates_offloaded = 0
+        if self._n_updates_committed:
+            self._h_updates_committed.value += self._n_updates_committed
+            self._n_updates_committed = 0
+        for port, pending in self._n_updates_by_port.items():
+            if pending:
+                self.counter_handle(f"updates_port{port}").value += pending
+                self._n_updates_by_port[port] = 0
 
     # -------------------------------------------------------------- Update offload
     def offload_update(self, core_id: int, op: UpdateOp,
@@ -93,23 +109,26 @@ class ActiveRoutingHost(Component):
         update_id = next(self._update_ids)
         self._update_commits[update_id] = on_commit
         if spec.op_class is OpClass.REDUCE:
-            state = self._flows.setdefault(op.target, _FlowState(flow_id=op.target))
+            # get-then-insert rather than setdefault: this runs once per
+            # Update and setdefault would build a throwaway _FlowState
+            # (ten fields, two set factories) on every existing-flow hit.
+            state = self._flows.get(op.target)
+            if state is None:
+                state = self._flows[op.target] = _FlowState(flow_id=op.target)
             state.opcode = op.opcode
             state.ports_used.add(port)
             state.updates_offloaded += 1
 
-        packet = UpdatePacket(src=controller.node_id, dst=dst, opcode=op.opcode,
-                              target_addr=op.target, src1_addr=op.src1, src2_addr=op.src2,
-                              src1_value=op.src1_value, src2_value=op.src2_value,
-                              imm_value=op.imm, thread_id=core_id, root_node=root,
-                              update_id=update_id, issue_time=self.now,
-                              flow_id=op.target)
-        self._h_updates_offloaded.value += 1
-        port_handle = self._h_updates_by_port.get(port)
-        if port_handle is None:
-            port_handle = self.counter_handle(f"updates_port{port}")
-            self._h_updates_by_port[port] = port_handle
-        port_handle.value += 1
+        packet = UpdatePacket.acquire(
+            src=controller.node_id, dst=dst, opcode=op.opcode,
+            target_addr=op.target, src1_addr=op.src1, src2_addr=op.src2,
+            src1_value=op.src1_value, src2_value=op.src2_value,
+            imm_value=op.imm, thread_id=core_id, root_node=root,
+            update_id=update_id, issue_time=self.now,
+            flow_id=op.target)
+        self._n_updates_offloaded += 1
+        by_port = self._n_updates_by_port
+        by_port[port] = by_port.get(port, 0) + 1
         controller.inject(packet)
 
     def _compute_destination(self, op: UpdateOp, root: int, op_class: OpClass,
@@ -129,13 +148,15 @@ class ActiveRoutingHost(Component):
         callback = self._update_commits.pop(update_id, None)
         if callback is None:
             raise RuntimeError(f"commit notification for unknown update {update_id}")
-        self._h_updates_committed.value += 1
+        self._n_updates_committed += 1
         callback()
 
     # -------------------------------------------------------------- Gather handling
     def offload_gather(self, core_id: int, op: GatherOp,
                        on_result: Callable[[float], None]) -> None:
-        state = self._flows.setdefault(op.target, _FlowState(flow_id=op.target))
+        state = self._flows.get(op.target)
+        if state is None:
+            state = self._flows[op.target] = _FlowState(flow_id=op.target)
         state.gather_waiters.append(on_result)
         state.gathers_arrived += 1
         state.expected_threads = op.num_threads
@@ -153,12 +174,10 @@ class ActiveRoutingHost(Component):
             return
         for port in sorted(state.ports_used):
             controller = self.hmc.controller_for_port(port)
-            request = GatherRequestPacket(src=controller.node_id,
-                                          dst=controller.attached_cube,
-                                          target_addr=state.flow_id,
-                                          num_threads=op.num_threads,
-                                          root_node=controller.attached_cube,
-                                          flow_id=state.flow_id)
+            request = GatherRequestPacket.acquire(
+                src=controller.node_id, dst=controller.attached_cube,
+                target_addr=state.flow_id, num_threads=op.num_threads,
+                root_node=controller.attached_cube, flow_id=state.flow_id)
             state.responses_pending.add(port)
             self.count("gather_packets_sent")
             controller.inject(request)

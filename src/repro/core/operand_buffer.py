@@ -5,35 +5,49 @@ operand requests are outstanding; single-operand reductions bypass the pool.
 The pool is finite: when it is exhausted, newly arriving Updates queue at the
 engine and the wait is charged to the *stall* component of the round-trip
 latency (Figures 5.2/5.3).
+
+The pool models a fixed hardware structure, so the entry objects are
+preallocated once (one slotted instance per slot) and re-initialised in place
+on every reservation; reserve/release never allocates.  Consequence for
+callers: an entry's fields are only valid until its slot is released — copy
+out anything needed after that point.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from ..network.packet import UpdatePacket
 from ..sim import Component, Simulator
 
 
-@dataclass
 class OperandBufferEntry:
-    """One reserved operand-buffer slot and the Update it belongs to."""
+    """One operand-buffer slot and the Update it currently belongs to."""
 
-    slot: int
-    flow_id: int
-    root: int
-    opcode: str
-    update: UpdatePacket
-    arrival_time: float
-    operand_issue_time: float = 0.0
-    op_value1: float = 0.0
-    op_ready1: bool = False
-    op_value2: float = 0.0
-    op_ready2: bool = False
-    num_operands: int = 2
-    stall_cycles: float = 0.0
-    extra: Dict[str, float] = field(default_factory=dict)
+    __slots__ = ("slot", "flow_id", "root", "opcode", "update", "arrival_time",
+                 "operand_issue_time", "op_value1", "op_ready1", "op_value2",
+                 "op_ready2", "num_operands", "stall_cycles", "is_store")
+
+    def __init__(self, slot: int) -> None:
+        self.slot = slot
+        self.reset(0, 0, "", None, 0.0, 0)
+
+    def reset(self, flow_id: int, root: int, opcode: str,
+              update: Optional[UpdatePacket], arrival_time: float,
+              num_operands: int) -> None:
+        self.flow_id = flow_id
+        self.root = root
+        self.opcode = opcode
+        self.update = update
+        self.arrival_time = arrival_time
+        self.operand_issue_time = 0.0
+        self.op_value1 = 0.0
+        self.op_ready1 = False
+        self.op_value2 = 0.0
+        self.op_ready2 = False
+        self.num_operands = num_operands
+        self.stall_cycles = 0.0
+        self.is_store = False
 
     @property
     def ready(self) -> bool:
@@ -63,12 +77,21 @@ class OperandBufferPool(Component):
             raise ValueError("operand buffer capacity must be positive")
         self.capacity = capacity
         self._free: List[int] = list(range(capacity))
+        # One preallocated entry per slot, reused in place across reservations;
+        # ``entries`` maps only the slots currently in use.
+        self._slots: List[OperandBufferEntry] = [OperandBufferEntry(s)
+                                                 for s in range(capacity)]
         self.entries: Dict[int, OperandBufferEntry] = {}
         self._peak_used = 0
-        # reserve()/release() run once per buffered Update: pre-bind.
-        self._h_reserve_failures = self.counter_handle("reserve_failures")
-        self._h_reservations = self.counter_handle("reservations")
-        self._h_releases = self.counter_handle("releases")
+        # reserve()/release() run once per buffered Update; batch the counts
+        # and fold them in via the flush() protocol.
+        self._n_reserve_failures = 0
+        self._n_reservations = 0
+        self._n_releases = 0
+        self._register_batched_counters(
+            ("_n_reserve_failures", self.counter_handle("reserve_failures")),
+            ("_n_reservations", self.counter_handle("reservations")),
+            ("_n_releases", self.counter_handle("releases")))
         self._peak_gauge_name = f"{name}.peak_used"
 
     @property
@@ -83,14 +106,13 @@ class OperandBufferPool(Component):
                 arrival_time: float, num_operands: int) -> Optional[OperandBufferEntry]:
         """Allocate a slot, or return ``None`` when the pool is exhausted."""
         if not self._free:
-            self._h_reserve_failures.value += 1
+            self._n_reserve_failures += 1
             return None
         slot = self._free.pop()
-        entry = OperandBufferEntry(slot=slot, flow_id=flow_id, root=root, opcode=opcode,
-                                   update=update, arrival_time=arrival_time,
-                                   num_operands=num_operands)
+        entry = self._slots[slot]
+        entry.reset(flow_id, root, opcode, update, arrival_time, num_operands)
         self.entries[slot] = entry
-        self._h_reservations.value += 1
+        self._n_reservations += 1
         used = self.capacity - len(self._free)
         if used > self._peak_used:
             self._peak_used = used
@@ -105,4 +127,4 @@ class OperandBufferPool(Component):
             raise KeyError(f"operand buffer slot {slot} is not in use")
         del self.entries[slot]
         self._free.append(slot)
-        self._h_releases.value += 1
+        self._n_releases += 1

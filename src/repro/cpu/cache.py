@@ -102,7 +102,13 @@ class Directory:
         return self._sharers.get(block, set())
 
     def add_sharer(self, block: int, core: int) -> None:
-        self._sharers.setdefault(block, set()).add(core)
+        # get-then-insert rather than setdefault: the latter constructs (and
+        # usually discards) a fresh set on every call, once per cache access.
+        sharers = self._sharers.get(block)
+        if sharers is None:
+            self._sharers[block] = {core}
+        else:
+            sharers.add(core)
 
     def remove_sharer(self, block: int, core: int) -> None:
         sharers = self._sharers.get(block)

@@ -62,6 +62,28 @@ def default_cache_dir() -> Path:
 #: Name of the per-cache-dir measured-cost sidecar (see :meth:`RunCache.record_cost`).
 COSTS_FILE = "costs.json"
 
+_MACHINE_FINGERPRINT: Optional[str] = None
+
+
+def machine_fingerprint() -> str:
+    """Short stable identifier of the machine the process is running on.
+
+    Wall-time cost estimates only transfer between runs on comparable
+    hardware, so the sidecar keys every EWMA by this fingerprint: a cache
+    directory shared between machines (NFS home, a synced container volume)
+    keeps one independent cost table per machine instead of blending
+    incompatible timings into one estimate.  Hostname, architecture, processor
+    string and CPU count pin "same machine" closely enough without reading
+    anything outside the stdlib.
+    """
+    global _MACHINE_FINGERPRINT
+    if _MACHINE_FINGERPRINT is None:
+        import platform
+        raw = "|".join((platform.node(), platform.machine(),
+                        platform.processor(), str(os.cpu_count() or 0)))
+        _MACHINE_FINGERPRINT = hashlib.sha256(raw.encode()).hexdigest()[:16]
+    return _MACHINE_FINGERPRINT
+
 #: Smoothing factor for the sidecar's exponentially-weighted moving average:
 #: a fresh sample moves the stored estimate 30% of the way toward itself, so
 #: one slow outlier run (a loaded machine, a cold page cache) cannot corrupt
@@ -74,12 +96,14 @@ class RunCache:
     """One pickle file per ``(scale, workload, params, config, code digest)`` key.
 
     Besides the result entries, the cache directory carries a ``costs.json``
-    sidecar mapping digest-independent job descriptions to an exponentially-
-    weighted moving average of their measured wall times (updates serialize on
-    an ``fcntl`` lock, so concurrent sessions merge instead of clobbering).
-    Costs deliberately survive code-digest changes: editing the simulator
+    sidecar, keyed first by :func:`machine_fingerprint` and then by a
+    digest-independent job description, holding an exponentially-weighted
+    moving average of measured wall times (updates serialize on an ``fcntl``
+    lock, so concurrent sessions merge instead of clobbering).  Costs
+    deliberately survive code-digest changes: editing the simulator
     invalidates cached *results*, but "pagerank on ARF-tid at this scale takes
-    ~2s" remains the best available scheduling estimate.
+    ~2s" remains the best available scheduling estimate — on the machine that
+    measured it, which is why estimates never cross fingerprints.
     """
 
     def __init__(self, root: "str | os.PathLike") -> None:
@@ -162,15 +186,34 @@ class RunCache:
     def _costs_path(self) -> Path:
         return self.root / COSTS_FILE
 
-    def _read_costs(self) -> Dict[str, float]:
+    def _read_costs_file(self) -> Dict[str, Dict[str, float]]:
+        """The whole sidecar, nested ``{machine fingerprint: {job: ewma}}``.
+
+        Pre-fingerprint sidecars were a flat ``{job: ewma}`` dict; those are
+        recognised by their scalar values and attributed to the current
+        machine (the best available guess: a legacy sidecar was written by
+        whoever owned this cache directory).  The first ``record_cost`` after
+        an upgrade persists the migrated shape.
+        """
         try:
             data = json.loads(self._costs_path().read_text())
         except Exception:
             return {}
         if not isinstance(data, dict):
             return {}
-        return {k: float(v) for k, v in data.items()
-                if isinstance(v, (int, float)) and v > 0}
+        if data and all(isinstance(v, (int, float)) for v in data.values()):
+            return {machine_fingerprint(): {
+                k: float(v) for k, v in data.items() if v > 0}}
+        return {
+            fingerprint: {k: float(v) for k, v in section.items()
+                          if isinstance(v, (int, float)) and v > 0}
+            for fingerprint, section in data.items()
+            if isinstance(section, dict)
+        }
+
+    def _read_costs(self) -> Dict[str, float]:
+        """This machine's section of the sidecar (see :func:`machine_fingerprint`)."""
+        return self._read_costs_file().get(machine_fingerprint(), {})
 
     @contextlib.contextmanager
     def _costs_lock(self) -> Iterator[None]:
@@ -210,7 +253,11 @@ class RunCache:
         try:
             self.root.mkdir(parents=True, exist_ok=True)
             with self._costs_lock():
-                costs = self._read_costs()  # re-read under the lock
+                # Re-read under the lock; a legacy flat sidecar comes back
+                # already re-nested under this machine's fingerprint, so this
+                # write is also the one-shot migration to the keyed shape.
+                data = self._read_costs_file()
+                costs = data.setdefault(machine_fingerprint(), {})
                 name = self.cost_key_for(key)
                 previous = costs.get(name)
                 if previous is None:
@@ -220,7 +267,7 @@ class RunCache:
                 costs[name] = round(merged, 6)
                 tmp = self._costs_path().with_name(f"{COSTS_FILE}.tmp{os.getpid()}")
                 try:
-                    tmp.write_text(json.dumps(costs, sort_keys=True, indent=1) + "\n")
+                    tmp.write_text(json.dumps(data, sort_keys=True, indent=1) + "\n")
                     os.replace(tmp, self._costs_path())
                 finally:
                     with contextlib.suppress(OSError):

@@ -17,6 +17,7 @@ from ..network.packet import (
     MemWritePacket,
     Packet,
     PacketType,
+    release,
 )
 from ..sim import Component, Simulator
 from .config import HMCConfig
@@ -42,8 +43,16 @@ class HMCCube(Component):
         ]
         self.network: Optional["MemoryNetwork"] = None
         self.are: Optional["ActiveRoutingEngine"] = None
-        # local_access() runs once per vault access: pre-bind its counter.
-        self._h_local_accesses = self.counter_handle("local_accesses")
+        self._crossbar_latency = self.config.crossbar_latency
+        # local_access()/_serve_memory_packet() run once per vault access:
+        # count on plain accumulators drained by the flush() protocol.
+        self._n_local_accesses = 0
+        self._n_served_reads = 0
+        self._n_served_writes = 0
+        self._register_batched_counters(
+            ("_n_local_accesses", self.counter_handle("local_accesses")),
+            ("_n_served_reads", self.counter_handle("served_reads")),
+            ("_n_served_writes", self.counter_handle("served_writes")))
 
     # -- wiring ---------------------------------------------------------------
     def connect(self, network: "MemoryNetwork") -> None:
@@ -59,19 +68,28 @@ class HMCCube(Component):
     def local_access(self, addr: int, size: int, is_write: bool) -> float:
         """Access the vault holding ``addr``; returns the completion cycle."""
         vault = self.vaults[self.mapping.vault_of(addr)]
-        finish = vault.service(addr, size, is_write) + self.config.crossbar_latency
-        self._h_local_accesses.value += 1
+        finish = vault.service(addr, size, is_write) + self._crossbar_latency
+        self._n_local_accesses += 1
         return finish
 
     # -- network endpoint -----------------------------------------------------
     def receive_packet(self, packet: Packet, from_node: int) -> None:
         if packet.is_active:
-            if self.are is None:
+            are = self.are
+            if are is None:
                 raise RuntimeError(
                     f"cube {self.node_id} received active packet {packet.ptype} "
                     "but has no Active-Routing engine installed"
                 )
-            self.are.handle_packet(packet, from_node)
+            # Inlined ActiveRoutingEngine.handle_packet: this fires for every
+            # active packet that crosses the cube, and the extra frame is
+            # measurable at fleet scale.
+            are._n_active_packets += 1
+            handler = are._dispatch[packet.ptype._code]
+            if handler is None:
+                raise RuntimeError(
+                    f"{are.name} cannot handle packet type {packet.ptype}")
+            handler(packet, from_node)
             return
         if packet.dst != self.node_id:
             assert self.network is not None, "cube is not connected to a network"
@@ -87,12 +105,18 @@ class HMCCube(Component):
         addr = getattr(packet, "addr", 0)
         req_id = getattr(packet, "req_id", 0)
         size = 64 if is_read else packet.size
+        # The request retires here: copy out what the response needs first.
+        requester = packet.src
+        release(packet)
         finish = self.local_access(addr, size, is_write=not is_read)
-        self.count("served_reads" if is_read else "served_writes")
+        if is_read:
+            self._n_served_reads += 1
+        else:
+            self._n_served_writes += 1
 
         def _respond() -> None:
-            response = MemRespPacket(src=self.node_id, dst=packet.src, addr=addr,
-                                     is_read=is_read, req_id=req_id)
+            response = MemRespPacket.acquire(src=self.node_id, dst=requester,
+                                             addr=addr, is_read=is_read, req_id=req_id)
             self.network.inject(response, self.node_id)
 
         self.sim.schedule_at(finish, _respond, label=f"{self.name}.respond")

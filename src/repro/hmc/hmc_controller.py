@@ -13,6 +13,7 @@ from ..network.packet import (
     MemWritePacket,
     Packet,
     PacketType,
+    release,
 )
 from ..sim import Component, Simulator
 from .config import HMCNetworkConfig
@@ -37,12 +38,36 @@ class HMCController(Component):
         self.network: Optional["MemoryNetwork"] = None
         self._outstanding: Dict[int, MemoryRequest] = {}
         self._gather_listener: Optional[GatherListener] = None
-        # access()/inject() run once per miss/offload: pre-bind the counters.
+        # access()/inject()/receive_packet() run once per miss/offload; the
+        # counts batch into plain accumulators (``requests`` is derived as
+        # reads + writes at flush time) and the round-trip histogram is bound
+        # once instead of re-resolved per response.
         self._h_requests = self.counter_handle("requests")
         self._h_reads = self.counter_handle("reads")
         self._h_writes = self.counter_handle("writes")
         self._h_active_injected = self.counter_handle("active_injected")
         self._h_responses = self.counter_handle("responses")
+        self._n_reads = 0
+        self._n_writes = 0
+        self._n_active_injected = 0
+        self._n_responses = 0
+        self._hist_roundtrip = sim.stats.histogram(f"{self.name}.roundtrip")
+        sim.stats.register_flushable(self)
+
+    def flush(self) -> None:
+        reads, writes = self._n_reads, self._n_writes
+        if reads or writes:
+            self._h_requests.value += reads + writes
+            self._h_reads.value += reads
+            self._h_writes.value += writes
+            self._n_reads = 0
+            self._n_writes = 0
+        if self._n_active_injected:
+            self._h_active_injected.value += self._n_active_injected
+            self._n_active_injected = 0
+        if self._n_responses:
+            self._h_responses.value += self._n_responses
+            self._n_responses = 0
 
     # -- wiring ---------------------------------------------------------------
     def connect(self, network: "MemoryNetwork") -> None:
@@ -60,14 +85,14 @@ class HMCController(Component):
         request.issue_time = request.issue_time or self.now
         dst_cube = self.mapping.cube_of(request.addr)
         if request.is_write:
-            packet: Packet = MemWritePacket(src=self.node_id, dst=dst_cube,
-                                            addr=request.addr, req_id=request.req_id)
+            packet: Packet = MemWritePacket.acquire(src=self.node_id, dst=dst_cube,
+                                                    addr=request.addr, req_id=request.req_id)
+            self._n_writes += 1
         else:
-            packet = MemReadPacket(src=self.node_id, dst=dst_cube,
-                                   addr=request.addr, req_id=request.req_id)
+            packet = MemReadPacket.acquire(src=self.node_id, dst=dst_cube,
+                                           addr=request.addr, req_id=request.req_id)
+            self._n_reads += 1
         self._outstanding[request.req_id] = request
-        self._h_requests.value += 1
-        (self._h_writes if request.is_write else self._h_reads).value += 1
         self.sim.schedule(self.config.controller_latency,
                           lambda: self.network.inject(packet, self.node_id),
                           label=f"{self.name}.inject")
@@ -76,33 +101,33 @@ class HMCController(Component):
     def inject(self, packet: Packet) -> None:
         """Inject an already-built (active) packet after the controller latency."""
         assert self.network is not None, "controller is not connected to a network"
-        self._h_active_injected.value += 1
+        self._n_active_injected += 1
         self.sim.schedule(self.config.controller_latency,
                           lambda: self.network.inject(packet, self.node_id),
                           label=f"{self.name}.inject_active")
 
     # -- network endpoint --------------------------------------------------------
     def receive_packet(self, packet: Packet, from_node: int) -> None:
-        if packet.ptype in (PacketType.READ_RESP, PacketType.WRITE_RESP):
+        ptype = packet.ptype
+        if ptype is PacketType.READ_RESP or ptype is PacketType.WRITE_RESP:
             self._complete_memory_response(packet)
             return
-        if packet.ptype == PacketType.GATHER_RESP:
+        if ptype is PacketType.GATHER_RESP:
             if self._gather_listener is None:
                 raise RuntimeError(f"{self.name} received a Gather response but no "
                                    "Active-Routing host logic is registered")
             self._gather_listener(packet, self)  # type: ignore[arg-type]
+            # The host logic copies what it needs; the response retires here.
+            release(packet)
             return
-        raise RuntimeError(f"{self.name} cannot handle packet type {packet.ptype}")
+        raise RuntimeError(f"{self.name} cannot handle packet type {ptype}")
 
     def _complete_memory_response(self, packet: Packet) -> None:
         req_id = getattr(packet, "req_id", None)
         request = self._outstanding.pop(req_id, None)
         if request is None:
             raise RuntimeError(f"{self.name} got a response for unknown request {req_id}")
-        self._h_responses.value += 1
-        self.observe("roundtrip", self.now - request.issue_time)
+        self._n_responses += 1
+        release(packet)
+        self._hist_roundtrip.add(self.now - request.issue_time)
         request.complete(self.now)
-
-    @property
-    def outstanding_requests(self) -> int:
-        return len(self._outstanding)

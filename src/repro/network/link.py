@@ -54,40 +54,39 @@ class Link(SharedResource):
             category: self.counter_handle(f"bytes.{category}")
             for category in MOVEMENT_CATEGORIES
         }
-        # Per-hop statistics are epoch-batched: the hot path bumps these plain
-        # local accumulators and flush() folds them into the bound cells
-        # whenever a registry reader asks.  Bytes, energy and packet totals are
-        # all derived from the 4-slot per-category byte array at flush time
-        # (energy is linear in bytes), so one hop costs two adds plus the
-        # occasional queue-wait update instead of six counter-cell updates.
-        self._acc_packets = 0
-        self._acc_cat_bytes = [0, 0, 0, 0]  # indexed by Packet._cat_index
-        self._acc_busy = 0.0
-        self._acc_queue_wait = 0.0
+        # Per-hop statistics are epoch-batched: the hot path bumps one packed
+        # accumulator list (slots 0-3: per-category bytes by Packet._cat_index,
+        # slot 4: packets, slot 5: busy cycles, slot 6: queue-wait cycles) and
+        # flush() folds it into the bound cells whenever a registry reader
+        # asks.  Bytes, energy and packet totals are all derived from the
+        # per-category slots at flush time (energy is linear in bytes).  One
+        # list is one attribute load per hop; separate attributes would cost a
+        # dict-backed load/store pair each.
+        self._acc = [0, 0, 0, 0, 0, 0.0, 0.0]
         self._cat_handles = [self._h_bytes_by_category[c] for c in MOVEMENT_CATEGORIES]
         sim.stats.register_flushable(self)
 
     def flush(self) -> None:
         """Fold the batched per-hop accumulators into the counter cells."""
-        packets = self._acc_packets
+        acc = self._acc
+        packets = acc[4]
         if packets:
-            cat = self._acc_cat_bytes
-            total = cat[0] + cat[1] + cat[2] + cat[3]
+            total = acc[0] + acc[1] + acc[2] + acc[3]
             self._h_packets.value += packets
             self._h_bytes.value += total
             self._h_energy_pj.value += total * 8 * self._energy_pj_per_bit
             handles = self._cat_handles
             for index in range(4):
-                if cat[index]:
-                    handles[index].value += cat[index]
-                    cat[index] = 0
-            self._acc_packets = 0
-        if self._acc_busy:
-            self._busy_cycles.value += self._acc_busy
-            self._acc_busy = 0.0
-        if self._acc_queue_wait:
-            self._queue_wait_cycles.value += self._acc_queue_wait
-            self._acc_queue_wait = 0.0
+                if acc[index]:
+                    handles[index].value += acc[index]
+                    acc[index] = 0
+            acc[4] = 0
+        if acc[5]:
+            self._busy_cycles.value += acc[5]
+            acc[5] = 0.0
+        if acc[6]:
+            self._queue_wait_cycles.value += acc[6]
+            acc[6] = 0.0
 
     # -- aggregation-friendly readers ----------------------------------------
     # Network-wide aggregations (off-chip traffic, per-node load) read these
@@ -122,9 +121,10 @@ class Link(SharedResource):
         finish = start + serialization
         self.busy_until = finish
         queue_delay = start - earliest
+        acc = self._acc
         if queue_delay > 0:
-            self._acc_queue_wait += queue_delay
-        self._acc_busy += serialization
-        self._acc_packets += 1
-        self._acc_cat_bytes[packet._cat_index] += size
+            acc[6] += queue_delay
+        acc[5] += serialization
+        acc[4] += 1
+        acc[packet._cat_index] += size
         return finish + self._latency, queue_delay

@@ -48,11 +48,24 @@ class MemoryNetwork(Component):
         # hop resolves its link with two list indexings instead of a tuple
         # allocation + dict hash.  Endpoints get the same treatment.
         num_nodes = max(topology.graph.nodes) + 1
+        self._num_nodes = num_nodes
         self._link_grid: List[List[Optional[Link]]] = [
             [None] * num_nodes for _ in range(num_nodes)]
         for (a, b), link in self.links.items():
             self._link_grid[a][b] = link
         self._endpoint_list: List[Optional[NetworkEndpoint]] = [None] * num_nodes
+        # Dense per-node columns for the aggregation paths: a bytearray mask
+        # of controller-attached nodes and flat link lists in the exact
+        # insertion order of ``self.links`` (the per-category float sums in
+        # offchip_bytes()/link_load_by_node() must visit links in the same
+        # order as the old dict walks to stay bit-identical).
+        self._is_controller_node = bytearray(num_nodes)
+        for node in topology.controller_nodes:
+            self._is_controller_node[node] = 1
+        self._link_list: List[Link] = list(self.links.values())
+        self._offchip_links: List[Link] = [
+            link for link in self._link_list
+            if self._is_controller_node[link.src] or self._is_controller_node[link.dst]]
         # _hop() runs once per network hop: pre-bind every counter it touches
         # and keep a direct reference to the dense next-hop matrix.  The
         # delivery push mirrors the simulator's scheduler fast path: against
@@ -69,37 +82,36 @@ class MemoryNetwork(Component):
             category: self.counter_handle(f"bytes.{category}")
             for category in MOVEMENT_CATEGORIES
         }
-        # Network-wide per-hop stats are epoch-batched like the per-link ones:
-        # the hop fast path feeds plain accumulators, flush() derives the byte,
-        # bit-hop and per-category totals from the 4-slot array on demand.
-        self._acc_injected = 0
-        self._acc_hops = 0
-        self._acc_cat_bytes = [0, 0, 0, 0]  # indexed by Packet._cat_index
-        self._acc_queue_delay = 0.0
+        # Network-wide per-hop stats are epoch-batched like the per-link ones,
+        # in the same packed layout (slots 0-3: per-category bytes by
+        # Packet._cat_index, slot 4: hops, slot 5: injected, slot 6: queue
+        # delay); flush() derives the byte, bit-hop and per-category totals
+        # from the category slots on demand.
+        self._acc = [0, 0, 0, 0, 0, 0, 0.0]
         self._cat_handles = [self._h_bytes_by_category[c] for c in MOVEMENT_CATEGORIES]
         sim.stats.register_flushable(self)
 
     def flush(self) -> None:
         """Fold the batched per-hop accumulators into the counter cells."""
-        if self._acc_injected:
-            self._h_injected.value += self._acc_injected
-            self._acc_injected = 0
-        hops = self._acc_hops
+        acc = self._acc
+        if acc[5]:
+            self._h_injected.value += acc[5]
+            acc[5] = 0
+        hops = acc[4]
         if hops:
-            cat = self._acc_cat_bytes
-            total = cat[0] + cat[1] + cat[2] + cat[3]
+            total = acc[0] + acc[1] + acc[2] + acc[3]
             self._h_hops.value += hops
             self._h_bytes.value += total
             self._h_bit_hops.value += total * 8
             handles = self._cat_handles
             for index in range(4):
-                if cat[index]:
-                    handles[index].value += cat[index]
-                    cat[index] = 0
-            self._acc_hops = 0
-        if self._acc_queue_delay:
-            self._h_queue_delay.value += self._acc_queue_delay
-            self._acc_queue_delay = 0.0
+                if acc[index]:
+                    handles[index].value += acc[index]
+                    acc[index] = 0
+            acc[4] = 0
+        if acc[6]:
+            self._h_queue_delay.value += acc[6]
+            acc[6] = 0.0
 
     # -- construction ---------------------------------------------------------
     def register_endpoint(self, node_id: int, endpoint: NetworkEndpoint) -> None:
@@ -134,7 +146,7 @@ class MemoryNetwork(Component):
             # First time this packet enters the fabric; intermediate cubes that
             # re-inject it must not re-stamp (0.0 is a legitimate creation time).
             packet.created_at = self.sim.now
-        self._acc_injected += 1
+        self._acc[5] += 1
         if packet.dst == at_node:
             # Local delivery (e.g. operand request for data in the same cube).
             self.schedule(0.0, lambda: self._deliver(packet, at_node, at_node))
@@ -163,15 +175,30 @@ class MemoryNetwork(Component):
         finish = start + serialization
         link.busy_until = finish
         queue_delay = start - now
+        link_acc = link._acc
+        net_acc = self._acc
         if queue_delay > 0:
-            link._acc_queue_wait += queue_delay
-            self._acc_queue_delay += queue_delay
-        link._acc_busy += serialization
-        link._acc_packets += 1
+            link_acc[6] += queue_delay
+            net_acc[6] += queue_delay
+        link_acc[5] += serialization
+        link_acc[4] += 1
         cat_index = packet._cat_index
-        link._acc_cat_bytes[cat_index] += size
-        self._acc_hops += 1
-        self._acc_cat_bytes[cat_index] += size
+        link_acc[cat_index] += size
+        net_acc[4] += 1
+        net_acc[cat_index] += size
+        # The delivery is scheduled as a direct bound receive_packet() call:
+        # the _deliver() wrapper frame is measurable at one call per hop, so
+        # its two jobs move here — the endpoint is resolved at hop time
+        # (endpoints register at construction, before any traffic) and the hop
+        # count is pre-incremented (the packet is owned by the pending
+        # delivery closure, so nothing can observe it in between).  A missing
+        # endpoint still raises when the delivery *fires*, as _deliver() did.
+        endpoint = self._endpoint_list[nxt]
+        packet.hops += 1
+        if endpoint is None:
+            callback = lambda: self._missing_endpoint(packet, nxt)  # noqa: E731
+        else:
+            callback = lambda: endpoint.receive_packet(packet, current)  # noqa: E731
         # Inlined EventQueue.push (delivery times are never negative): one hop
         # schedules exactly one delivery and the wrapper call is measurable.
         # Non-heap scheduler backends take their own push() instead.
@@ -180,20 +207,23 @@ class MemoryNetwork(Component):
             events = self.sim.events
             heapq.heappush(heap,
                            [finish + link._latency + self.router_delay, events._seq,
-                            lambda: self._deliver(packet, nxt, current)])
+                            callback])
             events._seq += 1
             events._live += 1
         else:
             self.sim.events.push(finish + link._latency + self.router_delay,
-                                 lambda: self._deliver(packet, nxt, current))
+                                 callback)
 
     def _deliver(self, packet: Packet, node: int, from_node: int) -> None:
         packet.hops += 1
         endpoint = self._endpoint_list[node]
         if endpoint is None:
-            raise RuntimeError(f"packet {packet.pkt_id} arrived at node {node} "
-                               f"which has no registered endpoint")
+            self._missing_endpoint(packet, node)
         endpoint.receive_packet(packet, from_node)
+
+    def _missing_endpoint(self, packet: Packet, node: int) -> None:
+        raise RuntimeError(f"packet {packet.pkt_id} arrived at node {node} "
+                           f"which has no registered endpoint")
 
     # -- statistics -----------------------------------------------------------
     def bytes_moved(self, category: Optional[str] = None) -> float:
@@ -212,18 +242,21 @@ class MemoryNetwork(Component):
         Reads go through each link's own flushed counter cells: the
         string-keyed registry path would trigger a full flush of *every*
         epoch-batched component per lookup, links x categories times per call.
+        The controller-adjacent links were precomputed at construction from
+        the dense controller-node mask, in ``self.links`` insertion order so
+        the float sums match the old dict walk bit for bit.
         """
         totals = {cat: 0.0 for cat in MOVEMENT_CATEGORIES}
-        controller_nodes = set(self.topology.controller_nodes)
-        for (src, dst), link in self.links.items():
-            if src in controller_nodes or dst in controller_nodes:
-                for cat, value in link.bytes_by_category().items():
-                    totals[cat] += value
+        for link in self._offchip_links:
+            for cat, value in link.bytes_by_category().items():
+                totals[cat] += value
         return totals
 
     def link_load_by_node(self) -> Dict[int, float]:
         """Bytes forwarded out of each node (used for the Figure 5.3 heat maps)."""
-        load: Dict[int, float] = {n: 0.0 for n in self.topology.graph.nodes}
-        for (src, _dst), link in self.links.items():
-            load[src] += link.total_bytes()
-        return load
+        # Accumulate into a dense per-node column, then key the result by the
+        # topology's node ids (which may be a sparse subset of the range).
+        column = [0.0] * self._num_nodes
+        for link in self._link_list:
+            column[link.src] += link.total_bytes()
+        return {n: column[n] for n in self.topology.graph.nodes}

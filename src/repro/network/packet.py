@@ -11,14 +11,25 @@ Two families exist:
 
 Packets are the hottest allocation in the simulator (every hop of every
 packet touches one), so the whole hierarchy is plain slotted classes: no
-per-instance ``__dict__``, hand-written single-frame ``__init__`` methods, and
-per-type derived data cached on the :class:`PacketType` members.
+per-instance ``__dict__``, hand-written single-frame ``reset`` methods doubling
+as ``__init__`` (no ``super().__init__`` chain), and per-type derived data
+cached on the :class:`PacketType` members.
+
+On top of that sits a per-class free-list pool: call sites that create packets
+on the hot path use ``Cls.acquire(...)`` and the points where a packet retires
+(delivery consumption, response retirement) hand it back via ``release``.  A
+recycled instance is re-initialised by the same ``reset`` used for fresh
+construction, so pooling cannot change behaviour — only allocation counts.
+``REPRO_PACKET_POOL=0`` disables recycling entirely (acquire falls back to
+plain construction and release becomes a no-op) and ``REPRO_PACKET_POOL=debug``
+poisons every field of a released packet so use-after-release fails loudly.
 """
 
 from __future__ import annotations
 
 import enum
 import itertools
+import os
 from typing import Optional
 
 HEADER_BYTES = 16
@@ -27,7 +38,13 @@ WORD_BYTES = 8
 
 
 class PacketType(enum.Enum):
-    """Every packet class that can appear on a memory-network link."""
+    """Every packet class that can appear on a memory-network link.
+
+    ``is_active`` / ``is_request`` are plain per-member attributes filled in by
+    the decoration loop below (they used to be properties doing a linear tuple
+    membership test per call — measurable, since they sit on the routing hot
+    path via category dispatch).
+    """
 
     READ_REQ = "read_req"
     READ_RESP = "read_resp"
@@ -39,27 +56,23 @@ class PacketType(enum.Enum):
     OPERAND_REQ = "operand_req"
     OPERAND_RESP = "operand_resp"
 
-    @property
-    def is_active(self) -> bool:
-        """True for packets that exist only because of Active-Routing."""
-        return self in (
-            PacketType.UPDATE,
-            PacketType.GATHER_REQ,
-            PacketType.GATHER_RESP,
-            PacketType.OPERAND_REQ,
-            PacketType.OPERAND_RESP,
-        )
 
-    @property
-    def is_request(self) -> bool:
-        return self in (
-            PacketType.READ_REQ,
-            PacketType.WRITE_REQ,
-            PacketType.UPDATE,
-            PacketType.GATHER_REQ,
-            PacketType.OPERAND_REQ,
-        )
+#: Packet types that exist only because of Active-Routing.
+_ACTIVE_TYPES = frozenset((
+    PacketType.UPDATE,
+    PacketType.GATHER_REQ,
+    PacketType.GATHER_RESP,
+    PacketType.OPERAND_REQ,
+    PacketType.OPERAND_RESP,
+))
 
+_REQUEST_TYPES = frozenset((
+    PacketType.READ_REQ,
+    PacketType.WRITE_REQ,
+    PacketType.UPDATE,
+    PacketType.GATHER_REQ,
+    PacketType.OPERAND_REQ,
+))
 
 #: Default payload size (bytes) per packet type, header included.
 PACKET_SIZES = {
@@ -84,24 +97,172 @@ MOVEMENT_CATEGORIES = ("norm_req", "norm_resp", "active_req", "active_resp")
 # Per-type derived data cached as plain attributes on the enum members (packets
 # are created and dispatched on the hot path, and ``Enum.__hash__`` is a
 # Python-level call, so even a dict keyed by PacketType is measurable):
+#   ``is_active``     True for packets that exist only because of Active-Routing,
+#   ``is_request``    True for the request direction of each packet pair,
 #   ``_code``         small dense int for list-based dispatch tables,
 #   ``_default_size`` the PACKET_SIZES entry,
 #   ``_flags``        ``(is_active, is_request, category, category index)``
 #                     where the index points into MOVEMENT_CATEGORIES (links
 #                     batch per-category byte counts in a 4-slot array).
 for _index, _ptype in enumerate(PacketType):
+    _active = _ptype in _ACTIVE_TYPES
+    _request = _ptype in _REQUEST_TYPES
+    _ptype.is_active = _active
+    _ptype.is_request = _request
     _ptype._code = _index
     _ptype._default_size = PACKET_SIZES[_ptype]
-    _category = (("active_req" if _ptype.is_request else "active_resp")
-                 if _ptype.is_active
-                 else ("norm_req" if _ptype.is_request else "norm_resp"))
-    _ptype._flags = (
-        _ptype.is_active,
-        _ptype.is_request,
-        _category,
-        MOVEMENT_CATEGORIES.index(_category),
-    )
-del _index, _ptype, _category
+    _category = (("active_req" if _request else "active_resp") if _active
+                 else ("norm_req" if _request else "norm_resp"))
+    _ptype._flags = (_active, _request, _category,
+                     MOVEMENT_CATEGORIES.index(_category))
+del _index, _ptype, _category, _active, _request
+
+# Module-level aliases so the flattened per-class ``reset`` bodies do a single
+# global load instead of an enum attribute chase per field.
+_PT_READ_REQ = PacketType.READ_REQ
+_PT_READ_RESP = PacketType.READ_RESP
+_PT_WRITE_REQ = PacketType.WRITE_REQ
+_PT_WRITE_RESP = PacketType.WRITE_RESP
+_PT_UPDATE = PacketType.UPDATE
+_PT_GATHER_REQ = PacketType.GATHER_REQ
+_PT_GATHER_RESP = PacketType.GATHER_RESP
+_PT_OPERAND_REQ = PacketType.OPERAND_REQ
+_PT_OPERAND_RESP = PacketType.OPERAND_RESP
+
+_SZ_READ_REQ = PACKET_SIZES[_PT_READ_REQ]
+_SZ_READ_RESP = PACKET_SIZES[_PT_READ_RESP]
+_SZ_WRITE_REQ = PACKET_SIZES[_PT_WRITE_REQ]
+_SZ_WRITE_RESP = PACKET_SIZES[_PT_WRITE_RESP]
+_SZ_UPDATE = PACKET_SIZES[_PT_UPDATE]
+_SZ_GATHER_REQ = PACKET_SIZES[_PT_GATHER_REQ]
+_SZ_GATHER_RESP = PACKET_SIZES[_PT_GATHER_RESP]
+_SZ_OPERAND_REQ = PACKET_SIZES[_PT_OPERAND_REQ]
+_SZ_OPERAND_RESP = PACKET_SIZES[_PT_OPERAND_RESP]
+
+_FL_READ_REQ = _PT_READ_REQ._flags
+_FL_RESP = _PT_READ_RESP._flags          # READ_RESP and WRITE_RESP share flags
+_FL_WRITE_REQ = _PT_WRITE_REQ._flags
+_FL_UPDATE = _PT_UPDATE._flags
+_FL_GATHER_REQ = _PT_GATHER_REQ._flags
+_FL_GATHER_RESP = _PT_GATHER_RESP._flags
+_FL_OPERAND_REQ = _PT_OPERAND_REQ._flags
+_FL_OPERAND_RESP = _PT_OPERAND_RESP._flags
+
+
+# ---------------------------------------------------------------------------
+# Packet arena: per-class free lists.
+# ---------------------------------------------------------------------------
+
+class _PoisonType:
+    """Sentinel stored in every slot of a released packet under debug mode.
+
+    Any arithmetic, comparison-with-int or routing use of a poisoned field
+    raises immediately, turning a silent use-after-release into a crash at
+    the faulty read.
+    """
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<released-packet-field>"
+
+
+_POISON = _PoisonType()
+
+#: Upper bound on recycled instances retained per class; anything beyond this
+#: is dropped on the floor for the GC (keeps pathological bursts from pinning
+#: unbounded memory).
+_POOL_CAP = 65536
+
+
+class _PoolConfig:
+    __slots__ = ("enabled", "debug")
+
+    def __init__(self, enabled: bool, debug: bool) -> None:
+        self.enabled = enabled
+        self.debug = debug
+
+
+def _pool_from_env() -> "_PoolConfig":
+    raw = os.environ.get("REPRO_PACKET_POOL", "1").strip().lower()
+    enabled = raw not in ("0", "off", "false", "no")
+    debug = raw == "debug" or os.environ.get("REPRO_PACKET_POOL_DEBUG", "") == "1"
+    return _PoolConfig(enabled, debug)
+
+
+_pool = _pool_from_env()
+
+#: Every poolable packet class, for pool_stats()/reset_pools().
+_POOL_CLASSES = []
+
+
+def configure_pool(enabled: Optional[bool] = None, debug: Optional[bool] = None) -> None:
+    """Runtime override of the ``REPRO_PACKET_POOL`` environment gate."""
+    if enabled is not None:
+        _pool.enabled = bool(enabled)
+        if not _pool.enabled:
+            for cls in _POOL_CLASSES:
+                cls._free.clear()
+    if debug is not None:
+        _pool.debug = bool(debug)
+
+
+def pool_enabled() -> bool:
+    return _pool.enabled
+
+
+def pool_debug() -> bool:
+    return _pool.debug
+
+
+def pool_stats() -> dict:
+    """Per-class acquire/release accounting (acquire-path packets only).
+
+    ``fresh`` counts real object constructions in either pool mode, so
+    ``sum(fresh)`` is the packet-allocation count of a run: with the pool
+    enabled it converges on the free-list high-water mark, with the pool
+    disabled it equals the total number of packets acquired.
+    """
+    stats = {}
+    for cls in _POOL_CLASSES:
+        stats[cls.__name__] = {
+            "fresh": cls._pool_fresh,
+            "reused": cls._pool_reused,
+            "released": cls._pool_released,
+            "free": len(cls._free),
+        }
+    return stats
+
+
+def reset_pools() -> None:
+    """Drop all recycled instances and zero the pool counters."""
+    for cls in _POOL_CLASSES:
+        cls._free.clear()
+        cls._pool_fresh = 0
+        cls._pool_reused = 0
+        cls._pool_released = 0
+
+
+def release(packet: "Packet") -> None:
+    """Hand a retired packet back to its class pool.
+
+    Call this only when no live reference to the packet remains (the packet
+    has been consumed at its destination and every field of interest copied
+    out).  A no-op when pooling is disabled, so call sites need no gating.
+    """
+    if not _pool.enabled:
+        return
+    cls = packet.__class__
+    if _pool.debug:
+        if packet.ptype is _POISON:
+            raise RuntimeError(
+                f"double release of pooled {cls.__name__} instance")
+        for name in cls._pool_slots:
+            setattr(packet, name, _POISON)
+    cls._pool_released += 1
+    free = cls._free
+    if len(free) < _POOL_CAP:
+        free.append(packet)
 
 
 class Packet:
@@ -116,9 +277,9 @@ class Packet:
                  "hops", "pkt_id", "is_active", "is_request", "_category",
                  "_cat_index")
 
-    def __init__(self, ptype: PacketType, src: int, dst: int, size: int = 0,
-                 flow_id: Optional[int] = None, created_at: Optional[float] = None,
-                 hops: int = 0, pkt_id: Optional[int] = None) -> None:
+    def reset(self, ptype: PacketType, src: int, dst: int, size: int = 0,
+              flow_id: Optional[int] = None, created_at: Optional[float] = None,
+              hops: int = 0, pkt_id: Optional[int] = None) -> None:
         self.ptype = ptype
         self.src = src
         self.dst = dst
@@ -130,13 +291,57 @@ class Packet:
         # Cache derived attributes: packets cross many links and these are hot.
         self.is_active, self.is_request, self._category, self._cat_index = ptype._flags
 
+    __init__ = reset
+
+    def __init_subclass__(cls, **kw) -> None:
+        super().__init_subclass__(**kw)
+        # Fresh free list + accounting per class, and the full slot tuple for
+        # debug poisoning, collected once from the MRO.
+        cls._free = []
+        cls._pool_fresh = 0
+        cls._pool_reused = 0
+        cls._pool_released = 0
+        slots = []
+        for klass in cls.__mro__:
+            slots.extend(getattr(klass, "__slots__", ()))
+        cls._pool_slots = tuple(slots)
+        _POOL_CLASSES.append(cls)
+
+    @classmethod
+    def acquire(cls, *args, **kw) -> "Packet":
+        """Pop a recycled instance (re-initialised via ``reset``) or build a
+        fresh one; behaviour is identical either way."""
+        if _pool.enabled:
+            free = cls._free
+            if free:
+                pkt = free.pop()
+                cls._pool_reused += 1
+                pkt.reset(*args, **kw)
+                return pkt
+        # Counted in both pool modes: ``fresh`` is the true object-construction
+        # count, which is what the bench harness records as the allocation
+        # metric (pool on: free-list high-water mark; pool off: every packet).
+        cls._pool_fresh += 1
+        return cls(*args, **kw)
+
     def movement_category(self) -> str:
         """Bucket used by the Figure 5.4 data-movement breakdown."""
         return self._category
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        if self.ptype is _POISON:
+            return f"<released {type(self).__name__}>"
         return (f"<{type(self).__name__} #{self.pkt_id} {self.ptype.value} "
                 f"{self.src}->{self.dst} size={self.size} flow={self.flow_id}>")
+
+
+# The base class takes part in pooling too (tests construct raw Packets).
+Packet._free = []
+Packet._pool_fresh = 0
+Packet._pool_reused = 0
+Packet._pool_released = 0
+Packet._pool_slots = tuple(Packet.__slots__)
+_POOL_CLASSES.append(Packet)
 
 
 class MemReadPacket(Packet):
@@ -144,10 +349,22 @@ class MemReadPacket(Packet):
 
     __slots__ = ("addr", "req_id")
 
-    def __init__(self, src: int, dst: int, addr: int, req_id: int = 0, **kw) -> None:
-        super().__init__(ptype=PacketType.READ_REQ, src=src, dst=dst, **kw)
+    def reset(self, src: int, dst: int, addr: int, req_id: int = 0, size: int = 0,
+              flow_id: Optional[int] = None, created_at: Optional[float] = None,
+              hops: int = 0, pkt_id: Optional[int] = None) -> None:
+        self.ptype = _PT_READ_REQ
+        self.src = src
+        self.dst = dst
+        self.size = size if size > 0 else _SZ_READ_REQ
+        self.flow_id = flow_id
+        self.created_at = created_at
+        self.hops = hops
+        self.pkt_id = next(_packet_ids) if pkt_id is None else pkt_id
+        self.is_active, self.is_request, self._category, self._cat_index = _FL_READ_REQ
         self.addr = addr
         self.req_id = req_id
+
+    __init__ = reset
 
 
 class MemWritePacket(Packet):
@@ -155,10 +372,22 @@ class MemWritePacket(Packet):
 
     __slots__ = ("addr", "req_id")
 
-    def __init__(self, src: int, dst: int, addr: int, req_id: int = 0, **kw) -> None:
-        super().__init__(ptype=PacketType.WRITE_REQ, src=src, dst=dst, **kw)
+    def reset(self, src: int, dst: int, addr: int, req_id: int = 0, size: int = 0,
+              flow_id: Optional[int] = None, created_at: Optional[float] = None,
+              hops: int = 0, pkt_id: Optional[int] = None) -> None:
+        self.ptype = _PT_WRITE_REQ
+        self.src = src
+        self.dst = dst
+        self.size = size if size > 0 else _SZ_WRITE_REQ
+        self.flow_id = flow_id
+        self.created_at = created_at
+        self.hops = hops
+        self.pkt_id = next(_packet_ids) if pkt_id is None else pkt_id
+        self.is_active, self.is_request, self._category, self._cat_index = _FL_WRITE_REQ
         self.addr = addr
         self.req_id = req_id
+
+    __init__ = reset
 
 
 class MemRespPacket(Packet):
@@ -166,11 +395,27 @@ class MemRespPacket(Packet):
 
     __slots__ = ("addr", "req_id")
 
-    def __init__(self, src: int, dst: int, addr: int, is_read: bool, req_id: int = 0, **kw) -> None:
-        ptype = PacketType.READ_RESP if is_read else PacketType.WRITE_RESP
-        super().__init__(ptype=ptype, src=src, dst=dst, **kw)
+    def reset(self, src: int, dst: int, addr: int, is_read: bool, req_id: int = 0,
+              size: int = 0, flow_id: Optional[int] = None,
+              created_at: Optional[float] = None, hops: int = 0,
+              pkt_id: Optional[int] = None) -> None:
+        if is_read:
+            self.ptype = _PT_READ_RESP
+            self.size = size if size > 0 else _SZ_READ_RESP
+        else:
+            self.ptype = _PT_WRITE_RESP
+            self.size = size if size > 0 else _SZ_WRITE_RESP
+        self.src = src
+        self.dst = dst
+        self.flow_id = flow_id
+        self.created_at = created_at
+        self.hops = hops
+        self.pkt_id = next(_packet_ids) if pkt_id is None else pkt_id
+        self.is_active, self.is_request, self._category, self._cat_index = _FL_RESP
         self.addr = addr
         self.req_id = req_id
+
+    __init__ = reset
 
 
 class UpdatePacket(Packet):
@@ -186,13 +431,23 @@ class UpdatePacket(Packet):
                  "src2_value", "imm_value", "thread_id", "root_node", "update_id",
                  "issue_time")
 
-    def __init__(self, src: int, dst: int, *, opcode: str, target_addr: int,
-                 src1_addr: Optional[int] = None, src2_addr: Optional[int] = None,
-                 src1_value: float = 1.0, src2_value: float = 1.0,
-                 imm_value: float = 0.0, thread_id: int = 0, root_node: int = 0,
-                 update_id: int = 0, issue_time: float = 0.0, flow_id: Optional[int] = None,
-                 **kw) -> None:
-        super().__init__(ptype=PacketType.UPDATE, src=src, dst=dst, flow_id=flow_id, **kw)
+    def reset(self, src: int, dst: int, *, opcode: str, target_addr: int,
+              src1_addr: Optional[int] = None, src2_addr: Optional[int] = None,
+              src1_value: float = 1.0, src2_value: float = 1.0,
+              imm_value: float = 0.0, thread_id: int = 0, root_node: int = 0,
+              update_id: int = 0, issue_time: float = 0.0,
+              flow_id: Optional[int] = None, size: int = 0,
+              created_at: Optional[float] = None, hops: int = 0,
+              pkt_id: Optional[int] = None) -> None:
+        self.ptype = _PT_UPDATE
+        self.src = src
+        self.dst = dst
+        self.size = size if size > 0 else _SZ_UPDATE
+        self.flow_id = target_addr if flow_id is None else flow_id
+        self.created_at = created_at
+        self.hops = hops
+        self.pkt_id = next(_packet_ids) if pkt_id is None else pkt_id
+        self.is_active, self.is_request, self._category, self._cat_index = _FL_UPDATE
         self.opcode = opcode
         self.src1_addr = src1_addr
         self.src2_addr = src2_addr
@@ -204,8 +459,8 @@ class UpdatePacket(Packet):
         self.root_node = root_node
         self.update_id = update_id
         self.issue_time = issue_time
-        if self.flow_id is None:
-            self.flow_id = target_addr
+
+    __init__ = reset
 
     @property
     def num_operands(self) -> int:
@@ -217,16 +472,26 @@ class GatherRequestPacket(Packet):
 
     __slots__ = ("target_addr", "num_threads", "thread_id", "root_node")
 
-    def __init__(self, src: int, dst: int, *, target_addr: int, num_threads: int = 1,
-                 thread_id: int = 0, root_node: int = 0, flow_id: Optional[int] = None,
-                 **kw) -> None:
-        super().__init__(ptype=PacketType.GATHER_REQ, src=src, dst=dst, flow_id=flow_id, **kw)
+    def reset(self, src: int, dst: int, *, target_addr: int, num_threads: int = 1,
+              thread_id: int = 0, root_node: int = 0,
+              flow_id: Optional[int] = None, size: int = 0,
+              created_at: Optional[float] = None, hops: int = 0,
+              pkt_id: Optional[int] = None) -> None:
+        self.ptype = _PT_GATHER_REQ
+        self.src = src
+        self.dst = dst
+        self.size = size if size > 0 else _SZ_GATHER_REQ
+        self.flow_id = target_addr if flow_id is None else flow_id
+        self.created_at = created_at
+        self.hops = hops
+        self.pkt_id = next(_packet_ids) if pkt_id is None else pkt_id
+        self.is_active, self.is_request, self._category, self._cat_index = _FL_GATHER_REQ
         self.target_addr = target_addr
         self.num_threads = num_threads
         self.thread_id = thread_id
         self.root_node = root_node
-        if self.flow_id is None:
-            self.flow_id = target_addr
+
+    __init__ = reset
 
 
 class GatherResponsePacket(Packet):
@@ -234,16 +499,26 @@ class GatherResponsePacket(Packet):
 
     __slots__ = ("target_addr", "partial_result", "completed_updates", "root_node")
 
-    def __init__(self, src: int, dst: int, *, target_addr: int, partial_result: float,
-                 completed_updates: int, root_node: int = 0,
-                 flow_id: Optional[int] = None, **kw) -> None:
-        super().__init__(ptype=PacketType.GATHER_RESP, src=src, dst=dst, flow_id=flow_id, **kw)
+    def reset(self, src: int, dst: int, *, target_addr: int, partial_result: float,
+              completed_updates: int, root_node: int = 0,
+              flow_id: Optional[int] = None, size: int = 0,
+              created_at: Optional[float] = None, hops: int = 0,
+              pkt_id: Optional[int] = None) -> None:
+        self.ptype = _PT_GATHER_RESP
+        self.src = src
+        self.dst = dst
+        self.size = size if size > 0 else _SZ_GATHER_RESP
+        self.flow_id = target_addr if flow_id is None else flow_id
+        self.created_at = created_at
+        self.hops = hops
+        self.pkt_id = next(_packet_ids) if pkt_id is None else pkt_id
+        self.is_active, self.is_request, self._category, self._cat_index = _FL_GATHER_RESP
         self.target_addr = target_addr
         self.partial_result = partial_result
         self.completed_updates = completed_updates
         self.root_node = root_node
-        if self.flow_id is None:
-            self.flow_id = target_addr
+
+    __init__ = reset
 
 
 class OperandRequestPacket(Packet):
@@ -251,15 +526,27 @@ class OperandRequestPacket(Packet):
 
     __slots__ = ("addr", "buffer_slot", "operand_index", "compute_node", "value")
 
-    def __init__(self, src: int, dst: int, *, addr: int, buffer_slot: int,
-                 operand_index: int, compute_node: int, value: float = 0.0,
-                 flow_id: Optional[int] = None, **kw) -> None:
-        super().__init__(ptype=PacketType.OPERAND_REQ, src=src, dst=dst, flow_id=flow_id, **kw)
+    def reset(self, src: int, dst: int, *, addr: int, buffer_slot: int,
+              operand_index: int, compute_node: int, value: float = 0.0,
+              flow_id: Optional[int] = None, size: int = 0,
+              created_at: Optional[float] = None, hops: int = 0,
+              pkt_id: Optional[int] = None) -> None:
+        self.ptype = _PT_OPERAND_REQ
+        self.src = src
+        self.dst = dst
+        self.size = size if size > 0 else _SZ_OPERAND_REQ
+        self.flow_id = flow_id
+        self.created_at = created_at
+        self.hops = hops
+        self.pkt_id = next(_packet_ids) if pkt_id is None else pkt_id
+        self.is_active, self.is_request, self._category, self._cat_index = _FL_OPERAND_REQ
         self.addr = addr
         self.buffer_slot = buffer_slot
         self.operand_index = operand_index
         self.compute_node = compute_node
         self.value = value
+
+    __init__ = reset
 
 
 class OperandResponsePacket(Packet):
@@ -267,11 +554,23 @@ class OperandResponsePacket(Packet):
 
     __slots__ = ("addr", "buffer_slot", "operand_index", "value")
 
-    def __init__(self, src: int, dst: int, *, addr: int, buffer_slot: int,
-                 operand_index: int, value: float = 0.0,
-                 flow_id: Optional[int] = None, **kw) -> None:
-        super().__init__(ptype=PacketType.OPERAND_RESP, src=src, dst=dst, flow_id=flow_id, **kw)
+    def reset(self, src: int, dst: int, *, addr: int, buffer_slot: int,
+              operand_index: int, value: float = 0.0,
+              flow_id: Optional[int] = None, size: int = 0,
+              created_at: Optional[float] = None, hops: int = 0,
+              pkt_id: Optional[int] = None) -> None:
+        self.ptype = _PT_OPERAND_RESP
+        self.src = src
+        self.dst = dst
+        self.size = size if size > 0 else _SZ_OPERAND_RESP
+        self.flow_id = flow_id
+        self.created_at = created_at
+        self.hops = hops
+        self.pkt_id = next(_packet_ids) if pkt_id is None else pkt_id
+        self.is_active, self.is_request, self._category, self._cat_index = _FL_OPERAND_RESP
         self.addr = addr
         self.buffer_slot = buffer_slot
         self.operand_index = operand_index
         self.value = value
+
+    __init__ = reset

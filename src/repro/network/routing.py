@@ -7,15 +7,25 @@ split-point computation relies on this determinism: the split point of two
 operands is the last cube shared by the two deterministic paths from the tree
 root toward each operand.
 
-Because the topology is static, the table materializes *dense* next-hop and
-distance matrices at construction time (node ids are small contiguous ints, so
-a list-of-lists indexed ``[current][dst]`` suffices): the per-hop lookup on the
-packet fast path is two list indexings instead of a lazy path reconstruction
-and per-pair cache probe.
+Because the topology is static, the table materializes *dense* per-node
+columns at construction time (node ids are small contiguous ints):
+
+* ``next_hop_table`` stays a plain list-of-lists indexed ``[current][dst]``.
+  The per-hop lookup is the innermost network operation, and small next-hop
+  ids hit CPython's small-int cache when read from a list, whereas an
+  ``array('i')`` read boxes a fresh ``int`` object for values above 256 —
+  a per-hop allocation this module exists to avoid.
+* distances live in one ``array('H')`` column per source (2 bytes per pair,
+  ``0xFFFF`` marking "no route") and BFS parents in one ``array('i')`` column
+  per root.  Full paths are *reconstructed* from the parent columns on demand
+  instead of being stored as per-pair list objects; the reconstruction is only
+  reached from cold paths (tests, figures) and from :meth:`split_point`, which
+  memoizes its answers.
 """
 
 from __future__ import annotations
 
+from array import array
 from collections import deque
 from typing import Dict, List, Tuple
 
@@ -24,9 +34,13 @@ from .topology import Topology
 #: Dense-table marker for an unreachable (or non-existent) destination.
 NO_ROUTE = -1
 
+#: Unreachable marker inside the unsigned ``array('H')`` distance columns
+#: (:data:`NO_ROUTE` is negative and does not fit an unsigned slot).
+_DIST_INF = 0xFFFF
+
 
 class RoutingTable:
-    """Dense next-hop/distance tables with path reconstruction helpers."""
+    """Dense next-hop/distance/parent columns with path reconstruction."""
 
     def __init__(self, topology: Topology) -> None:
         self.topology = topology
@@ -36,49 +50,59 @@ class RoutingTable:
         #: (``current`` itself when ``current == dst``, :data:`NO_ROUTE` when
         #: unreachable).  Exposed for hot loops that index it directly.
         self.next_hop_table: List[List[int]] = [[NO_ROUTE] * size for _ in range(size)]
-        self._dist: List[List[int]] = [[NO_ROUTE] * size for _ in range(size)]
-        self._paths: Dict[Tuple[int, int], List[int]] = {}
-        for root in nodes:
-            parent = self._bfs_tree(root)
+        #: One BFS-parent column per root: ``_parents[root][node]`` is the
+        #: predecessor of ``node`` on the deterministic ``root -> node`` path
+        #: (``root`` itself at the root, :data:`NO_ROUTE` when unreachable).
+        self._parents: List[array] = []
+        self._dist: List[array] = []
+        self._split_cache: Dict[Tuple[int, int, int], int] = {}
+        in_graph = [n in topology.graph for n in range(size)]
+        neighbor_lists = [sorted(topology.graph.neighbors(n)) if in_graph[n] else []
+                          for n in range(size)]
+        for root in range(size):
+            parents = array("i", [NO_ROUTE]) * size
+            dist = array("H", [_DIST_INF]) * size
             next_row = self.next_hop_table[root]
-            dist_row = self._dist[root]
-            for dst in parent:
-                path = self._reconstruct(root, dst, parent)
-                self._paths[(root, dst)] = path
-                next_row[dst] = path[1] if len(path) > 1 else root
-                dist_row[dst] = len(path) - 1
+            if in_graph[root]:
+                # Deterministic BFS, neighbours explored in ascending order.
+                # Parent, hop count and first step off the root all propagate
+                # along the discovery edge, so the columns hold exactly what a
+                # stored-path table would have derived from them.
+                parents[root] = root
+                dist[root] = 0
+                next_row[root] = root
+                queue = deque([root])
+                while queue:
+                    current = queue.popleft()
+                    step = next_row[current] if current != root else NO_ROUTE
+                    hops = dist[current] + 1
+                    for neighbor in neighbor_lists[current]:
+                        if parents[neighbor] == NO_ROUTE:
+                            parents[neighbor] = current
+                            dist[neighbor] = hops
+                            next_row[neighbor] = neighbor if step == NO_ROUTE else step
+                            queue.append(neighbor)
+            self._parents.append(parents)
+            self._dist.append(dist)
 
-    def _bfs_tree(self, root: int) -> Dict[int, int]:
-        """Deterministic BFS parents: ``parent[node]`` on the path back to ``root``."""
-        parent: Dict[int, int] = {root: root}
-        queue = deque([root])
-        while queue:
-            current = queue.popleft()
-            for neighbor in sorted(self.topology.graph.neighbors(current)):
-                if neighbor not in parent:
-                    parent[neighbor] = current
-                    queue.append(neighbor)
-        return parent
-
-    @staticmethod
-    def _reconstruct(root: int, dst: int, parent: Dict[int, int]) -> List[int]:
-        """Walk ``dst -> root`` through the BFS tree, then reverse."""
-        if dst == root:
-            return [root]
+    def path(self, src: int, dst: int) -> List[int]:
+        """Full node path from ``src`` to ``dst`` inclusive (reconstructed)."""
+        if src < 0 or dst < 0:
+            raise ValueError(f"no route from {src} to {dst}")
+        try:
+            parents = self._parents[src]
+            parent = parents[dst]
+        except IndexError:
+            raise ValueError(f"no route from {src} to {dst}") from None
+        if parent == NO_ROUTE:
+            raise ValueError(f"no route from {src} to {dst}")
         reverse = [dst]
         node = dst
-        while node != root:
-            node = parent[node]
+        while node != src:
+            node = parents[node]
             reverse.append(node)
         reverse.reverse()
         return reverse
-
-    def path(self, src: int, dst: int) -> List[int]:
-        """Full node path from ``src`` to ``dst`` inclusive."""
-        path = self._paths.get((src, dst))
-        if path is None:
-            raise ValueError(f"no route from {src} to {dst}")
-        return path
 
     def next_hop(self, current: int, dst: int) -> int:
         """The neighbour to forward to from ``current`` toward ``dst``."""
@@ -102,7 +126,7 @@ class RoutingTable:
             dist = self._dist[src][dst]
         except IndexError:
             raise ValueError(f"no route from {src} to {dst}") from None
-        if dist == NO_ROUTE:
+        if dist == _DIST_INF:
             raise ValueError(f"no route from {src} to {dst}")
         return dist
 
@@ -110,15 +134,21 @@ class RoutingTable:
         """Last cube common to the deterministic routes ``root→dst_a`` and ``root→dst_b``.
 
         This is where a two-operand Update packet splits into two operand
-        requests (Section 3.3.1 of the paper).
+        requests (Section 3.3.1 of the paper).  Answers are memoized: the
+        host asks once per two-operand Update, while the number of *distinct*
+        (root, a, b) triples is bounded by the cube count cubed.
         """
-        path_a = self.path(root, dst_a)
-        path_b = self.path(root, dst_b)
-        split = root
-        for a, b in zip(path_a, path_b):
-            if a != b:
-                break
-            split = a
+        key = (root, dst_a, dst_b)
+        split = self._split_cache.get(key)
+        if split is None:
+            path_a = self.path(root, dst_a)
+            path_b = self.path(root, dst_b)
+            split = root
+            for a, b in zip(path_a, path_b):
+                if a != b:
+                    break
+                split = a
+            self._split_cache[key] = split
         return split
 
     def nearest(self, node: int, candidates: List[int]) -> int:

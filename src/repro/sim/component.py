@@ -53,14 +53,31 @@ class Component:
         """Read back a counter previously written by :meth:`count`."""
         return self.sim.stats.counter(f"{self.name}.{stat}")
 
+    #: ``(accumulator attribute, bound handle)`` pairs folded by the generic
+    #: :meth:`flush`; set through :meth:`_register_batched_counters`.
+    _batched_counters: tuple = ()
+
     def flush(self) -> None:
         """Fold any locally-batched stat accumulators into the registry.
 
-        The default is a no-op; components that batch their hottest counters
-        (see :meth:`~repro.sim.stats.StatsRegistry.register_flushable`)
-        override this and register themselves so every registry reader sees
-        up-to-date values.
+        The generic implementation drains the plain integer accumulators
+        declared via :meth:`_register_batched_counters`; components with
+        derived stats (e.g. energy computed from batched bytes) override this
+        entirely.  Either way the component must be registered with
+        :meth:`~repro.sim.stats.StatsRegistry.register_flushable` so every
+        registry reader sees up-to-date values.
         """
+        for attr, handle in self._batched_counters:
+            pending = getattr(self, attr)
+            if pending:
+                handle.value += pending
+                setattr(self, attr, 0)
+
+    def _register_batched_counters(self, *pairs) -> None:
+        """Declare epoch-batched counters: each ``(attr, handle)`` pair names a
+        plain integer accumulator on ``self`` and the registry cell it feeds."""
+        self._batched_counters = pairs
+        self.sim.stats.register_flushable(self)
 
     # -- time shortcuts -------------------------------------------------------
     @property

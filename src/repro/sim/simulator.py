@@ -113,31 +113,57 @@ class Simulator:
         heap = events._heap
         heappop = heapq.heappop
         processed = 0
+        # Folding the budget into a float drops the ``is not None`` test from
+        # the per-event epilogue, and the drain-everything case (the common
+        # one: run_until_idle) gets its own loop without the horizon test.
+        budget = float("inf") if max_events is None else max_events
         try:
-            while heap:
-                entry = heap[0]
-                time = entry[0]
-                if until is not None and time > until:
-                    self.now = until
-                    return until
-                heappop(heap)
-                callback = entry[2]
-                if callback is None:  # cancelled
-                    continue
-                entry[2] = None  # make a late cancel() a no-op
-                events._live -= 1
-                if time < self.now:
-                    if time < self.now - 1e-9:
-                        raise SimulationError(
-                            f"event {callback!r} scheduled at {time} is in the past "
-                            f"(now={self.now})"
-                        )
-                else:
-                    self.now = time
-                processed += 1
-                callback()
-                if max_events is not None and processed >= max_events:
-                    break
+            if until is None:
+                while heap:
+                    entry = heappop(heap)
+                    callback = entry[2]
+                    if callback is None:  # cancelled
+                        continue
+                    entry[2] = None  # make a late cancel() a no-op
+                    events._live -= 1
+                    time = entry[0]
+                    if time < self.now:
+                        if time < self.now - 1e-9:
+                            raise SimulationError(
+                                f"event {callback!r} scheduled at {time} is in the "
+                                f"past (now={self.now})"
+                            )
+                    else:
+                        self.now = time
+                    processed += 1
+                    callback()
+                    if processed >= budget:
+                        break
+            else:
+                while heap:
+                    entry = heap[0]
+                    time = entry[0]
+                    if time > until:
+                        self.now = until
+                        return until
+                    heappop(heap)
+                    callback = entry[2]
+                    if callback is None:  # cancelled
+                        continue
+                    entry[2] = None  # make a late cancel() a no-op
+                    events._live -= 1
+                    if time < self.now:
+                        if time < self.now - 1e-9:
+                            raise SimulationError(
+                                f"event {callback!r} scheduled at {time} is in the "
+                                f"past (now={self.now})"
+                            )
+                    else:
+                        self.now = time
+                    processed += 1
+                    callback()
+                    if processed >= budget:
+                        break
         finally:
             self._executed_events += processed
             # In the finally block so an exception inside a callback cannot

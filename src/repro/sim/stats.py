@@ -207,13 +207,19 @@ class StatsRegistry:
         self._gauges: Dict[str, float] = {}
         self._histograms: Dict[str, Histogram] = {}
         self._flushables: List[object] = []
+        self._flushable_ids: set = set()
 
     # -- epoch-batched sources ----------------------------------------------
     def register_flushable(self, source: object) -> None:
         """Register a component whose ``flush()`` folds locally-batched stat
         accumulators into the registry.  Every reader flushes first, so batched
-        counters stay observationally identical to per-event increments."""
-        if source not in self._flushables:
+        counters stay observationally identical to per-event increments.
+
+        Membership is tracked by identity in a side set: hundreds of lazily
+        created components (e.g. DRAM banks) register here, and a linear
+        ``in`` scan per registration would be quadratic."""
+        if id(source) not in self._flushable_ids:
+            self._flushable_ids.add(id(source))
             self._flushables.append(source)
 
     def flush(self) -> None:

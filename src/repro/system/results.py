@@ -88,29 +88,29 @@ class RunResult:
         return out
 
 
-def _collect_data_movement(system: BuiltSystem) -> Dict[str, float]:
-    stats = system.sim.stats
+def _collect_data_movement(system: BuiltSystem,
+                           counters: Dict[str, float]) -> Dict[str, float]:
     if system.config.kind.uses_hmc:
         offchip = system.memory.network.offchip_bytes()  # type: ignore[union-attr]
-        offchip["network_total"] = stats.counter("network.bytes")
+        offchip["network_total"] = counters.get("network.bytes", 0.0)
         return offchip
     # The DDR baseline has no memory network; classify channel traffic instead.
-    reads = stats.counter("dram.bytes.normal_read")
-    writes = stats.counter("dram.bytes.normal_write")
+    reads = counters.get("dram.bytes.normal_read", 0.0)
+    writes = counters.get("dram.bytes.normal_write", 0.0)
     return {"norm_req": writes, "norm_resp": reads, "active_req": 0.0, "active_resp": 0.0,
             "network_total": reads + writes}
 
 
-def _collect_network(system: BuiltSystem) -> Dict[str, float]:
+def _collect_network(system: BuiltSystem,
+                     counters: Dict[str, float]) -> Dict[str, float]:
     if not system.config.kind.uses_hmc:
         return {}
-    stats = system.sim.stats
-    hops = stats.counter("network.hops")
-    queue_delay = stats.counter("network.queue_delay_cycles")
+    hops = counters.get("network.hops", 0.0)
+    queue_delay = counters.get("network.queue_delay_cycles", 0.0)
     return {
         "hops": hops,
-        "injected": stats.counter("network.injected"),
-        "bytes": stats.counter("network.bytes"),
+        "injected": counters.get("network.injected", 0.0),
+        "bytes": counters.get("network.bytes", 0.0),
         "queue_delay_cycles": queue_delay,
         "queue_delay_per_hop": queue_delay / hops if hops else 0.0,
     }
@@ -125,10 +125,10 @@ def _collect_update_latency(system: BuiltSystem) -> Dict[str, float]:
     return out
 
 
-def _collect_per_cube(system: BuiltSystem) -> Dict[str, Dict[int, float]]:
+def _collect_per_cube(system: BuiltSystem,
+                      counters: Dict[str, float]) -> Dict[str, Dict[int, float]]:
     if not system.config.kind.uses_hmc:
         return {}
-    stats = system.sim.stats
     num_cubes = system.memory.mapping.num_cubes  # type: ignore[union-attr]
     metrics = {
         "updates_received": "are{n}.updates_received",
@@ -140,8 +140,10 @@ def _collect_per_cube(system: BuiltSystem) -> Dict[str, Dict[int, float]]:
     for cube_id in range(num_cubes):
         for key, pattern in metrics.items():
             if pattern is not None:
-                per_cube[key][cube_id] = stats.counter(pattern.format(n=cube_id))
-        per_cube["vault_accesses"][cube_id] = stats.sum(f"hmc.cube{cube_id}.vault")
+                per_cube[key][cube_id] = counters.get(pattern.format(n=cube_id), 0.0)
+        prefix = f"hmc.cube{cube_id}.vault"
+        per_cube["vault_accesses"][cube_id] = sum(
+            v for k, v in counters.items() if k.startswith(prefix))
     return per_cube
 
 
@@ -167,12 +169,17 @@ def collect_results(system: BuiltSystem, program: ProgramTrace) -> RunResult:
     sim = system.sim
     cycles = system.cmp.finish_time() or sim.now
     energy = EnergyModel(sim.stats).breakdown(cycles, cpu_freq_ghz=system.config.cpu_freq_ghz)
+    # One registry read up front: every per-name lookup below goes through
+    # this dict instead of stats.counter(), whose reader contract flushes
+    # every epoch-batched component per call (dozens of full-registry flushes
+    # per collection otherwise, measurable on the biggest runs).
+    counters = sim.stats.counters()
     cache_stats = {
         "l1_hit_rate": system.cmp.hierarchy.l1_hit_rate(),
         "l2_hit_rate": system.cmp.hierarchy.l2_hit_rate(),
-        "l1_accesses": sim.stats.counter("cache.l1_accesses"),
-        "l2_accesses": sim.stats.counter("cache.l2_accesses"),
-        "invalidations": sim.stats.counter("cache.invalidations"),
+        "l1_accesses": counters.get("cache.l1_accesses", 0.0),
+        "l2_accesses": counters.get("cache.l2_accesses", 0.0),
+        "invalidations": counters.get("cache.invalidations", 0.0),
     }
     return RunResult(
         workload=program.name,
@@ -181,12 +188,12 @@ def collect_results(system: BuiltSystem, program: ProgramTrace) -> RunResult:
         cycles=cycles,
         instructions=system.cmp.total_instructions(),
         energy=energy,
-        data_movement=_collect_data_movement(system),
-        network_stats=_collect_network(system),
+        data_movement=_collect_data_movement(system, counters),
+        network_stats=_collect_network(system, counters),
         update_latency=_collect_update_latency(system),
         stall_breakdown=system.cmp.stall_breakdown(),
         cache_stats=cache_stats,
-        per_cube=_collect_per_cube(system),
+        per_cube=_collect_per_cube(system, counters),
         flow_checks=_verify_flows(system, program),
         ipc_samples=[(cycle, instrs) for cycle, instrs in system.cmp.aggregate_ipc_samples()],
         metadata=dict(program.metadata),

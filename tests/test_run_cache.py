@@ -12,7 +12,8 @@ from repro.experiments import (
     estimated_cost,
     full_report,
 )
-from repro.experiments.run_cache import COST_EWMA_ALPHA, default_cache_dir
+from repro.experiments.run_cache import (COST_EWMA_ALPHA, default_cache_dir,
+                                         machine_fingerprint)
 from repro.system import AR_CONFIGS, CONFIG_ORDER, SystemKind, normalize_workers
 
 
@@ -119,6 +120,48 @@ def test_cost_sidecar_roundtrip_and_digest_independence(tmp_path):
     cache.record_cost(key, 4.0)              # EWMA merge, not last-write-wins
     expected = 2.5 + COST_EWMA_ALPHA * (4.0 - 2.5)
     assert RunCache(tmp_path).measured_cost(key) == pytest.approx(expected)
+
+
+def test_cost_sidecar_is_keyed_by_machine_fingerprint(tmp_path):
+    """The sidecar nests every EWMA under the recording machine's fingerprint,
+    so cost tables from different machines sharing one cache directory never
+    blend into a single estimate."""
+    import json
+
+    cache = RunCache(tmp_path)
+    key = _key()
+    cache.record_cost(key, 2.5)
+    data = json.loads((tmp_path / "costs.json").read_text())
+    assert list(data) == [machine_fingerprint()]
+    assert cache.cost_key_for(key) in data[machine_fingerprint()]
+    # Another machine's section is invisible to this machine's lookups.
+    data["feedfacefeedface0"] = {cache.cost_key_for(_key(workload="lud")): 9.0}
+    (tmp_path / "costs.json").write_text(json.dumps(data))
+    fresh = RunCache(tmp_path)
+    assert fresh.measured_cost(key) == 2.5
+    assert fresh.measured_cost(_key(workload="lud")) is None
+    # And a write from this machine preserves the foreign section on disk.
+    fresh.record_cost(_key(workload="lud"), 3.0)
+    merged = json.loads((tmp_path / "costs.json").read_text())
+    assert merged["feedfacefeedface0"] == data["feedfacefeedface0"]
+    assert fresh.measured_cost(_key(workload="lud")) == 3.0
+
+
+def test_cost_sidecar_migrates_legacy_flat_entries(tmp_path):
+    """A pre-fingerprint flat ``{job: ewma}`` sidecar is attributed to the
+    current machine on read and persisted in the keyed shape on first write."""
+    import json
+
+    cache = RunCache(tmp_path)
+    key = _key()
+    legacy = {cache.cost_key_for(key): 2.0}
+    (tmp_path / "costs.json").write_text(json.dumps(legacy))
+    assert cache.measured_cost(key) == 2.0          # readable before migration
+    cache.record_cost(key, 2.0)                     # first write migrates
+    data = json.loads((tmp_path / "costs.json").read_text())
+    assert list(data) == [machine_fingerprint()]
+    assert data[machine_fingerprint()][cache.cost_key_for(key)] == 2.0
+    assert RunCache(tmp_path).measured_cost(key) == 2.0
 
 
 def test_cost_sidecar_ewma_absorbs_one_outlier(tmp_path):

@@ -64,15 +64,65 @@ SMOKE_BASKET = [
 ]
 
 
+def profile_entry(key, system_config, workload, num_threads, params, top: int = 20):
+    """One instrumented (cProfile + tracemalloc) run of a basket entry.
+
+    Runs *outside* the timed repeats so ``wall_s`` never carries profiler
+    overhead.  Prints the top-``top`` functions by cumulative time and returns
+    the allocation columns recorded into the run entry:
+
+    * ``alloc_count`` — packet constructions (``pool_stats()`` ``fresh`` sum);
+      with the arena enabled this converges on the free-list high-water mark,
+      with ``REPRO_PACKET_POOL=0`` it counts every packet, so the on/off ratio
+      is the arena's allocation saving and the CI gate can watch it drift.
+    * ``alloc_peak_kib`` / ``alloc_live_kib`` — tracemalloc peak and
+      end-of-run traced memory.
+    """
+    import cProfile
+    import io
+    import pstats
+    import tracemalloc
+
+    from repro.network.packet import pool_enabled, pool_stats, reset_pools
+
+    reset_pools()
+    tracemalloc.start()
+    profiler = cProfile.Profile()
+    profiler.enable()
+    run_workload(system_config, workload, num_threads=num_threads, **params)
+    profiler.disable()
+    live_b, peak_b = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    per_class = pool_stats()
+    fresh = sum(s["fresh"] for s in per_class.values())
+    reused = sum(s["reused"] for s in per_class.values())
+    table = io.StringIO()
+    pstats.Stats(profiler, stream=table).sort_stats("cumulative").print_stats(top)
+    print(f"\n--- profile {key} (top {top} by cumulative time) ---")
+    print(table.getvalue().rstrip())
+    columns = {
+        "alloc_count": fresh,
+        "alloc_reused": reused,
+        "alloc_peak_kib": round(peak_b / 1024, 1),
+        "alloc_live_kib": round(live_b / 1024, 1),
+        "packet_pool": pool_enabled(),
+    }
+    print(f"--- alloc {key}: {fresh} packet constructions, {reused} reuses, "
+          f"peak {columns['alloc_peak_kib']:,.0f} KiB "
+          f"(pool {'on' if columns['packet_pool'] else 'off'}) ---\n")
+    return columns
+
+
 def run_basket(basket, num_threads: int = 4, repeat: int = 3,
-               scheduler=None, num_cubes=None):
+               scheduler=None, num_cubes=None, profile: bool = False):
     """Run every basket entry ``repeat`` times; keep the best wall time.
 
     ``scheduler`` picks the event-scheduler backend for every run (``None``
     keeps the ambient ``$REPRO_SCHEDULER``/default); ``num_cubes`` rebuilds
     each HMC-backed configuration with that many memory cubes and suffixes
     the run keys with ``+cN`` so entries at different network scales never
-    alias in the trajectory file.
+    alias in the trajectory file.  ``profile`` adds one instrumented run per
+    entry (cProfile table + tracemalloc/packet-arena allocation columns).
     """
     runs = {}
     suffix = f"+c{num_cubes}" if num_cubes else ""
@@ -101,6 +151,10 @@ def run_basket(basket, num_threads: int = 4, repeat: int = 3,
             runs[key]["num_cubes"] = num_cubes
         print(f"{key:24s} {best:7.3f}s  {runs[key]['events_per_s']:>11,.0f} ev/s  "
               f"cycles={result.cycles:,.0f}")
+        if profile:
+            with scheduler_env(scheduler):
+                runs[key].update(profile_entry(key, system_config, workload,
+                                               num_threads, params))
     return runs
 
 
@@ -215,6 +269,19 @@ def check_regression(output: Path, runs, baseline_label: str, max_ratio: float) 
               f"{base['wall_s']:7.3f}s  ({ratio:.2f}x)  {verdict}")
         if ratio > max_ratio:
             failures.append(key)
+        # Allocation gate: when both sides carry the --profile columns under
+        # the same pool mode, a packet-construction count blow-up means the
+        # arena stopped recycling (e.g. a new call site bypassing acquire());
+        # unlike wall time this metric is deterministic, so the same threshold
+        # has no noise margin to eat.
+        if (run.get("alloc_count") and base.get("alloc_count")
+                and run.get("packet_pool") == base.get("packet_pool")):
+            alloc_ratio = run["alloc_count"] / base["alloc_count"]
+            verdict = "ok" if alloc_ratio <= max_ratio else "REGRESSION"
+            print(f"check {key:24s} {run['alloc_count']:7d} allocs vs baseline "
+                  f"{base['alloc_count']:7d}  ({alloc_ratio:.2f}x)  {verdict}")
+            if alloc_ratio > max_ratio:
+                failures.append(f"{key}[alloc]")
     if not compared:
         raise SystemExit(
             f"baseline entry {baseline_label!r} shares no run keys with this basket")
@@ -267,6 +334,11 @@ def main(argv=None) -> int:
                         help="memory-network cube count for every HMC-backed "
                              "basket configuration (+cN run-key suffix); e.g. "
                              "64 for the large-network sweep scale")
+    parser.add_argument("--profile", action="store_true",
+                        help="add one instrumented run per basket entry: a "
+                             "cProfile top-20 cumulative table plus tracemalloc "
+                             "peak and packet-allocation-count columns recorded "
+                             "into the history entry")
     parser.add_argument("--no-write", action="store_true",
                         help="print results without touching the trajectory file")
     parser.add_argument("--prefetch", metavar="SCALE", default=None,
@@ -290,17 +362,23 @@ def main(argv=None) -> int:
         if args.scheduler == "both":
             parser.error("--scheduler both is an A/B mode for the kernel "
                          "basket; pick one backend for --prefetch")
+        if args.profile:
+            parser.error("--profile instruments kernel basket entries, not "
+                         "--prefetch (profile the suite with cProfile directly)")
         with scheduler_env(args.scheduler):
             runs = run_prefetch(args.prefetch, workers=args.workers)
     else:
         basket = SMOKE_BASKET if args.smoke else BASKET
         if args.scheduler == "both":
+            if args.profile:
+                parser.error("--profile composes with a single scheduler "
+                             "backend, not the 'both' A/B mode")
             runs = run_scheduler_ab(basket, num_threads=args.threads,
                                     repeat=args.repeat, num_cubes=args.cubes)
         else:
             runs = run_basket(basket, num_threads=args.threads,
                               repeat=args.repeat, scheduler=args.scheduler,
-                              num_cubes=args.cubes)
+                              num_cubes=args.cubes, profile=args.profile)
     if args.check_against:
         check_regression(args.output, runs, args.check_against, args.max_regression)
     if not args.no_write:
