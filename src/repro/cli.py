@@ -12,10 +12,14 @@ metrics; ``report`` regenerates the full evaluation (every table and figure);
 ``prefetch`` populates the persistent run cache so later reports and benchmark
 sessions perform zero simulations; ``sweep`` runs the scheme x topology
 cross product and renders the network-shape figure.  ``--workers 0`` means one
-worker per CPU core.  Every subcommand accepts a memory-network override
+worker per CPU core.  Every subcommand accepts memory-network overrides
 (``--topology``/``--num-cubes`` — ``sweep`` takes the plural ``--topologies``
-/``--num-cubes`` lists), making the network shape an experiment dimension, and
-an event-scheduler override (``--scheduler heap|calendar``, also settable via
+/``--num-cubes`` lists — plus ``--num-controllers``/``--link-bandwidth``),
+making the network shape an experiment dimension; a routing-policy override
+(``--routing static|resilient|adaptive``, also settable via
+``$REPRO_ROUTING``) with a deterministic seeded fault process
+(``--failure-rate``/``--failure-seed``, needs a fault-capable policy); and an
+event-scheduler override (``--scheduler heap|calendar``, also settable via
 ``$REPRO_SCHEDULER``) that swaps the kernel's event queue for the calendar
 queue without changing any result bit.
 """
@@ -30,6 +34,7 @@ from typing import Optional, Sequence
 from .analysis import format_table
 from .experiments import (FIGURE_REGISTRY, SCALES, EvaluationSuite,
                           default_cache_dir, fig_topology, full_report)
+from .network.routing import ROUTING_BACKENDS
 from .network.topology import TOPOLOGY_BUILDERS
 from .sim.event_queue import (DEFAULT_SCHEDULER, SCHEDULER_BACKENDS,
                               scheduler_env)
@@ -93,6 +98,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="memory-network cube count (default: 16); the "
                             "topology is built with exactly this many cubes "
                             "or the request is rejected up front")
+    _add_network_detail_options(run_p)
     _add_scheduler_option(run_p)
 
     report_p = sub.add_parser("report", help="regenerate every evaluation table and figure")
@@ -100,6 +106,11 @@ def build_parser() -> argparse.ArgumentParser:
                           help="problem-size scale")
     report_p.add_argument("--output", default=None,
                           help="optional path to also write the report to")
+    report_p.add_argument("--figures", nargs="+", default=None,
+                          choices=sorted(FIGURE_REGISTRY), metavar="FIGURE",
+                          help="render only these figures, in canonical report "
+                               "order (default: the full report); one of "
+                               f"{', '.join(sorted(FIGURE_REGISTRY))}")
     report_p.add_argument("--skip-dynamic-offload", action="store_true",
                           help="skip the Figure 5.8 case study (extra simulations)")
     _add_suite_options(report_p)
@@ -137,6 +148,7 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_p.add_argument("--num-cubes", dest="cube_counts", nargs="+", type=int,
                          default=list(fig_topology.SWEEP_CUBE_COUNTS), metavar="N",
                          help="cube counts to sweep (default: 16)")
+    _add_network_detail_options(sweep_p)
     sweep_p.add_argument("--configs", nargs="+", type=_config_name,
                          default=["HMC", "ART", "ARF-tid", "ARF-addr"],
                          metavar="CONFIG",
@@ -161,6 +173,45 @@ def _add_scheduler_option(parser: argparse.ArgumentParser) -> None:
                              "wall time differs")
 
 
+def _add_network_detail_options(parser: argparse.ArgumentParser) -> None:
+    """Network knobs beyond the shape: controllers, links, routing, faults."""
+    parser.add_argument("--num-controllers", type=int, default=None, metavar="N",
+                        help="host-side memory-controller count "
+                             "(default: Table 4.1's 4)")
+    parser.add_argument("--link-bandwidth", type=float, default=None,
+                        metavar="BYTES_PER_CYCLE",
+                        help="memory-network link bandwidth in bytes per CPU "
+                             "cycle (default: Table 4.1's 12.5, i.e. 25 GB/s "
+                             "per direction)")
+    parser.add_argument("--routing", default=None,
+                        choices=sorted(ROUTING_BACKENDS),
+                        help="routing policy (default: $REPRO_ROUTING or "
+                             "static); static is the byte-stable dense-table "
+                             "default, resilient recomputes around failed "
+                             "links, adaptive also picks the least-backlogged "
+                             "shortest-path hop")
+    parser.add_argument("--failure-rate", type=float, default=None, metavar="RATE",
+                        help="expected random link failures per 10,000 cycles "
+                             "(default: 0 = failure-free; a positive rate "
+                             "needs --routing resilient or adaptive)")
+    parser.add_argument("--failure-seed", type=int, default=None, metavar="SEED",
+                        help="seed of the deterministic failure timeline "
+                             "(default: 0); a fixed seed reproduces the exact "
+                             "same failures — and results — on every run")
+
+
+#: args attributes forwarded verbatim to make_network_config /
+#: make_system_config (argparse turns --num-controllers into num_controllers).
+_NETWORK_ARG_NAMES = ("topology", "num_cubes", "num_controllers",
+                      "link_bandwidth", "routing", "failure_rate",
+                      "failure_seed")
+
+
+def _network_overrides(args: argparse.Namespace) -> dict:
+    """The network override keywords present on ``args`` (missing ones None)."""
+    return {name: getattr(args, name, None) for name in _NETWORK_ARG_NAMES}
+
+
 def _add_suite_options(parser: argparse.ArgumentParser,
                        network_override: bool = True) -> None:
     _add_scheduler_option(parser)
@@ -174,26 +225,26 @@ def _add_suite_options(parser: argparse.ArgumentParser,
     parser.add_argument("--no-cache", action="store_true",
                         help="disable the persistent run cache entirely")
     if not network_override:
-        return  # the sweep subcommand owns its own --topologies/--num-cubes
+        return  # the sweep subcommand owns its own network options
     parser.add_argument("--topology", default=None, choices=sorted(TOPOLOGY_BUILDERS),
                         help="memory-network topology for every HMC-backed "
                              "scheme (default: Table 4.1 dragonfly); variant "
                              "networks get their own run-cache entries")
     parser.add_argument("--num-cubes", type=int, default=None, metavar="N",
                         help="memory-network cube count (default: 16)")
+    _add_network_detail_options(parser)
 
 
 def _make_suite(args: argparse.Namespace, workloads: Optional[Sequence[str]] = None,
-                ) -> EvaluationSuite:
+                suite_network: bool = True) -> EvaluationSuite:
     cache_dir = None if args.no_cache else (args.cache_dir or default_cache_dir())
     net = None
-    # The sweep subcommand has no suite-wide override (its --topologies /
-    # --num-cubes lists land in args.topologies/args.cube_counts instead).
-    topology = getattr(args, "topology", None)
-    num_cubes = getattr(args, "num_cubes", None)
-    if topology is not None or num_cubes is not None:
+    # The sweep subcommand has no suite-wide network (its options apply per
+    # swept cell instead), so it passes suite_network=False.
+    overrides = _network_overrides(args) if suite_network else {}
+    if any(value is not None for value in overrides.values()):
         with _network_usage_errors():
-            net = make_network_config(topology=topology, num_cubes=num_cubes)
+            net = make_network_config(**overrides)
     return EvaluationSuite(args.scale, workloads=workloads, workers=args.workers,
                            cache_dir=cache_dir, net=net)
 
@@ -214,14 +265,15 @@ def _network_usage_errors():
 
 def _cmd_run(args: argparse.Namespace) -> int:
     params = _parse_workload_params(args.param)
-    if args.config == "DRAM" and (args.topology is not None
-                                  or args.num_cubes is not None):
-        raise SystemExit("repro: --topology/--num-cubes have no effect on the "
-                         "DRAM baseline (it has no memory network); pick an "
-                         "HMC-backed configuration")
+    overrides = _network_overrides(args)
+    if args.config == "DRAM" and any(v is not None for v in overrides.values()):
+        raise SystemExit("repro: network options (--topology, --num-cubes, "
+                         "--num-controllers, --link-bandwidth, --routing, "
+                         "--failure-rate, --failure-seed) have no effect on "
+                         "the DRAM baseline (it has no memory network); pick "
+                         "an HMC-backed configuration")
     with _network_usage_errors():
-        config = make_system_config(args.config, topology=args.topology,
-                                    num_cubes=args.num_cubes)
+        config = make_system_config(args.config, **overrides)
     result = run_workload(config, args.workload, num_threads=args.threads, **params)
     rows = [
         ["cycles", f"{result.cycles:,.0f}"],
@@ -232,6 +284,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
         ["power", f"{result.energy.power_w:.3f} W"],
         ["EDP", f"{result.energy.edp:.3e} J*s"],
     ]
+    if config.kind.uses_hmc and config.hmc_net.failure_rate > 0:
+        stats = result.network_stats
+        rows.append(["hops interrupted", f"{stats['dropped']:,.0f}"])
+        rows.append(["delivered traffic", f"{stats['delivered_fraction']:.4f}"])
     if result.mode == "active":
         rows.append(["update round-trip", f"{result.update_roundtrip:.0f} cycles"])
         checked, mismatched = result.flow_checks
@@ -245,7 +301,8 @@ def _cmd_report(args: argparse.Namespace) -> int:
     suite = _make_suite(args)
     # full_report prefetches every required pair in one parallel batch; the
     # report itself goes to stdout only, so cold and warm runs are identical.
-    report = full_report(suite, include_dynamic_offload=not args.skip_dynamic_offload)
+    report = full_report(suite, include_dynamic_offload=not args.skip_dynamic_offload,
+                         figures=args.figures)
     print(report)
     if args.output:
         with open(args.output, "w") as handle:
@@ -284,14 +341,21 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                              f"once as the speedup denominator)")
         if kind not in kinds:
             kinds.append(kind)
-    suite = _make_suite(args, workloads=args.workloads)
+    suite = _make_suite(args, workloads=args.workloads, suite_network=False)
+    # --num-controllers applies to every swept shape; the remaining detail
+    # options ride along to make_network_config uniformly per cell.
+    detail = {name: value for name, value in _network_overrides(args).items()
+              if name not in ("topology", "num_cubes", "num_controllers")
+              and value is not None}
     with _network_usage_errors():
         # Planning-time shape validation only; simulation/rendering errors
         # below keep their tracebacks.
-        fig_topology.sweep_networks(args.topologies, args.cube_counts)
+        fig_topology.sweep_networks(args.topologies, args.cube_counts,
+                                    args.num_controllers, detail)
     text, stats = fig_topology.run_sweep(
         suite, topologies=args.topologies, cube_counts=args.cube_counts,
-        kinds=kinds, workloads=args.workloads)
+        kinds=kinds, workloads=args.workloads,
+        num_controllers=args.num_controllers, net_overrides=detail)
     print(text)
     print()
     print(f"sweep: {stats['pairs']} runs at scale {suite.scale.name!r} "

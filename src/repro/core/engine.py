@@ -410,8 +410,12 @@ class ActiveRoutingEngine(Component):
     # ----------------------------------------------------------------- gather phase
     def _handle_gather_request(self, packet: GatherRequestPacket, from_node: int) -> None:
         self._n_gathers_received += 1
-        # Gather requests travel exactly one hop (src to a recorded child), so
-        # every arrival consumes the packet; replication below re-acquires.
+        # Gather requests travel exactly one hop (src to a recorded child —
+        # tree-routed packets are pinned to the pristine routes, so this
+        # holds under fault injection too) and every arrival consumes the
+        # packet; replication below re-acquires.  The requester is read from
+        # the packet header rather than the delivering link all the same.
+        requester = packet.src
         flow_id = packet.flow_id
         root_node = packet.root_node
         target_addr = packet.target_addr
@@ -422,14 +426,14 @@ class ActiveRoutingEngine(Component):
             # No Update of this flow ever crossed this cube through this tree:
             # answer immediately with an empty partial result.
             response = GatherResponsePacket.acquire(
-                src=self.node_id, dst=from_node, target_addr=target_addr,
+                src=self.node_id, dst=requester, target_addr=target_addr,
                 partial_result=0.0, completed_updates=0,
                 root_node=root_node, flow_id=flow_id)
             self.network.inject(response, self.node_id)
             return
         entry.gflag = True
         if entry.parent is None:
-            entry.parent = from_node
+            entry.parent = requester
         if entry.children:
             entry.pending_children = set(entry.children)
             for child in sorted(entry.children):
@@ -454,7 +458,11 @@ class ActiveRoutingEngine(Component):
             )
         entry.resp_counter += packet.completed_updates
         entry.result = self.alu.accumulate(entry.opcode, entry.result, packet.partial_result)
-        entry.pending_children.discard(from_node)
+        # Key on the originating child, not the last hop: under fault
+        # injection a response may detour around a dead link and arrive from
+        # a neighbour that is not the child that sent it (without faults the
+        # two are always the same node).
+        entry.pending_children.discard(packet.src)
         self._n_gather_responses_merged += 1
         release(packet)
         self._check_flow_completion(entry)

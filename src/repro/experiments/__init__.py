@@ -2,6 +2,7 @@
 
 from . import (
     fig_data_movement,
+    fig_degraded,
     fig_dynamic_offload,
     fig_latency,
     fig_lud_heatmap,
@@ -18,6 +19,7 @@ from .tables import render_table_3_1, render_table_4_1, table_3_1
 
 __all__ = [
     "fig_data_movement",
+    "fig_degraded",
     "fig_dynamic_offload",
     "fig_latency",
     "fig_lud_heatmap",

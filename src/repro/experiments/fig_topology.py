@@ -38,23 +38,30 @@ SWEEP_WORKLOADS: Tuple[str, ...] = ("mac", "pagerank")
 
 
 def sweep_network(topology: str, num_cubes: int = 16,
-                  num_controllers: Optional[int] = None) -> HMCNetworkConfig:
+                  num_controllers: Optional[int] = None,
+                  net_overrides: Optional[Dict[str, object]] = None) -> HMCNetworkConfig:
     """The network config for one sweep cell (defaults elsewhere untouched).
 
     Overrides default to the default network's values, so the default-shape
     cell compares equal to :func:`default_network` and shares its labels/runs
-    with the plain evaluation matrix.  Validated eagerly (inside
-    :func:`make_network_config`): an impossible shape — say, an 8-cube
-    dragonfly — must fail while the sweep is being planned, not mid-batch in
-    a worker process after other cells already simulated.
+    with the plain evaluation matrix.  ``net_overrides`` carries any further
+    :func:`make_network_config` keywords (``link_bandwidth``, ``routing``,
+    ``failure_rate``, ``failure_seed``) that apply uniformly to every swept
+    cell.  Validated eagerly (inside :func:`make_network_config`): an
+    impossible shape — say, an 8-cube dragonfly — must fail while the sweep
+    is being planned, not mid-batch in a worker process after other cells
+    already simulated.
     """
     return make_network_config(topology=topology, num_cubes=num_cubes,
-                               num_controllers=num_controllers)
+                               num_controllers=num_controllers,
+                               **(net_overrides or {}))
 
 
 def sweep_networks(topologies: Optional[Sequence[str]] = None,
                    cube_counts: Optional[Sequence[int]] = None,
-                   num_controllers: Optional[int] = None) -> List[HMCNetworkConfig]:
+                   num_controllers: Optional[int] = None,
+                   net_overrides: Optional[Dict[str, object]] = None,
+                   ) -> List[HMCNetworkConfig]:
     """The swept networks, ordered topology-major then by cube count.
 
     Deduplicated by fingerprint, so repeated CLI operands cannot produce
@@ -65,7 +72,8 @@ def sweep_networks(topologies: Optional[Sequence[str]] = None,
     networks: Dict[str, HMCNetworkConfig] = {}
     for topology in topologies:
         for num_cubes in cube_counts:
-            net = sweep_network(topology, num_cubes, num_controllers)
+            net = sweep_network(topology, num_cubes, num_controllers,
+                                net_overrides)
             networks.setdefault(net.label, net)
     return list(networks.values())
 
@@ -110,7 +118,8 @@ def compute(suite: EvaluationSuite,
             cube_counts: Optional[Sequence[int]] = None,
             kinds: Optional[Sequence[SystemKind]] = None,
             workloads: Optional[Sequence[str]] = None,
-            num_controllers: Optional[int] = None) -> Dict[str, object]:
+            num_controllers: Optional[int] = None,
+            net_overrides: Optional[Dict[str, object]] = None) -> Dict[str, object]:
     """Speedup-over-DRAM and queue-delay matrices over (network, scheme).
 
     Rows are network fingerprints (``dragonfly16c4``, ``mesh16c4``, ...),
@@ -120,7 +129,8 @@ def compute(suite: EvaluationSuite,
     """
     kinds = list(kinds) if kinds is not None else list(SWEEP_KINDS)
     names = sweep_workloads(suite, workloads)
-    networks = sweep_networks(topologies, cube_counts, num_controllers)
+    networks = sweep_networks(topologies, cube_counts, num_controllers,
+                              net_overrides)
     speedup: Dict[str, Dict[str, float]] = {}
     queue_delay: Dict[str, Dict[str, float]] = {}
     per_workload: Dict[str, Dict[str, Dict[str, float]]] = {}
@@ -197,13 +207,15 @@ def sweep_extras(suite: EvaluationSuite,
                  cube_counts: Optional[Sequence[int]] = None,
                  kinds: Optional[Sequence[SystemKind]] = None,
                  workloads: Optional[Sequence[str]] = None,
-                 num_controllers: Optional[int] = None) -> List[ExtraJob]:
+                 num_controllers: Optional[int] = None,
+                 net_overrides: Optional[Dict[str, object]] = None) -> List[ExtraJob]:
     """Every run a custom sweep needs, DRAM baselines included, as extra jobs."""
     kinds = list(kinds) if kinds is not None else list(SWEEP_KINDS)
     names = sweep_workloads(suite, workloads)
     jobs: List[ExtraJob] = [(workload, suite.config_for(SystemKind.DRAM))
                             for workload in names]
-    for net in sweep_networks(topologies, cube_counts, num_controllers):
+    for net in sweep_networks(topologies, cube_counts, num_controllers,
+                              net_overrides):
         for kind in kinds:
             config = suite.config_for(kind, net=net)
             jobs.extend((workload, config) for workload in names)
@@ -216,15 +228,17 @@ def run_sweep(suite: EvaluationSuite,
               kinds: Optional[Sequence[SystemKind]] = None,
               workloads: Optional[Sequence[str]] = None,
               num_controllers: Optional[int] = None,
-              workers: Optional[int] = None) -> Tuple[str, Dict[str, int]]:
+              workers: Optional[int] = None,
+              net_overrides: Optional[Dict[str, object]] = None,
+              ) -> Tuple[str, Dict[str, int]]:
     """Prefetch a custom sweep in one parallel batch, then render the figure.
 
     Returns ``(figure text, prefetch summary)``; the summary's ``simulated``
     count is zero on a warm cache, which the CI smoke job asserts.
     """
     extras = sweep_extras(suite, topologies, cube_counts, kinds, workloads,
-                          num_controllers)
+                          num_controllers, net_overrides)
     stats = suite.prefetch_extra(extras, workers=workers)
     text = render(compute(suite, topologies, cube_counts, kinds, workloads,
-                          num_controllers))
+                          num_controllers, net_overrides))
     return text, stats

@@ -19,6 +19,7 @@ from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Set
 
 from . import (
     fig_data_movement,
+    fig_degraded,
     fig_dynamic_offload,
     fig_latency,
     fig_lud_heatmap,
@@ -58,4 +59,6 @@ FIGURE_REGISTRY: Dict[str, FigureSpec] = {
                                   bespoke_jobs=fig_dynamic_offload.bespoke_jobs),
     "topology": FigureSpec(fig_topology.required_pairs,
                            extra_jobs=fig_topology.extra_jobs),
+    "degraded": FigureSpec(fig_degraded.required_pairs,
+                           extra_jobs=fig_degraded.extra_jobs),
 }

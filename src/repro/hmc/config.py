@@ -38,6 +38,16 @@ class HMCNetworkConfig:
     controller_latency: float = 4.0
     #: Granule for interleaving normal requests across the host-side controllers.
     controller_interleave: int = 4096
+    #: Routing policy name (see repro.network.routing.ROUTING_BACKENDS).
+    #: "static" is the dense-table default every existing figure was built on;
+    #: "resilient" recomputes around failed links; "adaptive" additionally
+    #: picks the least-backlogged shortest-path hop per packet.
+    routing: str = "static"
+    #: Expected random link failures per 10,000 cycles (0 = failure-free).
+    #: Requires a fault-capable routing policy when positive.
+    failure_rate: float = 0.0
+    #: Seed of the deterministic failure timeline (victim/repair/gap draws).
+    failure_seed: int = 0
 
     @property
     def is_default(self) -> bool:
@@ -54,12 +64,24 @@ class HMCNetworkConfig:
         different networks can never share a label.  Experiment labels and
         run-cache keys embed this string, which is what keeps results from
         different networks apart.
+
+        The routing policy and failure process are spelled out too (e.g.
+        ``mesh16c4-resilient-f0.5s7``) — but only when they deviate from the
+        failure-free static defaults, so every pre-existing label (and with
+        it every cache key and golden result) is byte-identical.
         """
         base = f"{self.topology}{self.num_cubes}c{self.num_controllers}"
-        shape_only = replace(default_network(), topology=self.topology,
-                             num_cubes=self.num_cubes,
-                             num_controllers=self.num_controllers)
-        if self == shape_only:
+        if self.routing != "static":
+            base += f"-{self.routing}"
+        if self.failure_rate:
+            base += f"-f{self.failure_rate:g}s{self.failure_seed}"
+        spelled_out = replace(default_network(), topology=self.topology,
+                              num_cubes=self.num_cubes,
+                              num_controllers=self.num_controllers,
+                              routing=self.routing,
+                              failure_rate=self.failure_rate,
+                              failure_seed=self.failure_seed)
+        if self == spelled_out:
             return base
         digest = hashlib.sha256(repr(self).encode()).hexdigest()[:8]
         return f"{base}-{digest}"

@@ -42,6 +42,21 @@ class Link(SharedResource):
         self.src = src
         self.dst = dst
         self.config = config or LinkConfig()
+        #: Fault-injection state.  The network's fault-aware delivery path
+        #: checks this at each packet's arrival instant; the default hop path
+        #: never reads it (failure-free runs stay byte-identical and pay
+        #: nothing).  Both directions of a pair are flipped together by
+        #: MemoryNetwork.set_link_state().
+        self.up = True
+        #: Packets parked on this link while it is down, drained in FIFO
+        #: order at recovery: first the in-flight casualties (transmitted
+        #: before the failure, so reserved — and arriving — before anything
+        #: below), then the blocked submissions in submission order.  This
+        #: preserves exact per-link FIFO across a down/up cycle, which the
+        #: Active-Routing gather protocol depends on (a gather request must
+        #: never overtake the updates that preceded it on the same tree edge).
+        self._park_inflight: list = []
+        self._park_blocked: list = []
         # transmit() runs once per hop; hoist the config scalars and bind every
         # counter up front so the hot path is pure arithmetic + cell updates.
         self._bandwidth = self.config.bandwidth_bytes_per_cycle

@@ -15,7 +15,7 @@ from typing import Dict, List, Optional, Protocol, Tuple
 from ..sim import Component, Simulator
 from .link import Link, LinkConfig
 from .packet import MOVEMENT_CATEGORIES, Packet
-from .routing import RoutingTable
+from .routing import RoutingError, RoutingTable, make_routing
 from .topology import Topology
 
 
@@ -33,10 +33,11 @@ class MemoryNetwork(Component):
 
     def __init__(self, sim: Simulator, topology: Topology,
                  link_config: Optional[LinkConfig] = None,
-                 router_delay: float = 2.0) -> None:
+                 router_delay: float = 2.0,
+                 routing: Optional[str] = None) -> None:
         super().__init__(sim, "network")
         self.topology = topology
-        self.routing = RoutingTable(topology)
+        self.routing = make_routing(topology, routing)
         self.link_config = link_config or LinkConfig()
         self.router_delay = router_delay
         self.links: Dict[Tuple[int, int], Link] = {}
@@ -89,6 +90,18 @@ class MemoryNetwork(Component):
         # from the category slots on demand.
         self._acc = [0, 0, 0, 0, 0, 0, 0.0]
         self._cat_handles = [self._h_bytes_by_category[c] for c in MOVEMENT_CATEGORIES]
+        # Fault machinery.  The default configuration never pays for it: the
+        # network starts on the original _hop() fast path and only swaps in
+        # the fault-aware variant when a link actually changes state (or the
+        # routing policy needs per-packet next-hop dispatch).  The dropped
+        # counter is created lazily in _enable_fault_mode() — an eager
+        # zero-valued cell would perturb the golden stats digests of
+        # failure-free runs.
+        self._h_dropped = None
+        self._fault_mode = False
+        self.routing.bind(self)
+        if not self.routing.uses_dense_next_hop:
+            self._enable_fault_mode()
         sim.stats.register_flushable(self)
 
     def flush(self) -> None:
@@ -213,6 +226,187 @@ class MemoryNetwork(Component):
         else:
             self.sim.events.push(finish + link._latency + self.router_delay,
                                  callback)
+
+    # -- fault handling -------------------------------------------------------
+    def set_link_state(self, a: int, b: int, up: bool) -> None:
+        """Mark the ``a``–``b`` link pair (both directions) up or down.
+
+        The routing policy is notified *first*: the static policy refuses
+        (raising :class:`~repro.network.routing.RoutingError`) and in that
+        case no state changes at all, so a mis-configured run fails loudly
+        instead of forwarding traffic into a silently dead link.  The first
+        state change switches the network onto the fault-aware hop path for
+        the rest of the run (see :meth:`_hop_flex`); redundant transitions
+        are ignored.  One deliberate edge: hops already in flight at that
+        *first* transition were scheduled by the fast path and complete
+        unconditionally — the arrival-instant check applies from fault-mode
+        activation onward (deterministically: activation is itself an event
+        on the ``[time, seq]`` queue).
+        """
+        forward = self._link_grid[a][b]
+        reverse = self._link_grid[b][a]
+        if forward is None or reverse is None:
+            raise ValueError(f"no link between nodes {a} and {b}")
+        if forward.up == up:
+            return
+        self.routing.on_link_state_change(a, b, up)
+        forward.up = up
+        reverse.up = up
+        self._enable_fault_mode()
+        if up:
+            self._drain_parked(forward)
+            self._drain_parked(reverse)
+
+    def _drain_parked(self, link: Link) -> None:
+        """Retransmit everything parked on a recovered link, in FIFO order."""
+        parked = link._park_inflight + link._park_blocked
+        if not parked:
+            return
+        link._park_inflight = []
+        link._park_blocked = []
+        for packet, sender in parked:
+            self._hop(packet, sender)
+
+    def set_cube_state(self, node: int, up: bool) -> None:
+        """Fail (or recover) a cube by taking down its attached links.
+
+        A fully isolated cube would strand closed-loop traffic addressed to
+        it, so one attachment survives: the link to the lowest-id neighbour
+        whose link pair is currently up stays alive (traffic drains through
+        it, slowly — the cube is *degraded*, not unreachable).  Recovery
+        brings every adjacent link back up.
+        """
+        neighbors = sorted(self.topology.graph.neighbors(node))
+        if not neighbors:
+            raise ValueError(f"node {node} has no links to fail")
+        if up:
+            for neighbor in neighbors:
+                self.set_link_state(node, neighbor, True)
+            return
+        live = [n for n in neighbors if self._link_grid[node][n].up]
+        keep = live[0] if live else None
+        for neighbor in neighbors:
+            if neighbor != keep:
+                self.set_link_state(node, neighbor, False)
+
+    def _enable_fault_mode(self) -> None:
+        if not self._fault_mode:
+            self._fault_mode = True
+            # Drops are rare events: they bump this bound cell directly
+            # instead of joining the epoch-batched accumulators.
+            self._h_dropped = self.counter_handle("dropped")
+            # Shadow the class method on the instance: inject()/forward()
+            # look _hop up through self, so every later hop takes the
+            # fault-aware variant without a per-hop mode check.
+            self._hop = self._hop_flex
+
+    def _hop_flex(self, packet: Packet, current: int) -> None:
+        """Fault-aware hop: runtime route dispatch + arrival-instant up check.
+
+        Identical serialization arithmetic and statistics order to
+        :meth:`_hop`; the differences are the route choice and that delivery
+        goes through :meth:`_arrive_flex`, which applies the drop rule.  The
+        route choice is three-way:
+
+        * tree-building packets (Updates, gather requests) always take the
+          **pristine** next-hop row — the flow-tree protocol records those
+          exact hops as parent/child edges, so they must never reroute (a
+          dead pinned link parks them until it recovers);
+        * other packets on a dense policy take the **live** row, which the
+          resilient table recomputes around dead links;
+        * other packets on a per-packet policy go through ``route()``
+          (adaptive's congestion-aware choice).
+
+        An unreachable destination fails loudly instead of indexing a stale
+        row.
+        """
+        routing = self.routing
+        dst = packet.dst
+        if packet.ptype.tree_routed:
+            nxt = self._next_rows[current][dst]
+            if nxt < 0:
+                raise RoutingError(
+                    f"packet {packet.pkt_id}: no route from {current} to {dst}")
+        elif routing.uses_dense_next_hop:
+            nxt = routing.live_next_hop_table[current][dst]
+            if nxt < 0:
+                raise RoutingError(
+                    f"packet {packet.pkt_id}: no route from {current} to {dst} "
+                    f"over the live links")
+        else:
+            try:
+                nxt = routing.route(current, dst)
+            except ValueError as exc:
+                raise RoutingError(f"packet {packet.pkt_id}: {exc}") from None
+        link = self._link_grid[current][nxt]
+        if not link.up:
+            # Submitting onto a down link (only pinned tree traffic can get
+            # here — live routes avoid dead links): park in submission order,
+            # no transmission happens.  Drained at recovery.
+            self._h_dropped.value += 1
+            link._park_blocked.append((packet, current))
+            return
+        size = packet.size
+        serialization = size / link._bandwidth
+        now = self.sim.now
+        start = link.busy_until
+        if start < now:
+            start = now
+        finish = start + serialization
+        link.busy_until = finish
+        queue_delay = start - now
+        link_acc = link._acc
+        net_acc = self._acc
+        if queue_delay > 0:
+            link_acc[6] += queue_delay
+            net_acc[6] += queue_delay
+        link_acc[5] += serialization
+        link_acc[4] += 1
+        cat_index = packet._cat_index
+        link_acc[cat_index] += size
+        net_acc[4] += 1
+        net_acc[cat_index] += size
+        packet.hops += 1
+        callback = lambda: self._arrive_flex(packet, link, current, nxt)  # noqa: E731
+        arrival = finish + link._latency + self.router_delay
+        heap = self._event_heap
+        if heap is not None:
+            events = self.sim.events
+            heapq.heappush(heap, [arrival, events._seq, callback])
+            events._seq += 1
+            events._live += 1
+        else:
+            self.sim.events.push(arrival, callback)
+
+    def _arrive_flex(self, packet: Packet, link: Link, current: int,
+                     nxt: int) -> None:
+        """Deliver a hop, or apply the drop/park rule.
+
+        The rule — pinned by tests — is: **a hop is interrupted iff its link
+        is down at the instant the packet would use it** (here: the arrival
+        instant; :meth:`_hop_flex` applies the same rule at submission).  An
+        interrupted packet parks on the link and is retransmitted from its
+        sending node when the link recovers (closed-loop workloads must
+        finish; permanent loss would deadlock them) — in-flight casualties
+        first, then blocked submissions, so per-link FIFO order survives the
+        outage exactly.  That ordering is load-bearing: the flow-tree gather
+        protocol requires that a gather request never overtake the updates
+        that preceded it on the same tree edge.  At retransmission, freely
+        routed packets re-route over the recomputed live tables while
+        tree-routed packets take their pinned hop again.  A wasted in-flight
+        transmission stays in the hop/byte counters — the bits really
+        crossed the wire — and every interruption bumps the ``dropped``
+        counter, which is what the degraded figure's delivered-traffic
+        fraction is derived from.
+        """
+        if link.up:
+            endpoint = self._endpoint_list[nxt]
+            if endpoint is None:
+                self._missing_endpoint(packet, nxt)
+            endpoint.receive_packet(packet, current)
+            return
+        self._h_dropped.value += 1
+        link._park_inflight.append((packet, current))
 
     def _deliver(self, packet: Packet, node: int, from_node: int) -> None:
         packet.hops += 1

@@ -99,6 +99,12 @@ MOVEMENT_CATEGORIES = ("norm_req", "norm_resp", "active_req", "active_resp")
 # Python-level call, so even a dict keyed by PacketType is measurable):
 #   ``is_active``     True for packets that exist only because of Active-Routing,
 #   ``is_request``    True for the request direction of each packet pair,
+#   ``tree_routed``   True for packets that build or walk the Active-Routing
+#                     flow trees (Updates, gather requests).  The fault-aware
+#                     hop path pins these to the pristine deterministic routes
+#                     — the tree protocol records their exact hops as
+#                     parent/child edges — while everything else may reroute
+#                     around dead links.
 #   ``_code``         small dense int for list-based dispatch tables,
 #   ``_default_size`` the PACKET_SIZES entry,
 #   ``_flags``        ``(is_active, is_request, category, category index)``
@@ -109,6 +115,7 @@ for _index, _ptype in enumerate(PacketType):
     _request = _ptype in _REQUEST_TYPES
     _ptype.is_active = _active
     _ptype.is_request = _request
+    _ptype.tree_routed = _ptype in (PacketType.UPDATE, PacketType.GATHER_REQ)
     _ptype._code = _index
     _ptype._default_size = PACKET_SIZES[_ptype]
     _category = (("active_req" if _request else "active_resp") if _active

@@ -107,12 +107,20 @@ def _collect_network(system: BuiltSystem,
         return {}
     hops = counters.get("network.hops", 0.0)
     queue_delay = counters.get("network.queue_delay_cycles", 0.0)
+    dropped = counters.get("network.dropped", 0.0)
     return {
         "hops": hops,
         "injected": counters.get("network.injected", 0.0),
         "bytes": counters.get("network.bytes", 0.0),
         "queue_delay_cycles": queue_delay,
         "queue_delay_per_hop": queue_delay / hops if hops else 0.0,
+        # Fault-injection view: hops interrupted by a dead link (the packet
+        # parked on the link and drained at recovery, so the traffic still
+        # arrived — this measures service interruptions, not loss).
+        # delivered_fraction is 1.0 on a failure-free run and bounded to
+        # [0, 1] by construction.
+        "dropped": dropped,
+        "delivered_fraction": 1.0 - dropped / hops if hops else 1.0,
     }
 
 

@@ -190,6 +190,75 @@ def test_cli_run_rejects_network_flags_on_dram():
               "--topology", "mesh"])
 
 
+def test_cli_network_detail_options_parse_everywhere():
+    parser = build_parser()
+    detail = ["--routing", "resilient", "--failure-rate", "10",
+              "--failure-seed", "7", "--num-controllers", "2",
+              "--link-bandwidth", "25"]
+    for command in (["run"], ["report"], ["prefetch"], ["sweep"]):
+        args = parser.parse_args(command + detail)
+        assert args.routing == "resilient"
+        assert args.failure_rate == 10.0 and args.failure_seed == 7
+        assert args.num_controllers == 2 and args.link_bandwidth == 25.0
+        defaults = parser.parse_args(command)
+        assert defaults.routing is None and defaults.failure_rate is None
+    with pytest.raises(SystemExit):
+        parser.parse_args(["run", "--routing", "wormhole"])
+
+
+def test_cli_report_figures_subset_option():
+    parser = build_parser()
+    args = parser.parse_args(["report", "--figures", "degraded"])
+    assert args.figures == ["degraded"]
+    args = parser.parse_args(["report", "--figures", "speedup", "degraded"])
+    assert args.figures == ["speedup", "degraded"]
+    with pytest.raises(SystemExit):
+        parser.parse_args(["report", "--figures", "figure-9000"])
+
+
+def test_cli_run_degraded_mode(capsys):
+    exit_code = main(["run", "--config", "arf_tid", "--workload", "mac",
+                      "--threads", "2", "--param", "array_elements=256",
+                      "--routing", "resilient", "--failure-rate", "10",
+                      "--failure-seed", "7"])
+    assert exit_code == 0
+    out = capsys.readouterr().out
+    # The network fingerprint (routing + failure process) joins the label...
+    assert "resilient-f10s7" in out
+    # ...and the degraded-mode rows render.
+    assert "hops interrupted" in out
+    assert "delivered traffic" in out
+    assert "flows verified" in out
+
+
+def test_cli_run_rejects_failure_rate_on_static():
+    # The config layer's pairing check surfaces as a clean usage error.
+    with pytest.raises(SystemExit, match="fault-capable"):
+        main(["run", "--config", "HMC", "--workload", "reduce",
+              "--failure-rate", "5"])
+
+
+def test_cli_run_rejects_routing_flags_on_dram():
+    with pytest.raises(SystemExit, match="DRAM baseline"):
+        main(["run", "--config", "dram", "--workload", "reduce",
+              "--routing", "resilient"])
+
+
+def test_cli_sweep_carries_routing_details(capsys, tmp_path):
+    argv = ["sweep", "--scale", "tiny", "--topologies", "mesh",
+            "--configs", "HMC", "--workloads", "mac", "--workers", "2",
+            "--routing", "resilient", "--failure-rate", "2",
+            "--failure-seed", "7", "--cache-dir", str(tmp_path)]
+    assert main(argv) == 0
+    out = capsys.readouterr().out
+    # Every swept cell folds the routing/failure fingerprint into its label
+    # (and thus its cache key — degraded cells never collide with clean ones).
+    assert "mesh16c4-resilient-f2s7" in out
+    assert main(argv) == 0
+    warm = capsys.readouterr().out
+    assert "simulated: 0" in warm
+
+
 def test_cli_scheduler_option(capsys, monkeypatch):
     monkeypatch.delenv("REPRO_SCHEDULER", raising=False)
     parser = build_parser()

@@ -8,7 +8,15 @@ seed code and every scheme must keep reproducing them bit-for-bit.
 
 The same bar applies across scheduler backends: the calendar queue promises
 the binary heap's exact ``[time, seq]`` dispatch order, so the golden digests
-must hold under either backend (the scheme x scheduler matrix below).
+must hold under either backend — and across failure-free routing policies:
+``resilient`` builds byte-identical tables and only diverges live columns on
+the first state change, so with no failures injected it must reproduce the
+``static`` goldens bit-for-bit (the scheme x scheduler x routing matrix).
+
+Fault injection is deterministic too: the failure timeline is a pure function
+of ``(topology, failure_rate, failure_seed)`` and every interruption resolves
+on the ``[time, seq]`` queue, so a fixed-seed degraded run has its own golden
+cell, held across scheduler backends like every other result.
 """
 
 import hashlib
@@ -48,11 +56,18 @@ def snapshot_digest(stats) -> str:
     return hasher.hexdigest()
 
 
-def run_tiny_pagerank(kind, scheduler=None, monkeypatch=None):
+def run_tiny_pagerank(kind, scheduler=None, monkeypatch=None, routing=None,
+                      net=None):
+    # ``routing`` exports the kernel-testing env knob ($REPRO_ROUTING), the
+    # path CI's resilient job exercises; ``net`` passes explicit network
+    # overrides through the config, the path the CLI and the suite use.
     if scheduler is not None:
         assert monkeypatch is not None
         monkeypatch.setenv("REPRO_SCHEDULER", scheduler)
-    config = make_system_config(kind)
+    if routing is not None:
+        assert monkeypatch is not None
+        monkeypatch.setenv("REPRO_ROUTING", routing)
+    config = make_system_config(kind, **(net or {}))
     wconfig = WorkloadConfig()
     wconfig.num_threads = 4
     workload = make_workload("pagerank", wconfig, **TINY_PAGERANK)
@@ -65,15 +80,41 @@ def run_tiny_pagerank(kind, scheduler=None, monkeypatch=None):
     return system
 
 
+@pytest.mark.parametrize("routing", ["static", "resilient"])
 @pytest.mark.parametrize("scheduler", sorted(SCHEDULER_BACKENDS))
 @pytest.mark.parametrize("kind", CONFIG_ORDER, ids=[k.value for k in CONFIG_ORDER])
-def test_golden_cycles_events_and_stats_digest(kind, scheduler, monkeypatch):
-    system = run_tiny_pagerank(kind, scheduler=scheduler, monkeypatch=monkeypatch)
+def test_golden_cycles_events_and_stats_digest(kind, scheduler, routing,
+                                               monkeypatch):
+    # The resilient policy is bit-identical to static on a failure-free
+    # network (the lockstep contract), so ONE golden row serves both columns.
+    system = run_tiny_pagerank(kind, scheduler=scheduler, monkeypatch=monkeypatch,
+                               routing=routing)
     assert system.sim.scheduler == scheduler
     cycles, events, digest = GOLDEN[kind.value]
     assert system.sim.now == cycles
     assert system.sim.executed_events == events
     assert snapshot_digest(system.sim.stats) == digest
+
+
+#: Fixed-seed degraded golden: ARF-tid pagerank/tiny with random link faults
+#: (resilient routing, rate 10 per Mcycle, seed 7).  The timeline and every
+#: interruption are deterministic, so this cell is as stable as the rest.
+DEGRADED_GOLDEN = (3554.0445920204475, 6178,
+                   "f2a43e39c7389d96191710718ef1d12179ab08f0a7cb3d77e2b04a87417dc067")
+
+
+@pytest.mark.parametrize("scheduler", sorted(SCHEDULER_BACKENDS))
+def test_degraded_golden_fixed_failure_seed(scheduler, monkeypatch):
+    system = run_tiny_pagerank("ARF-tid", scheduler=scheduler,
+                               monkeypatch=monkeypatch,
+                               net=dict(routing="resilient",
+                                        failure_rate=10.0, failure_seed=7))
+    cycles, events, digest = DEGRADED_GOLDEN
+    assert system.sim.now == cycles
+    assert system.sim.executed_events == events
+    assert snapshot_digest(system.sim.stats) == digest
+    # The run did degrade: interruptions were recorded and recovered from.
+    assert system.sim.stats.snapshot()["network.dropped"] > 0
 
 
 def test_repeated_runs_are_identical():

@@ -1,10 +1,32 @@
-"""Unit and property tests for deterministic minimal routing."""
+"""Unit and property tests for deterministic minimal routing.
+
+Covers the dense static tables, the pinned tie-breaking contracts
+(``nearest``/``split_point``), the routing-policy registry, and the resilient
+and adaptive policies' pristine/live table split.
+"""
 
 import networkx as nx
 import pytest
 from hypothesis import given, strategies as st
 
-from repro.network import RoutingTable, Topology, build_dragonfly, build_mesh
+from repro.network import (
+    DEFAULT_ROUTING,
+    ROUTING_BACKENDS,
+    ROUTING_ENV,
+    AdaptiveRouting,
+    MemoryNetwork,
+    ResilientRoutingTable,
+    RoutingTable,
+    Topology,
+    build_chain,
+    build_dragonfly,
+    build_mesh,
+    make_routing,
+    resolve_routing,
+    routing_env,
+)
+from repro.network.routing import NO_ROUTE
+from repro.sim import Simulator
 
 TOPO = build_dragonfly()
 TABLE = RoutingTable(TOPO)
@@ -144,3 +166,199 @@ def test_negative_node_ids_rejected():
         TABLE.next_hop(0, -1)
     with pytest.raises(ValueError):
         TABLE.distance(-1, 0)
+
+
+# -- pinned tie-breaking contracts --------------------------------------------
+def test_nearest_tie_break_is_ascending_id():
+    """Equal distances break by ascending candidate id, order-independently."""
+    mesh = build_mesh(rows=2, cols=2, num_controllers=1)
+    table = RoutingTable(mesh)
+    # Cubes 1 and 2 are both one hop from cube 0.
+    assert table.distance(0, 1) == table.distance(0, 2)
+    assert table.nearest(0, [2, 1]) == 1
+    assert table.nearest(0, [1, 2]) == 1
+    # Same contract on the paper topology, across every distance class.
+    by_distance = {}
+    for node in NODES:
+        by_distance.setdefault(TABLE.distance(0, node), []).append(node)
+    tied_groups = [group for group in by_distance.values() if len(group) > 1]
+    assert tied_groups  # dragonfly has equidistant nodes; the test is not vacuous
+    for group in tied_groups:
+        assert TABLE.nearest(0, group) == min(group)
+        assert TABLE.nearest(0, list(reversed(group))) == min(group)
+
+
+def test_split_point_symmetric_and_prefix_pinned():
+    """split_point is the last common *prefix* node and is symmetric in a, b."""
+    mesh = build_mesh()
+    table = RoutingTable(mesh)
+    root = mesh.controller_attach[mesh.controller_nodes[0]]
+    for a in range(16):
+        for b in range(16):
+            split = table.split_point(root, a, b)
+            assert split == table.split_point(root, b, a)
+            path_a, path_b = table.path(root, a), table.path(root, b)
+            expected = root
+            for x, y in zip(path_a, path_b):
+                if x != y:
+                    break
+                expected = x
+            assert split == expected
+    # Memoized answers must be the same values on a repeat call.
+    assert table.split_point(root, 5, 10) == table.split_point(root, 5, 10)
+
+
+# -- routing-policy registry --------------------------------------------------
+def test_registry_contract_flags():
+    assert set(ROUTING_BACKENDS) == {"static", "resilient", "adaptive"}
+    for name, cls in ROUTING_BACKENDS.items():
+        assert cls.name == name
+    assert ROUTING_BACKENDS["static"].supports_faults is False
+    assert ROUTING_BACKENDS["resilient"].supports_faults is True
+    assert ROUTING_BACKENDS["adaptive"].supports_faults is True
+    assert ROUTING_BACKENDS["static"].uses_dense_next_hop is True
+    assert ROUTING_BACKENDS["resilient"].uses_dense_next_hop is True
+    assert ROUTING_BACKENDS["adaptive"].uses_dense_next_hop is False
+    assert DEFAULT_ROUTING == "static"
+
+
+def test_resolve_routing_precedence(monkeypatch):
+    monkeypatch.delenv(ROUTING_ENV, raising=False)
+    assert resolve_routing() == DEFAULT_ROUTING
+    monkeypatch.setenv(ROUTING_ENV, "resilient")
+    assert resolve_routing() == "resilient"          # env beats default
+    assert resolve_routing("adaptive") == "adaptive"  # explicit beats env
+    monkeypatch.setenv(ROUTING_ENV, "")
+    assert resolve_routing() == DEFAULT_ROUTING       # empty env -> default
+    assert resolve_routing("  Resilient ") == "resilient"  # normalized
+    with pytest.raises(ValueError):
+        resolve_routing("wormhole")
+
+
+def test_routing_env_round_trip(monkeypatch):
+    monkeypatch.delenv(ROUTING_ENV, raising=False)
+    import os
+    with routing_env("resilient"):
+        assert os.environ[ROUTING_ENV] == "resilient"
+        with routing_env(None):  # None leaves the environment untouched
+            assert os.environ[ROUTING_ENV] == "resilient"
+    assert ROUTING_ENV not in os.environ
+    monkeypatch.setenv(ROUTING_ENV, "adaptive")
+    with routing_env("static"):
+        assert os.environ[ROUTING_ENV] == "static"
+    assert os.environ[ROUTING_ENV] == "adaptive"  # previous value restored
+
+
+def test_make_routing_instantiates_registered_class(monkeypatch):
+    topo = build_mesh(rows=2, cols=2, num_controllers=1)
+    monkeypatch.delenv(ROUTING_ENV, raising=False)
+    assert type(make_routing(topo)) is RoutingTable
+    assert type(make_routing(topo, "resilient")) is ResilientRoutingTable
+    monkeypatch.setenv(ROUTING_ENV, "adaptive")
+    assert type(make_routing(topo)) is AdaptiveRouting
+
+
+# -- resilient policy: the pristine/live split --------------------------------
+def test_resilient_matches_static_before_any_failure():
+    topo = build_mesh()
+    static, resilient = RoutingTable(topo), ResilientRoutingTable(topo)
+    assert resilient.next_hop_table == static.next_hop_table
+    # Until the first state change, live IS pristine (same objects), so the
+    # network's hot loop reads failure-free data with zero indirection.
+    assert resilient.live_next_hop_table is resilient.next_hop_table
+    assert resilient._live_dist is resilient._dist
+
+
+def test_resilient_pristine_columns_survive_a_failure():
+    topo = build_mesh()
+    table = ResilientRoutingTable(topo)
+    reference = RoutingTable(topo)
+    pinned = table.next_hop(0, 15)
+    pristine_snapshot = [list(row) for row in table.next_hop_table]
+    table.on_link_state_change(0, pinned, False)
+    # Pristine columns frozen: tables, distances, paths, split points all
+    # still describe the failure-free tree.
+    assert table.next_hop_table == pristine_snapshot
+    for dst in range(16):
+        assert table.distance(0, dst) == reference.distance(0, dst)
+        assert table.path(0, dst) == reference.path(0, dst)
+    assert table.split_point(0, 5, 15) == reference.split_point(0, 5, 15)
+    # The live view diverged into its own storage and avoids the dead link.
+    assert table.live_next_hop_table is not table.next_hop_table
+    walk, node = [], 0
+    while node != 15:
+        node = table.live_next_hop_table[node][15]
+        walk.append(node)
+    assert walk[0] != pinned
+    assert len(walk) == reference.distance(0, 15)  # reroute is still minimal
+
+
+def test_resilient_recovery_restores_live_routes():
+    topo = build_mesh()
+    table = ResilientRoutingTable(topo)
+    pinned = table.next_hop(0, 15)
+    table.on_link_state_change(0, pinned, False)
+    table.on_link_state_change(0, pinned, True)
+    # Recovery recomputes the same deterministic BFS over the full topology:
+    # live contents equal pristine again (in now-separate storage).
+    assert table.live_next_hop_table == table.next_hop_table
+    assert [list(c) for c in table._live_dist] == [list(c) for c in table._dist]
+
+
+def test_resilient_unreachable_pins_no_route():
+    topo = build_chain(num_cubes=4, num_controllers=1)
+    table = ResilientRoutingTable(topo)
+    table.on_link_state_change(1, 2, False)  # splits the chain in half
+    assert table.live_next_hop_table[0][3] == NO_ROUTE
+    assert table._live_dist[0][3] == 0xFFFF
+    # The pristine view never lies about the failure-free tree.
+    assert table.next_hop(0, 3) == 1
+    assert table.distance(0, 3) == 3
+
+
+# -- adaptive policy ----------------------------------------------------------
+def _adaptive_network(rows=2, cols=2):
+    sim = Simulator()
+    topo = build_mesh(rows=rows, cols=cols, num_controllers=1)
+    net = MemoryNetwork(sim, topo, routing="adaptive")
+    return sim, net, net.routing
+
+
+def test_adaptive_unbound_falls_back_to_live_table():
+    topo = build_mesh(rows=2, cols=2, num_controllers=1)
+    policy = AdaptiveRouting(topo)  # never bound to a network
+    assert policy.route(0, 3) == policy.live_next_hop_table[0][3]
+    assert policy.route(2, 2) == 2
+
+
+def test_adaptive_prefers_least_backlog_ascending_ties():
+    sim, net, policy = _adaptive_network()
+    # Cubes 1 and 2 both make shortest-path progress from 0 toward 3; with
+    # equal (zero) backlog the ascending-id tie-break picks 1.
+    assert policy.route(0, 3) == 1
+    # Load the 0->1 link: the less-backlogged neighbour 2 must win.
+    net.links[(0, 1)].busy_until = sim.now + 100.0
+    assert policy.route(0, 3) == 2
+    # Equal *non-zero* backlogs tie-break by ascending id again.
+    net.links[(0, 2)].busy_until = sim.now + 100.0
+    assert policy.route(0, 3) == 1
+
+
+def test_adaptive_hops_always_make_shortest_path_progress():
+    sim, net, policy = _adaptive_network(rows=4, cols=4)
+    nodes = sorted(net.topology.graph.nodes)
+    for src in nodes:
+        for dst in nodes:
+            if src == dst:
+                continue
+            hop = policy.route(src, dst)
+            assert policy._live_dist[hop][dst] == policy._live_dist[src][dst] - 1
+
+
+def test_adaptive_reroutes_around_a_dead_link():
+    sim, net, policy = _adaptive_network()
+    net.set_link_state(0, 1, False)
+    assert policy.route(0, 3) == 2  # the only live shortest-path neighbour
+    net.set_link_state(0, 2, False)
+    with pytest.raises(ValueError):
+        policy.route(0, 3)  # cut off: fails loudly, no stale route

@@ -325,7 +325,7 @@ def test_suite_normalizes_workers():
 def test_registry_covers_every_figure():
     assert set(FIGURE_REGISTRY) == {"speedup", "latency", "lud_heatmap",
                                     "data_movement", "power", "energy", "edp",
-                                    "dynamic_offload", "topology"}
+                                    "dynamic_offload", "topology", "degraded"}
 
 
 def test_required_pairs_per_figure():

@@ -17,18 +17,23 @@ Usage::
     PYTHONPATH=src python tools/bench.py --scheduler calendar  # calendar queue
     PYTHONPATH=src python tools/bench.py --scheduler both      # heap/calendar A/B
     PYTHONPATH=src python tools/bench.py --cubes 64 --scheduler both  # sweep scale
+    PYTHONPATH=src python tools/bench.py --routing both        # static/resilient A/B
 
 The basket sizes match the profiled PageRank/`ARF-tid` case the kernel fast
 path was tuned on; ``--smoke`` shrinks every run to seconds-scale sizes for CI.
 ``--scheduler`` selects the event-scheduler backend (results are bit-identical
 either way; only wall time differs), and ``both`` runs the basket under each
 backend with ``@heap``/``@calendar``-suffixed run keys plus a printed ratio.
-``--cubes N`` rebuilds every HMC-backed configuration with an N-cube memory
-network (``+cN`` key suffix) — the 64-cube sweep scale exercises the scheduler
-at much larger pending-event counts.  ``--prefetch SCALE`` benchmarks the
-evaluation-suite orchestration layer instead: a cold parallel prefetch into a
-throwaway cache directory, then a warm re-run that must perform zero
-simulations.
+``--routing`` selects the routing policy the same way; ``--routing both`` is
+an interleaved static/resilient A/B with ``@static``/``@resilient`` run keys
+that asserts the two policies agree bit-for-bit on the failure-free basket
+(the lockstep contract) and prints the overhead ratio of carrying the
+fault-capable machinery.  ``--cubes N`` rebuilds every HMC-backed
+configuration with an N-cube memory network (``+cN`` key suffix) — the
+64-cube sweep scale exercises the scheduler at much larger pending-event
+counts.  ``--prefetch SCALE`` benchmarks the evaluation-suite orchestration
+layer instead: a cold parallel prefetch into a throwaway cache directory,
+then a warm re-run that must perform zero simulations.
 """
 
 from __future__ import annotations
@@ -44,6 +49,8 @@ from pathlib import Path
 REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
+from repro.network.routing import (ROUTING_BACKENDS, resolve_routing,  # noqa: E402
+                                   routing_env)
 from repro.sim.event_queue import (SCHEDULER_BACKENDS, resolve_scheduler,  # noqa: E402
                                    scheduler_env)
 from repro.system import make_system_config, run_workload  # noqa: E402
@@ -114,15 +121,17 @@ def profile_entry(key, system_config, workload, num_threads, params, top: int = 
 
 
 def run_basket(basket, num_threads: int = 4, repeat: int = 3,
-               scheduler=None, num_cubes=None, profile: bool = False):
+               scheduler=None, num_cubes=None, profile: bool = False,
+               routing=None):
     """Run every basket entry ``repeat`` times; keep the best wall time.
 
     ``scheduler`` picks the event-scheduler backend for every run (``None``
-    keeps the ambient ``$REPRO_SCHEDULER``/default); ``num_cubes`` rebuilds
-    each HMC-backed configuration with that many memory cubes and suffixes
-    the run keys with ``+cN`` so entries at different network scales never
-    alias in the trajectory file.  ``profile`` adds one instrumented run per
-    entry (cProfile table + tracemalloc/packet-arena allocation columns).
+    keeps the ambient ``$REPRO_SCHEDULER``/default) and ``routing`` the
+    routing policy the same way; ``num_cubes`` rebuilds each HMC-backed
+    configuration with that many memory cubes and suffixes the run keys with
+    ``+cN`` so entries at different network scales never alias in the
+    trajectory file.  ``profile`` adds one instrumented run per entry
+    (cProfile table + tracemalloc/packet-arena allocation columns).
     """
     runs = {}
     suffix = f"+c{num_cubes}" if num_cubes else ""
@@ -133,7 +142,7 @@ def run_basket(basket, num_threads: int = 4, repeat: int = 3,
             system_config = make_system_config(config, num_cubes=num_cubes)
         best = float("inf")
         result = None
-        with scheduler_env(scheduler):
+        with scheduler_env(scheduler), routing_env(routing):
             for _ in range(max(1, repeat)):
                 start = time.perf_counter()
                 result = run_workload(system_config, workload,
@@ -146,13 +155,14 @@ def run_basket(basket, num_threads: int = 4, repeat: int = 3,
             "cycles": result.cycles,
             "params": params,
             "scheduler": resolve_scheduler(scheduler),
+            "routing": resolve_routing(routing),
         }
         if num_cubes:
             runs[key]["num_cubes"] = num_cubes
         print(f"{key:24s} {best:7.3f}s  {runs[key]['events_per_s']:>11,.0f} ev/s  "
               f"cycles={result.cycles:,.0f}")
         if profile:
-            with scheduler_env(scheduler):
+            with scheduler_env(scheduler), routing_env(routing):
                 runs[key].update(profile_entry(key, system_config, workload,
                                                num_threads, params))
     return runs
@@ -210,6 +220,69 @@ def run_scheduler_ab(basket, num_threads: int = 4, repeat: int = 3,
         ratio = best["calendar"] / best["heap"] if best["heap"] else float("inf")
         print(f"{base_key:24s} heap {best['heap']:7.3f}s  calendar "
               f"{best['calendar']:7.3f}s  ({ratio:.2f}x; <1.00 = calendar wins)")
+    return runs
+
+
+#: The routing policies the ``--routing both`` A/B compares.  Adaptive is
+#: excluded: it legitimately picks different paths, so the bit-identity
+#: assertion below would not hold for it.
+AB_ROUTINGS = ("static", "resilient")
+
+
+def run_routing_ab(basket, num_threads: int = 4, repeat: int = 3,
+                   num_cubes=None, scheduler=None):
+    """Run the basket under the static and resilient policies, interleaved.
+
+    The repeats are interleaved per basket entry (after one untimed warm-up
+    run) exactly like :func:`run_scheduler_ab`, so process warm-up lands on
+    no particular policy.  Run keys get an ``@<routing>`` suffix; simulated
+    results must agree bit-for-bit (the resilient policy is the static dense
+    tables plus dormant fault machinery on a failure-free network — a
+    divergence is a lockstep bug, not noise), and the printed ratio is the
+    overhead of carrying that machinery.
+    """
+    runs = {}
+    suffix = f"+c{num_cubes}" if num_cubes else ""
+    for workload, config, params in basket:
+        base_key = f"{workload}/{config}{suffix}"
+        system_config = config
+        if num_cubes and config != "DRAM":
+            system_config = make_system_config(config, num_cubes=num_cubes)
+        best = {routing: float("inf") for routing in AB_ROUTINGS}
+        result = {}
+        with scheduler_env(scheduler), routing_env("static"):
+            run_workload(system_config, workload, num_threads=num_threads,
+                         **params)  # warm-up, untimed
+        for _ in range(max(1, repeat)):
+            for routing in AB_ROUTINGS:
+                with scheduler_env(scheduler), routing_env(routing):
+                    start = time.perf_counter()
+                    result[routing] = run_workload(
+                        system_config, workload, num_threads=num_threads, **params)
+                    best[routing] = min(best[routing],
+                                        time.perf_counter() - start)
+        fingerprints = {(result[r].events_executed, result[r].cycles)
+                        for r in AB_ROUTINGS}
+        if len(fingerprints) != 1:
+            raise SystemExit(f"routing policies diverged on {base_key}: "
+                             f"{fingerprints} (static/resilient must be "
+                             f"bit-identical on a failure-free network)")
+        for routing in AB_ROUTINGS:
+            wall = best[routing]
+            runs[f"{base_key}@{routing}"] = {
+                "wall_s": round(wall, 3),
+                "events": result[routing].events_executed,
+                "events_per_s": round(result[routing].events_executed / wall, 1),
+                "cycles": result[routing].cycles,
+                "params": params,
+                "scheduler": resolve_scheduler(scheduler),
+                "routing": routing,
+                **({"num_cubes": num_cubes} if num_cubes else {}),
+            }
+        ratio = (best["resilient"] / best["static"]
+                 if best["static"] else float("inf"))
+        print(f"{base_key:24s} static {best['static']:7.3f}s  resilient "
+              f"{best['resilient']:7.3f}s  ({ratio:.2f}x; ~1.00 = free)")
     return runs
 
 
@@ -330,6 +403,13 @@ def main(argv=None) -> int:
                         help="event-scheduler backend for the basket; 'both' "
                              "runs an A/B comparison with @heap/@calendar run "
                              "keys (default: $REPRO_SCHEDULER or heap)")
+    parser.add_argument("--routing", default=None,
+                        choices=sorted(ROUTING_BACKENDS) + ["both"],
+                        help="routing policy for the basket; 'both' runs an "
+                             "interleaved static/resilient A/B with "
+                             "@static/@resilient run keys and asserts the two "
+                             "agree bit-for-bit (default: $REPRO_ROUTING or "
+                             "static)")
     parser.add_argument("--cubes", type=int, default=None, metavar="N",
                         help="memory-network cube count for every HMC-backed "
                              "basket configuration (+cN run-key suffix); e.g. "
@@ -365,20 +445,35 @@ def main(argv=None) -> int:
         if args.profile:
             parser.error("--profile instruments kernel basket entries, not "
                          "--prefetch (profile the suite with cProfile directly)")
-        with scheduler_env(args.scheduler):
+        if args.routing == "both":
+            parser.error("--routing both is an A/B mode for the kernel "
+                         "basket; pick one policy for --prefetch")
+        with scheduler_env(args.scheduler), routing_env(args.routing):
             runs = run_prefetch(args.prefetch, workers=args.workers)
     else:
         basket = SMOKE_BASKET if args.smoke else BASKET
-        if args.scheduler == "both":
+        if args.scheduler == "both" and args.routing == "both":
+            parser.error("pick one A/B axis: --scheduler both or "
+                         "--routing both, not both at once")
+        if args.routing == "both":
+            if args.profile:
+                parser.error("--profile composes with a single routing "
+                             "policy, not the 'both' A/B mode")
+            runs = run_routing_ab(basket, num_threads=args.threads,
+                                  repeat=args.repeat, num_cubes=args.cubes,
+                                  scheduler=args.scheduler)
+        elif args.scheduler == "both":
             if args.profile:
                 parser.error("--profile composes with a single scheduler "
                              "backend, not the 'both' A/B mode")
-            runs = run_scheduler_ab(basket, num_threads=args.threads,
-                                    repeat=args.repeat, num_cubes=args.cubes)
+            with routing_env(args.routing):
+                runs = run_scheduler_ab(basket, num_threads=args.threads,
+                                        repeat=args.repeat, num_cubes=args.cubes)
         else:
             runs = run_basket(basket, num_threads=args.threads,
                               repeat=args.repeat, scheduler=args.scheduler,
-                              num_cubes=args.cubes, profile=args.profile)
+                              num_cubes=args.cubes, profile=args.profile,
+                              routing=args.routing)
     if args.check_against:
         check_regression(args.output, runs, args.check_against, args.max_regression)
     if not args.no_write:
