@@ -21,7 +21,11 @@ making the network shape an experiment dimension; a routing-policy override
 (``--failure-rate``/``--failure-seed``, needs a fault-capable policy); and an
 event-scheduler override (``--scheduler heap|calendar``, also settable via
 ``$REPRO_SCHEDULER``) that swaps the kernel's event queue for the calendar
-queue without changing any result bit.
+queue without changing any result bit.  An execution-backend override
+(``--execution serial|sharded`` plus ``--shards N``, also settable via
+``$REPRO_EXECUTION``/``$REPRO_SHARDS``) partitions each single simulation's
+cube network across worker processes — results stay bit-identical to serial,
+only wall time changes.
 """
 
 from __future__ import annotations
@@ -40,6 +44,8 @@ from .sim.event_queue import (DEFAULT_SCHEDULER, SCHEDULER_BACKENDS,
                               scheduler_env)
 from .system import CONFIG_ORDER, SystemKind, make_system_config, run_workload
 from .system.config import make_network_config
+from .system.execution import (DEFAULT_EXECUTION, DEFAULT_SHARDS,
+                               EXECUTION_BACKENDS, execution_env, shards_env)
 from .workloads import ALL_WORKLOADS
 
 
@@ -171,6 +177,17 @@ def _add_scheduler_option(parser: argparse.ArgumentParser) -> None:
                              f"(default: $REPRO_SCHEDULER or {DEFAULT_SCHEDULER}); "
                              "results are bit-identical across backends, only "
                              "wall time differs")
+    parser.add_argument("--execution", default=None,
+                        choices=sorted(EXECUTION_BACKENDS),
+                        help="execution backend for every simulation "
+                             f"(default: $REPRO_EXECUTION or {DEFAULT_EXECUTION}); "
+                             "'sharded' partitions each simulation's cube "
+                             "network across worker processes with results "
+                             "bit-identical to serial")
+    parser.add_argument("--shards", type=int, default=None, metavar="N",
+                        help="cube-shard count for the sharded execution "
+                             f"backend (default: $REPRO_SHARDS or {DEFAULT_SHARDS}); "
+                             "ignored under serial execution")
 
 
 def _add_network_detail_options(parser: argparse.ArgumentParser) -> None:
@@ -273,7 +290,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
                          "the DRAM baseline (it has no memory network); pick "
                          "an HMC-backed configuration")
     with _network_usage_errors():
-        config = make_system_config(args.config, **overrides)
+        config = make_system_config(args.config, execution=args.execution,
+                                    shards=args.shards, **overrides)
     result = run_workload(config, args.workload, num_threads=args.threads, **params)
     rows = [
         ["cycles", f"{result.cycles:,.0f}"],
@@ -375,9 +393,13 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
-    # --scheduler routes through $REPRO_SCHEDULER for the duration of the
-    # command so prefetch worker processes inherit it too.
-    with scheduler_env(getattr(args, "scheduler", None)):
+    # --scheduler/--execution/--shards route through their environment
+    # variables for the duration of the command so prefetch worker processes
+    # inherit them too (the run subcommand additionally folds the execution
+    # choice into its config, making it visible in the printed label).
+    with scheduler_env(getattr(args, "scheduler", None)), \
+            execution_env(getattr(args, "execution", None)), \
+            shards_env(getattr(args, "shards", None)):
         if args.command == "run":
             return _cmd_run(args)
         if args.command == "report":

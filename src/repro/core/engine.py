@@ -41,7 +41,7 @@ from ..network.packet import (
     UpdatePacket,
     release,
 )
-from ..sim import Component, Simulator
+from ..sim import Component, Histogram, Simulator
 from .alu import ALU, OPCODES, OpClass
 from .config import AREConfig
 from .flow_table import FlowTable, FlowTableEntry
@@ -99,10 +99,21 @@ class ActiveRoutingEngine(Component):
             setattr(self, "_n_" + counter, 0)
             pairs.append(("_n_" + counter, self.counter_handle(counter)))
         self._register_batched_counters(*pairs)
-        self._hist_latency_request = sim.stats.histogram("ar.update_latency.request")
-        self._hist_latency_stall = sim.stats.histogram("ar.update_latency.stall")
-        self._hist_latency_response = sim.stats.histogram("ar.update_latency.response")
-        self._hist_latency_total = sim.stats.histogram("ar.update_latency.total")
+        # Round-trip latency samples go into PRIVATE per-engine histograms;
+        # the shared "ar.update_latency.*" aggregates are folded from them in
+        # engine-construction (= cube) order at flush time.  Keeping one
+        # writer per part makes the aggregate independent of the order in
+        # which engines happened to record samples, so a sharded run that
+        # merges per-cube parts reproduces the serial aggregate bit for bit.
+        self._hist_latency_request = Histogram()
+        self._hist_latency_stall = Histogram()
+        self._hist_latency_response = Histogram()
+        self._hist_latency_total = Histogram()
+        for suffix, part in (("request", self._hist_latency_request),
+                             ("stall", self._hist_latency_stall),
+                             ("response", self._hist_latency_response),
+                             ("total", self._hist_latency_total)):
+            sim.stats.folded_histogram(f"ar.update_latency.{suffix}").attach(part)
         # _record_roundtrip walks these in order with Histogram.add inlined.
         self._hists_latency = (self._hist_latency_request, self._hist_latency_stall,
                                self._hist_latency_response, self._hist_latency_total)

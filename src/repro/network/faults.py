@@ -22,15 +22,25 @@ of the deterministic draw — the victim is chosen uniformly from the sorted
 list of eligible live links.
 
 The injector keeps **exactly one** simulator event pending at any time (an
-internal agenda orders the rest).  When that event fires into an otherwise
-empty queue, no scheduled work remains, so the *random* failure process
-quiesces — but explicit state changes still apply: a pending recovery must
-fire even then, because traffic parked on the down link can only drain at
-recovery (see ``MemoryNetwork._drain_parked``).  Once nothing but exhausted
-random entries remain the injector stops rescheduling and ``run_until_idle``
-terminates naturally.  Reported cycle counts come from the workload's own
-finish time, not ``sim.now``, so a late injector wake-up cannot inflate
-results.
+internal agenda orders the rest).  The *random* failure process **quiesces**
+once the workload is over — failures the workload can never see would only
+delay termination — but explicit state changes still apply even then: a
+pending recovery must fire, because traffic parked on the down link can only
+drain at recovery (see ``MemoryNetwork._drain_parked``).  Once nothing but
+exhausted random entries remain the injector stops rescheduling and
+``run_until_idle`` terminates naturally.  Reported cycle counts come from the
+workload's own finish time, not ``sim.now``, so a late injector wake-up
+cannot inflate results.
+
+"Workload is over" is judged through :attr:`FaultInjector.finish_time_provider`
+when one is wired (the system builder points it at the CMP): the process
+quiesces at the first wake-up at least :data:`QUIESCE_GRACE_CYCLES` after the
+workload's finish time.  That makes the quiesce point — and therefore the
+whole fault timeline — a pure function of ``(seed, workload finish time)``,
+so every replica of the simulation (the sharded execution backend runs one
+injector per shard) decides it identically.  Without a provider (tests
+driving an injector directly) the injector falls back to the older local
+heuristic: quiesce when its own event fires into an otherwise empty queue.
 """
 
 from __future__ import annotations
@@ -48,6 +58,13 @@ MEAN_REPAIR_CYCLES = 1_000.0
 
 #: ``failure_rate`` is expressed as expected failures per this many cycles.
 RATE_WINDOW_CYCLES = 10_000.0
+
+#: Random failures stop this many cycles after the workload finishes (when a
+#: ``finish_time_provider`` is wired).  The slack keeps the decision stable
+#: under the sharded backend's conservative time windows: a wake-up inside
+#: window ``k`` can only observe finish times ``>= k * window``, and with the
+#: window no larger than this grace every replica reaches the same verdict.
+QUIESCE_GRACE_CYCLES = 64.0
 
 
 @dataclass(frozen=True)
@@ -96,9 +113,19 @@ class FaultInjector:
         self._seq = 0
         self._armed = False
         self._quiesced = False
+        #: Optional zero-argument callable returning the workload's finish
+        #: time (or ``None`` while it is still running).  Wired by the system
+        #: builder; governs when the random process quiesces (see module
+        #: docstring).  Left unset, the empty-queue heuristic applies.
+        self.finish_time_provider = None
         #: Failures actually applied / skipped by the connectivity guard.
         self.injected = 0
         self.skipped = 0
+        #: Wake-up events actually dispatched.  The sharded backend runs one
+        #: injector replica per shard (same seed, same timeline) and uses
+        #: this to subtract the duplicate dispatches from the merged
+        #: executed-event count.
+        self.fires = 0
         for fault in schedule:
             if fault.kind == "link":
                 a, b = fault.target
@@ -121,14 +148,28 @@ class FaultInjector:
         self.sim.schedule_at(self._agenda[0][0], self._fire, label="fault")
 
     def _fire(self) -> None:
-        # Our own event has already been popped: an empty queue means no
-        # *scheduled* work remains.  That quiesces the random process (the
-        # workload cannot be disturbed by failures it will never see), but
-        # pending explicit state changes — recoveries above all — must still
-        # be applied: traffic parked on a down link drains at recovery and
-        # only then can the workload finish.
-        if not self._quiesced and len(self.sim.events) == 0:
-            self._quiesced = True
+        # Quiesce check first, then apply due actions.  Quiescing stops the
+        # random process (the workload cannot be disturbed by failures it will
+        # never see), but pending explicit state changes — recoveries above
+        # all — must still be applied: traffic parked on a down link drains at
+        # recovery and only then can the workload finish.
+        #
+        # With a finish_time_provider the verdict depends only on the
+        # workload's finish time, never on this simulator's queue occupancy —
+        # queue occupancy is shard-local state, and replicas of this injector
+        # running on different shards must reach the same verdict at the same
+        # wake-up.  Without a provider, our own event has already been popped,
+        # so an empty queue means no *scheduled* work remains.
+        self.fires += 1
+        if not self._quiesced:
+            provider = self.finish_time_provider
+            if provider is not None:
+                finish = provider()
+                if finish is not None and \
+                        self.sim.now >= finish + QUIESCE_GRACE_CYCLES:
+                    self._quiesced = True
+            elif len(self.sim.events) == 0:
+                self._quiesced = True
         now = self.sim.now
         while self._agenda and self._agenda[0][0] <= now:
             _, _, action = heapq.heappop(self._agenda)

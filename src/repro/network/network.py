@@ -122,9 +122,18 @@ class MemoryNetwork(Component):
                     handles[index].value += acc[index]
                     acc[index] = 0
             acc[4] = 0
-        if acc[6]:
-            self._h_queue_delay.value += acc[6]
-            acc[6] = 0.0
+        # The network-wide queue-delay counter is *derived*: a fold over the
+        # per-link cells in ``self.links`` insertion order (links register as
+        # flushables before the network, so their cells are already folded by
+        # the time a registry-wide flush reaches this one).  Per-link
+        # accumulation order is chronological and each link has exactly one
+        # writer, which makes this value independent of how a run is
+        # partitioned — the sharded execution backend merges per-link cells
+        # and re-derives the same fold bit for bit.
+        total_delay = 0.0
+        for link in self._link_list:
+            total_delay += link._queue_wait_cycles.value
+        self._h_queue_delay.value = total_delay
 
     # -- construction ---------------------------------------------------------
     def register_endpoint(self, node_id: int, endpoint: NetworkEndpoint) -> None:
@@ -192,7 +201,6 @@ class MemoryNetwork(Component):
         net_acc = self._acc
         if queue_delay > 0:
             link_acc[6] += queue_delay
-            net_acc[6] += queue_delay
         link_acc[5] += serialization
         link_acc[4] += 1
         cat_index = packet._cat_index
@@ -359,7 +367,6 @@ class MemoryNetwork(Component):
         net_acc = self._acc
         if queue_delay > 0:
             link_acc[6] += queue_delay
-            net_acc[6] += queue_delay
         link_acc[5] += serialization
         link_acc[4] += 1
         cat_index = packet._cat_index

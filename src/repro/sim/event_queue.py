@@ -26,11 +26,14 @@ entry's callback slot in place and the dispatch loop skips it.
 
 from __future__ import annotations
 
-import contextlib
 import heapq
-import os
 from bisect import insort
-from typing import Callable, Dict, Iterator, List, Optional, Type
+from typing import Callable, Dict, List, Optional, Type
+
+# Imported as a leaf module: repro.core is mid-initialisation here (the
+# package import chain is repro -> repro.core -> repro.sim -> this module),
+# and backends.py deliberately imports nothing back from repro.
+from ..core.backends import BackendRegistry
 
 #: A heap entry: ``[time, seq, callback]``; ``callback is None`` marks a
 #: cancelled (or already-dispatched) entry.
@@ -426,6 +429,11 @@ DEFAULT_SCHEDULER = "heap"
 #: Environment variable consulted when no explicit scheduler is requested.
 SCHEDULER_ENV = "REPRO_SCHEDULER"
 
+#: The shared resolve/make/env machinery (see repro.core.backends); the
+#: module-level helpers below stay the public API.
+SCHEDULER_REGISTRY = BackendRegistry("scheduler", SCHEDULER_BACKENDS,
+                                     DEFAULT_SCHEDULER, SCHEDULER_ENV)
+
 
 def resolve_scheduler(name: Optional[str] = None) -> str:
     """Canonical scheduler-backend name for a request.
@@ -435,23 +443,15 @@ def resolve_scheduler(name: Optional[str] = None) -> str:
     choices.  Results are bit-identical across backends, so the choice is
     purely a performance knob (and cache keys deliberately ignore it).
     """
-    if name is None:
-        name = os.environ.get(SCHEDULER_ENV) or DEFAULT_SCHEDULER
-    canonical = str(name).strip().lower()
-    if canonical not in SCHEDULER_BACKENDS:
-        raise ValueError(
-            f"unknown scheduler {name!r}; choose from "
-            f"{', '.join(sorted(SCHEDULER_BACKENDS))}")
-    return canonical
+    return SCHEDULER_REGISTRY.resolve(name)
 
 
 def make_event_queue(name: Optional[str] = None):
     """Instantiate the scheduler backend selected by :func:`resolve_scheduler`."""
-    return SCHEDULER_BACKENDS[resolve_scheduler(name)]()
+    return SCHEDULER_REGISTRY.make(name)
 
 
-@contextlib.contextmanager
-def scheduler_env(name: Optional[str]) -> Iterator[None]:
+def scheduler_env(name: Optional[str]):
     """Temporarily export a scheduler choice through ``$REPRO_SCHEDULER``.
 
     Every Simulator — including ones built inside worker processes, which
@@ -460,15 +460,4 @@ def scheduler_env(name: Optional[str]) -> Iterator[None]:
     restored on exit (callers may run in-process, e.g. under tests).
     ``None`` leaves the environment untouched.
     """
-    if name is None:
-        yield
-        return
-    previous = os.environ.get(SCHEDULER_ENV)
-    os.environ[SCHEDULER_ENV] = resolve_scheduler(name)
-    try:
-        yield
-    finally:
-        if previous is None:
-            os.environ.pop(SCHEDULER_ENV, None)
-        else:
-            os.environ[SCHEDULER_ENV] = previous
+    return SCHEDULER_REGISTRY.env(name)

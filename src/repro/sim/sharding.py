@@ -1,0 +1,285 @@
+"""Shard-local event scheduling for the sharded execution backend.
+
+The sharded backend (:mod:`repro.system.execution`) runs one
+:class:`~repro.sim.Simulator` per shard and advances them in conservative
+time windows.  Two sim-layer pieces make the merged execution reproduce the
+serial ``[time, seq]`` dispatch order:
+
+* :class:`ShardEventQueue` — a scheduler backend whose sequence numbers are
+  *hierarchical* ``(scheduled_at, parent_token, child_index, lineage, rank,
+  uid)`` tuples instead of one global integer.  The serial integer sequence is
+  monotone in *scheduling order*: chronological across instants, and within
+  one instant it follows the dispatch order of the pushing events (each of
+  which pushes its children in program order).  The tuple reproduces exactly
+  that: ``scheduled_at`` handles the chronological part, and on a same-instant
+  tie the ``parent_token`` — the pushing event's own key, depth-truncated —
+  recursively resolves the tie the way the serial run dispatched the parents,
+  regardless of which shard each parent ran on.  ``child_index`` is the push's
+  ordinal within its parent's dispatch (program order), and the
+  ``(rank, uid)`` tail is a deterministic last-resort disambiguator that can
+  only be reached past the truncation depth.  Boundary events shipped between
+  shards carry their *sender's* key verbatim so ties at the receiver resolve
+  exactly as they would have in one process.
+* :class:`WindowRunner` — a window-bounded dispatch loop.  Unlike
+  ``Simulator.run(until=...)`` (inclusive: it dispatches events *at* the
+  horizon and parks ``now`` there), the runner is edge-exclusive — it
+  executes strictly ``time < edge`` and leaves ``now`` at the last executed
+  event — because the window edge belongs to the *next* epoch and the merged
+  final time must be the last event's time, exactly like a serial
+  ``run_until_idle``.
+
+This module deliberately depends only on :mod:`repro.sim` internals so the
+system-layer backend can compose it with the network shims.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, List, Optional, Tuple
+
+from .event_queue import Entry, EventHandle
+
+#: Event key: ``(scheduled_at, parent_token, child_index, lineage, rank,
+#: uid)``.  Uniform shape across every shard, so heap entries compare without
+#: ever reaching the callback: floats meet floats, tuples meet tuples.
+ShardKey = Tuple[float, tuple, int, int, int, int]
+
+#: Ancestry levels kept in a parent token.  Ties between two keys descend the
+#: token only while scheduling instants, child indices *and* lineages keep
+#: colliding exactly, one ancestor generation per level.  Each level carries
+#: the generation's lineage (see :func:`_trim`), so lockstep chains with
+#: different causal roots — per-core controller drain loops, symmetric
+#: request/response rounds — separate at the oldest retained generation no
+#: matter how long they stay synchronized; past this depth only chains that
+#: *forked from one root* and re-converged to float-identical instants for
+#: this many generations remain, and those fall to the final ``(rank, uid)``
+#: tail.
+KEY_DEPTH = 8
+
+
+def _trim(key, depth: int = KEY_DEPTH) -> tuple:
+    """Truncate a key to a bounded-depth parent token.
+
+    Keeps the order-relevant head ``(scheduled_at, parent_token, child_index,
+    lineage)`` of the most recent ``depth`` generations and drops the rest, so
+    tokens stay O(depth) in size instead of accreting the whole causal chain.
+    Accepts full six-field keys and already-trimmed tokens alike (lineage sits
+    at index 3 in both).
+
+    Carrying *lineage at every level* matters: distinct lockstep chains (a
+    controller drain loop per core, say) can agree on scheduling instant and
+    child index through arbitrarily many generations, so a token of bare
+    ``(t, parent, index)`` levels would compare equal past any fixed depth and
+    ties would fall through to the leaf fields — which interleave children of
+    different parents instead of grouping them in parent dispatch order the
+    way a serial run does.  With the lineage in the level, chains separate at
+    the *oldest retained generation* (nested tuples compare parents before
+    child indices, so the oldest divergence decides — exactly the serial
+    rule), while two children of the *same* parent still compare equal
+    through the token and resolve on the leaf child index, i.e. program
+    order, even when per-packet lineage overrides differ.
+    """
+    if depth <= 0 or not key:
+        return ()
+    return (key[0], _trim(key[1], depth - 1), key[2], key[3])
+
+
+class ShardEventQueue:
+    """A deterministic min-heap whose sequence numbers are shard-aware tuples.
+
+    Implements the scheduler-backend protocol (``push`` / ``push_handle`` /
+    ``pop`` / ``peek_time`` / ``clear`` / ``__len__``) with the same
+    ``[time, seq, callback]`` entry layout as :class:`~repro.sim.EventQueue`,
+    but ``seq`` is a :data:`ShardKey`.  It is *not* a subclass of
+    ``EventQueue`` on purpose: the :class:`~repro.sim.Simulator` recognises
+    neither the heap nor the calendar fast path and falls back to its generic
+    bound-method loop, which routes every push through here (the network's
+    hot path mirrors the same check via its ``_event_heap is None`` branch).
+
+    The queue must be bound to its simulator before the first push:
+    ``scheduled_at`` is the simulator's clock at push time.
+    """
+
+    def __init__(self, rank: int) -> None:
+        self.rank = rank
+        self._heap: List[Entry] = []
+        #: Monotone per-shard counter: the key's unique tail, and the child
+        #: index of root pushes (pushes made outside any event dispatch —
+        #: build and program load — which are replica-identical across
+        #: shards, so the shared counter value is too).
+        self._n = 0
+        #: Parent token of the event currently being dispatched (``None``
+        #: outside dispatch), the running child index within it, and the
+        #: dispatched event's lineage (inherited by its children).
+        self._parent: Optional[tuple] = None
+        self._child_n = 0
+        self._lineage = 0
+        #: When set, wins over the dispatch-inherited lineage.  The network
+        #: shims point it at the packet's host-minted request ordinal while a
+        #: hop executes: every push the hop makes — local delivery or shipped
+        #: boundary packet — then carries the packet's *origin* order, which
+        #: is how the serial run breaks ties between lockstep packet chains.
+        self.lineage_override: Optional[int] = None
+        self._live = 0
+        self._sim = None
+
+    def bind_simulator(self, sim) -> None:
+        """Called by the :class:`~repro.sim.Simulator` constructor (duck-typed
+        hook) so pushes can stamp the scheduling instant."""
+        self._sim = sim
+
+    def __len__(self) -> int:
+        return self._live
+
+    def __bool__(self) -> bool:
+        return self._live > 0
+
+    def begin_dispatch(self, key: ShardKey) -> None:
+        """Enter an event's dispatch context: children pushed from here on
+        are keyed under this event's (truncated) key, with a fresh program-
+        order child index and the event's own lineage.  Called by
+        :class:`WindowRunner` per event."""
+        self._parent = _trim(key)
+        self._child_n = 0
+        self._lineage = key[3]
+
+    def end_dispatch(self) -> None:
+        """Leave dispatch context; subsequent pushes are root pushes."""
+        self._parent = None
+
+    def take_key(self) -> ShardKey:
+        """Consume the next key at the current instant.
+
+        Exposed for the network egress shim: a hop that ships its delivery to
+        another shard consumes a child index from the *same* per-dispatch
+        counter as local pushes, so the sender's scheduling order stays
+        totally ordered whether a given event fires locally or remotely.
+        """
+        return self.take_key_at(self._sim.now)
+
+    def take_key_at(self, time: float,
+                    parent: Optional[ShardKey] = None) -> ShardKey:
+        """Consume the next key stamped at an explicit instant.
+
+        Used for the rare between-window repairs the backend schedules at a
+        window start, before the shard's clock has reached it; ``parent``
+        optionally keys the repair under the boundary event whose serial
+        counterpart would have scheduled it.
+        """
+        uid = self._n
+        self._n = uid + 1
+        if parent is not None:
+            return (time, _trim(parent), uid, parent[3], self.rank, uid)
+        token = self._parent
+        if token is None:
+            # Root push: the monotone counter doubles as the child index and
+            # founds a new lineage, so replica-identical build/load pushes
+            # agree across shards.
+            return (time, (), uid, uid, self.rank, uid)
+        index = self._child_n
+        self._child_n = index + 1
+        lineage = self.lineage_override
+        if lineage is None:
+            lineage = self._lineage
+        return (time, token, index, lineage, self.rank, uid)
+
+    def push(self, time: float, callback: Callable[[], None], label: str = "") -> None:
+        if time < 0:
+            raise ValueError(f"cannot schedule an event at negative time {time}")
+        heapq.heappush(self._heap, [time, self.take_key(), callback])
+        self._live += 1
+
+    def push_with_key(self, time: float, key: ShardKey,
+                      callback: Callable[[], None]) -> None:
+        """Schedule a boundary event under its *sender's* key (verbatim), so
+        same-time ties at this shard resolve as they would have serially."""
+        heapq.heappush(self._heap, [time, key, callback])
+        self._live += 1
+
+    def push_handle(self, time: float, callback: Callable[[], None],
+                    label: str = "") -> EventHandle:
+        if time < 0:
+            raise ValueError(f"cannot schedule an event at negative time {time}")
+        entry: Entry = [time, self.take_key(), callback]
+        heapq.heappush(self._heap, entry)
+        self._live += 1
+        return EventHandle(entry, self, label)
+
+    def peek_time(self) -> Optional[float]:
+        heap = self._heap
+        while heap and heap[0][2] is None:
+            heapq.heappop(heap)
+        if not heap:
+            return None
+        return heap[0][0]  # type: ignore[return-value]
+
+    def pop(self) -> Optional[Entry]:
+        heap = self._heap
+        while heap:
+            entry = heapq.heappop(heap)
+            callback = entry[2]
+            if callback is None:
+                continue
+            entry[2] = None  # make a late EventHandle.cancel() a no-op
+            self._live -= 1
+            return [entry[0], entry[1], callback]
+        return None
+
+    def clear(self) -> None:
+        for entry in self._heap:
+            entry[2] = None
+        self._heap.clear()
+        self._live = 0
+
+
+class WindowRunner:
+    """Edge-exclusive window dispatch over one shard's simulator.
+
+    ``current_key`` exposes the key of the event being dispatched; the
+    network/notification shims stamp it onto boundary messages whose serial
+    counterpart would have executed *inside* the current event (park returns,
+    zero-latency commit notifications), so their replay on the receiving
+    shard keeps the original tie-break.
+    """
+
+    def __init__(self, sim) -> None:
+        self.sim = sim
+        self.executed = 0
+        self.current_key: Optional[ShardKey] = None
+
+    def run_to(self, edge: float) -> None:
+        """Dispatch every event with ``time < edge``, in ``[time, key]`` order.
+
+        ``now`` is left at the last executed event (never advanced to the
+        edge): the merged run's final time must be the last event's time,
+        and a quiet shard must not manufacture clock progress.
+        """
+        sim = self.sim
+        events = sim.events
+        peek = events.peek_time
+        pop = events.pop
+        processed = 0
+        try:
+            while True:
+                head = peek()
+                if head is None or head >= edge:
+                    break
+                entry = pop()
+                time = entry[0]
+                if time < sim.now - 1e-9:
+                    from .simulator import SimulationError
+                    raise SimulationError(
+                        f"event {entry[2]!r} scheduled at {time} is in the "
+                        f"past (now={sim.now})")
+                if time > sim.now:
+                    sim.now = time
+                self.current_key = entry[1]
+                events.begin_dispatch(entry[1])
+                processed += 1
+                entry[2]()
+        finally:
+            self.current_key = None
+            events.end_dispatch()
+            self.executed += processed
+            sim._executed_events += processed
+            sim._finished = not events

@@ -198,6 +198,60 @@ class Histogram:
         }
 
 
+class FoldedHistogram(Histogram):
+    """A histogram re-derived from per-writer part histograms.
+
+    Multiple hot writers (one Active-Routing engine per cube) each own a
+    private :class:`Histogram` and the registry-visible aggregate is folded
+    from those parts in attach order on every :meth:`flush`.  Folding in a
+    fixed part order makes the aggregate's float fields (``total`` above all)
+    independent of how the writers' observations interleaved in time — which
+    is what lets the sharded execution backend merge per-part state from
+    worker processes and reproduce the serial aggregate bit for bit.
+
+    The folded object must never be fed through :meth:`Histogram.add`; it is
+    rebuilt wholesale from its parts.
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.parts: List[Histogram] = []
+
+    def attach(self, part: Histogram) -> None:
+        """Register one writer's private histogram.  Attach order is the fold
+        order and must be deterministic (components attach at construction)."""
+        self.parts.append(part)
+
+    def flush(self) -> None:
+        """Re-derive the aggregate fields from the parts, in attach order."""
+        count = 0
+        total = 0.0
+        minimum = math.inf
+        maximum = -math.inf
+        truncated = False
+        samples: List[float] = []
+        for part in self.parts:
+            count += part.count
+            total += part.total
+            if part.minimum < minimum:
+                minimum = part.minimum
+            if part.maximum > maximum:
+                maximum = part.maximum
+            truncated = truncated or part.truncated
+            samples.extend(part.samples)
+        self.count = count
+        self.total = total
+        self.minimum = minimum
+        self.maximum = maximum
+        self.truncated = truncated
+        self.samples[:] = samples
+
+    def reset(self) -> None:
+        for part in self.parts:
+            part.reset()
+        super().reset()
+
+
 class StatsRegistry:
     """A flat namespace of counters, gauges and histograms."""
 
@@ -307,9 +361,28 @@ class StatsRegistry:
         if hist is None:
             hist = Histogram()
             self._histograms[name] = hist
+        elif self._flushables:
+            # Folded histograms re-derive their aggregate fields on flush;
+            # readers resolving an existing histogram by name must see the
+            # folded state, exactly like counter readers see batched cells.
+            self.flush()
+        return hist
+
+    def folded_histogram(self, name: str) -> FoldedHistogram:
+        """Return the :class:`FoldedHistogram` registered under ``name``,
+        creating (and registering it as a flushable) on first use."""
+        hist = self._histograms.get(name)
+        if hist is None:
+            hist = FoldedHistogram()
+            self._histograms[name] = hist
+            self.register_flushable(hist)
+        elif not isinstance(hist, FoldedHistogram):
+            raise ValueError(f"histogram {name!r} already exists and is not folded")
         return hist
 
     def histograms(self, prefix: str = "") -> Dict[str, Histogram]:
+        if self._flushables:
+            self.flush()
         return {k: v for k, v in self._histograms.items() if k.startswith(prefix)}
 
     # -- bulk helpers ---------------------------------------------------------
@@ -324,6 +397,12 @@ class StatsRegistry:
         for name, value in other._gauges.items():
             self._gauges[name] = value
         for name, hist in other._histograms.items():
+            if isinstance(hist, FoldedHistogram):
+                # Folded aggregates are re-derived from their parts; merging
+                # the fold itself would double-count once the receiving side's
+                # parts are updated.  Callers combining folded state (the
+                # sharded execution backend) merge the parts explicitly.
+                continue
             self.histogram(name).merge(hist)
 
     def snapshot(self) -> Dict[str, float]:

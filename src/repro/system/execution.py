@@ -1,0 +1,781 @@
+"""Execution backends: how one simulation is driven to completion.
+
+Two registered backends (``EXECUTION_BACKENDS``, ``$REPRO_EXECUTION``):
+
+* ``serial`` — the classic single-process event loop
+  (:meth:`repro.sim.Simulator.run_until_idle`).  The default.
+* ``sharded`` — partitions the cube network across worker processes and
+  advances them in **conservative time windows**, exchanging boundary packets
+  at window edges.  Results are bit-identical to serial; only wall-clock
+  changes.
+
+Why conservative windows are safe here
+--------------------------------------
+
+Every packet delivery crosses a link: it is scheduled at least
+``link latency + router delay`` (= the window ``W``) after the hop that sent
+it.  So an event executed anywhere inside window ``k`` (``[kW, (k+1)W)``) can
+only schedule *network* work at or beyond the edge ``(k+1)W`` — shards may
+execute window ``k`` independently and exchange the boundary deliveries
+before anyone enters window ``k+1``.  The one zero-latency cross-shard
+channel is the engine's ``host.notify_update_commit`` call; it is shipped as
+a "note" and replayed on the host shard *in the same window* at its original
+``[time, key]`` position, which is exact because nothing the host does in
+window ``k`` can affect a cube shard before window ``k+1`` (host effects
+travel over the network too).
+
+Replica sharding
+----------------
+
+Every shard builds the **full** system from the same :class:`SystemConfig`
+(deterministic construction), so component wiring, routing tables and the
+seeded fault timeline are identical everywhere; a shard then only *executes*
+events for the nodes it owns.  Rank ``i < M`` owns a contiguous slice of cube
+nodes (:func:`repro.hmc.config.shard_cube_slices`); rank ``M`` — the parent
+process — owns the controllers and the host CMP and is the only shard that
+loads the program.  Non-owned components stay quiescent: they schedule
+nothing by themselves.  The deliberate exception is the fault injector,
+which runs as a replica on *every* shard so link-state transitions apply to
+each shard's own link objects on the same ``[time, seq]`` schedule; its
+duplicate wake-ups are subtracted from the merged executed-event count.
+
+Determinism is anchored by :class:`repro.sim.sharding.ShardEventQueue`:
+sequence numbers are hierarchical ``(scheduled_at, parent_token, child_index,
+lineage, rank, uid)`` tuples that reproduce the serial chronological
+scheduling order — same-instant ties recursively follow the pushing events'
+own dispatch order, and exact-lockstep packet chains (symmetric traffic
+rounds) fall back to the packets' host-minted request ordinals — and
+boundary events carry their sender's key verbatim.  Per-shard counters and histograms are merged in
+fixed shard-rank order at the end (float fold order is pinned — see
+``FoldedHistogram`` and the network's derived queue-delay fold), which is
+what makes the merged statistics digest match a serial run bit for bit.
+
+When ``multiprocessing`` is unavailable (or ``$REPRO_SHARDED_INPROCESS`` is
+set) the same shard runtimes run inside one process — a single-process
+multi-queue emulation with identical results — after a one-line warning.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import math
+import os
+import warnings
+from typing import Dict, List, Optional, Tuple
+
+from ..core.backends import BackendRegistry
+from ..hmc.config import shard_cube_slices
+from ..network.faults import QUIESCE_GRACE_CYCLES
+from ..network.network import MemoryNetwork
+from ..sim import SimulationError
+from ..sim.sharding import ShardEventQueue, WindowRunner
+from ..sim.stats import FoldedHistogram, Histogram
+from .builder import BuiltSystem, build_system
+from .config import SystemConfig
+
+#: Default cube-shard count when ``--shards``/``SystemConfig.shards`` is 0.
+DEFAULT_SHARDS = 2
+
+#: Environment variable consulted when no explicit backend is given.
+EXECUTION_ENV = "REPRO_EXECUTION"
+
+#: Environment variable consulted when no explicit shard count is given.
+SHARDS_ENV = "REPRO_SHARDS"
+
+#: Forces the sharded backend's single-process multi-queue emulation (the
+#: same code path it degrades to when ``multiprocessing`` is unavailable).
+INPROCESS_ENV = "REPRO_SHARDED_INPROCESS"
+
+#: Fold order of the per-engine update-latency part histograms; must match
+#: ``ActiveRoutingEngine._hists_latency``.
+_LATENCY_SUFFIXES = ("request", "stall", "response", "total")
+
+
+class SerialExecution:
+    """Marker class for the classic one-process event loop (the default)."""
+
+    name = "serial"
+
+
+class ShardedExecution:
+    """Marker class for the sharded conservative-window backend."""
+
+    name = "sharded"
+
+
+EXECUTION_BACKENDS: Dict[str, type] = {
+    SerialExecution.name: SerialExecution,
+    ShardedExecution.name: ShardedExecution,
+}
+
+DEFAULT_EXECUTION = SerialExecution.name
+
+EXECUTION_REGISTRY = BackendRegistry("execution backend", EXECUTION_BACKENDS,
+                                     DEFAULT_EXECUTION, EXECUTION_ENV)
+
+
+def resolve_execution(name: Optional[str] = None) -> str:
+    """Canonical execution-backend name: explicit, ``$REPRO_EXECUTION``, default."""
+    return EXECUTION_REGISTRY.resolve(name)
+
+
+def make_execution(name: Optional[str] = None):
+    """Instantiate the marker class for the selected backend."""
+    return EXECUTION_REGISTRY.make(name)
+
+
+def execution_env(name: Optional[str]):
+    """Context manager exporting a backend choice through ``$REPRO_EXECUTION``."""
+    return EXECUTION_REGISTRY.env(name)
+
+
+# ---------------------------------------------------------------------------
+# Per-shard runtime
+# ---------------------------------------------------------------------------
+
+class ShardRuntime:
+    """One shard's replica of the system plus its window-execution machinery.
+
+    Ranks ``0 .. cube_shards-1`` own cube-node slices; rank ``cube_shards``
+    is the host shard (controllers + CMP), which runs in the parent process.
+    Boundary traffic leaves through ``self._egress`` as small tuples:
+
+    * ``("pkt", time, key, packet, from_node, to_node, flex)`` — a hop whose
+      delivery lands on another shard.  ``flex`` records whether the serial
+      run would have routed the arrival through the fault-aware
+      ``_arrive_flex`` check (it decides the replay callback, preserving the
+      "in flight at the first fault transition completes unconditionally"
+      edge exactly).
+    * ``("note", time, key, update_id)`` — a zero-latency
+      ``notify_update_commit`` call, replayed on the host shard in the same
+      window.
+    * ``("park", time, key, packet, from_node, to_node)`` — an arrival
+      interrupted by a down link; returned to the shard owning the *sending*
+      node, whose replica holds the link's park list.
+    """
+
+    def __init__(self, config: SystemConfig, rank: int, cube_shards: int) -> None:
+        self.rank = rank
+        self.cube_shards = cube_shards
+        self.is_host = rank == cube_shards
+        self.events = ShardEventQueue(rank)
+        self.system = build_system(config, events=self.events)
+        self.sim = self.system.sim
+        self.runner = WindowRunner(self.sim)
+        memory = self.system.memory
+        network = getattr(memory, "network", None)
+        if network is None:
+            raise ValueError(
+                f"sharded execution needs a cube network; {config.label} has none")
+        self.network = network
+        cubes = network.topology.cube_nodes()
+        owner = [cube_shards] * network._num_nodes
+        for shard, cube_slice in enumerate(shard_cube_slices(len(cubes),
+                                                             cube_shards)):
+            for index in cube_slice:
+                owner[cubes[index]] = shard
+        self.owner = owner
+        self.window = (network.link_config.latency_cycles
+                       + network.router_delay)
+        if self.window <= 0:
+            raise ValueError(
+                f"sharded execution needs a positive link latency + router "
+                f"delay for its sync window, got {self.window:g}")
+        self.faults = getattr(memory, "faults", None)
+        if self.faults is not None and self.window > QUIESCE_GRACE_CYCLES:
+            raise ValueError(
+                f"sync window {self.window:g} exceeds the fault quiesce grace "
+                f"({QUIESCE_GRACE_CYCLES:g} cycles); injector replicas could "
+                f"disagree on the quiesce point")
+        self._egress: List[tuple] = []
+        #: Events this shard executes that have no serial counterpart (note
+        #: replays, between-window park retransmissions); subtracted from the
+        #: merged executed-event count.
+        self._extra_events = 0
+        self._reported_executed = 0
+        self._finish_cell: Optional[List[Optional[float]]] = None
+        if not self.is_host:
+            if self.faults is not None:
+                # The builder wired the provider to this replica's CMP, which
+                # never runs here; quiesce on the host's broadcast instead.
+                cell: List[Optional[float]] = [None]
+                self._finish_cell = cell
+                self.faults.finish_time_provider = lambda: cell[0]
+            host = self.system.ar_host
+            if host is not None:
+                self._install_commit_shim(host)
+        self._install_network_shims()
+
+    # -- shims ---------------------------------------------------------------
+    def _boundary_key(self):
+        """Key for a message whose serial counterpart ran *inside* the
+        currently executing event (commit notes, park returns)."""
+        key = self.runner.current_key
+        return key if key is not None else self.events.take_key()
+
+    def _install_commit_shim(self, host) -> None:
+        egress = self._egress
+        sim = self.sim
+
+        def ship_commit(update_id: int) -> None:
+            egress.append(("note", sim.now, self._boundary_key(), update_id))
+
+        host.notify_update_commit = ship_commit
+
+    def _install_network_shims(self) -> None:
+        network = self.network
+        sim = self.sim
+        events = self.events
+        owner = self.owner
+        rank = self.rank
+        egress = self._egress
+        original_hop = MemoryNetwork._hop
+        original_hop_flex = MemoryNetwork._hop_flex
+        original_arrive_flex = MemoryNetwork._arrive_flex
+
+        def remote_transmit(packet, current: int, nxt: int, link,
+                            flex: bool) -> None:
+            # Verbatim copy of MemoryNetwork._hop's transmit accounting (same
+            # arithmetic, same accumulator order): this shard owns the sending
+            # node, so it is the single writer of this link's cells exactly as
+            # in a serial run.  Only the delivery is shipped instead of pushed.
+            size = packet.size
+            serialization = size / link._bandwidth
+            now = sim.now
+            start = link.busy_until
+            if start < now:
+                start = now
+            finish = start + serialization
+            link.busy_until = finish
+            queue_delay = start - now
+            link_acc = link._acc
+            net_acc = network._acc
+            if queue_delay > 0:
+                link_acc[6] += queue_delay
+            link_acc[5] += serialization
+            link_acc[4] += 1
+            cat_index = packet._cat_index
+            link_acc[cat_index] += size
+            net_acc[4] += 1
+            net_acc[cat_index] += size
+            packet.hops += 1
+            arrival = finish + link._latency + network.router_delay
+            egress.append(("pkt", arrival, events.take_key(), packet,
+                           current, nxt, flex))
+
+        def hop(packet, current: int) -> None:
+            # The delivery this hop pushes — locally or shipped — is keyed
+            # under the packet's host-minted request ordinal, so lockstep
+            # packet chains tie-break in their serial (request-issue) order.
+            events.lineage_override = getattr(packet, "req_id", None)
+            try:
+                nxt = network._next_rows[current][packet.dst]
+                if owner[nxt] == rank:
+                    original_hop(network, packet, current)
+                    return
+                remote_transmit(packet, current, nxt,
+                                network._link_grid[current][nxt], False)
+            finally:
+                events.lineage_override = None
+
+        def hop_flex(packet, current: int) -> None:
+            # Same three-way route choice as MemoryNetwork._hop_flex; the
+            # route is a pure function of deterministic state (tables, link
+            # backlogs), so delegating local/park/unroutable cases back to
+            # the original — which recomputes it — cannot diverge.
+            events.lineage_override = getattr(packet, "req_id", None)
+            try:
+                routing = network.routing
+                dst = packet.dst
+                if packet.ptype.tree_routed:
+                    nxt = network._next_rows[current][dst]
+                elif routing.uses_dense_next_hop:
+                    nxt = routing.live_next_hop_table[current][dst]
+                else:
+                    try:
+                        nxt = routing.route(current, dst)
+                    except ValueError:
+                        nxt = -1  # the original raises the loud RoutingError
+                if nxt < 0 or owner[nxt] == rank \
+                        or not network._link_grid[current][nxt].up:
+                    # Local delivery, unroutable destination, or a submission
+                    # onto a down link (parks on this shard: the sender owns
+                    # the link's park lists) — all handled by the original.
+                    original_hop_flex(network, packet, current)
+                    return
+                remote_transmit(packet, current, nxt,
+                                network._link_grid[current][nxt], True)
+            finally:
+                events.lineage_override = None
+
+        def arrive_flex(packet, link, current: int, nxt: int) -> None:
+            if link.up or owner[current] == rank:
+                original_arrive_flex(network, packet, link, current, nxt)
+                return
+            # Interrupted arrival whose sender lives on another shard: the
+            # drop is accounted here (the serial run bumps it in this very
+            # event) but the packet parks on the sender's replica, which is
+            # the one that retransmits on recovery.
+            network._h_dropped.value += 1
+            egress.append(("park", sim.now, self._boundary_key(), packet,
+                           current, nxt))
+
+        # Instance attributes shadow the class methods; _enable_fault_mode's
+        # ``self._hop = self._hop_flex`` resolves through them, so the switch
+        # to the fault-aware path picks up the shim automatically.
+        network._hop_flex = hop_flex
+        network._arrive_flex = arrive_flex
+        network._hop = hop_flex if network._fault_mode else hop
+
+    # -- epoch execution -----------------------------------------------------
+    def apply_messages(self, messages: List[tuple], window_start: float) -> None:
+        network = self.network
+        events = self.events
+        for message in messages:
+            op = message[0]
+            if op == "pkt":
+                _, time, key, packet, current, nxt, flex = message
+                if flex:
+                    link = network._link_grid[current][nxt]
+                    callback = (lambda p=packet, l=link, c=current, n=nxt:
+                                network._arrive_flex(p, l, c, n))
+                else:
+                    endpoint = network._endpoint_list[nxt]
+                    callback = (lambda p=packet, e=endpoint, c=current:
+                                e.receive_packet(p, c))
+                events.push_with_key(time, key, callback)
+            elif op == "note":
+                _, time, key, update_id = message
+                host = self.system.ar_host
+                events.push_with_key(
+                    time, key,
+                    lambda u=update_id: host.notify_update_commit(u))
+                self._extra_events += 1
+            else:  # "park"
+                _, time, key, packet, current, nxt = message
+                link = network._link_grid[current][nxt]
+                if not link.up:
+                    # The common case: the link is still down when the return
+                    # reaches the sender's shard.  Park returns for one link
+                    # come from its single receiving shard in execution
+                    # order, so the serial FIFO park order is preserved.
+                    link._park_inflight.append((packet, current))
+                else:
+                    # The link recovered within the window that parked the
+                    # packet; the serial run retransmitted at the recovery
+                    # instant, which this shard has already executed past.
+                    # Retransmit at the window start instead (the earliest
+                    # instant this epoch can schedule).
+                    self._extra_events += 1
+                    events.push_with_key(
+                        window_start, events.take_key_at(window_start,
+                                                         parent=key),
+                        lambda p=packet, c=current: network._hop(p, c))
+
+    def run_epoch(self, edge: float, messages: List[tuple],
+                  finish_time: Optional[float] = None) -> dict:
+        """Apply boundary messages, run every event below ``edge``, and
+        return the egress batch plus scheduling state for the coordinator."""
+        if self._finish_cell is not None and finish_time is not None:
+            self._finish_cell[0] = finish_time
+        self.apply_messages(messages, edge - self.window)
+        self.runner.run_to(edge)
+        egress = list(self._egress)
+        del self._egress[:]
+        executed = self.runner.executed
+        delta = executed - self._reported_executed
+        self._reported_executed = executed
+        return {"egress": egress, "next_time": self.events.peek_time(),
+                "executed": delta}
+
+    # -- result extraction ---------------------------------------------------
+    def harvest(self) -> dict:
+        """Everything the parent needs to merge this shard's results."""
+        stats = self.sim.stats
+        stats.flush()
+        histograms = {}
+        for name, hist in stats._histograms.items():
+            if isinstance(hist, FoldedHistogram):
+                continue  # re-derived from parts, shipped below
+            if hist.count:
+                histograms[name] = _histogram_state(hist)
+        parts: Dict[Tuple[int, str], tuple] = {}
+        host = self.system.ar_host
+        if host is not None:
+            for engine in host.engines:
+                if self.owner[engine.node_id] != self.rank:
+                    continue
+                for suffix, part in zip(_LATENCY_SUFFIXES,
+                                        engine._hists_latency):
+                    if part.count:
+                        parts[(engine.node_id, suffix)] = _histogram_state(part)
+        return {
+            "counters": dict(stats._iter_counters()),
+            "gauges": dict(stats._gauges),
+            "histograms": histograms,
+            "parts": parts,
+            "executed": self.runner.executed,
+            "fires": self.faults.fires if self.faults is not None else 0,
+            "extra": self._extra_events,
+            "last_time": self.sim.now,
+        }
+
+
+def _histogram_state(hist: Histogram) -> tuple:
+    return (hist.count, hist.total, hist.minimum, hist.maximum,
+            list(hist.samples), hist.truncated, hist._seen)
+
+
+def _load_histogram_state(hist: Histogram, state: tuple) -> None:
+    """Overwrite ``hist`` with a shipped state (single-writer histograms:
+    the local replica never observed anything)."""
+    (hist.count, hist.total, hist.minimum, hist.maximum,
+     samples, hist.truncated, hist._seen) = state
+    hist.samples[:] = list(samples)
+
+
+def _fold_histogram_state(hist: Histogram, state: tuple) -> None:
+    """Fold a shipped state into ``hist`` field-wise (shared-name histograms)."""
+    count, total, minimum, maximum, samples, truncated, seen = state
+    hist.count += count
+    hist.total += total
+    if minimum < hist.minimum:
+        hist.minimum = minimum
+    if maximum > hist.maximum:
+        hist.maximum = maximum
+    hist.truncated = hist.truncated or truncated
+    hist.samples.extend(samples)
+    hist._seen += seen
+
+
+def _merge_harvests(host_runtime: ShardRuntime, harvests: List[dict]) -> None:
+    """Fold worker-shard results into the host (parent) system, in rank order.
+
+    Counter cells are shared between the registry's handles and the
+    components, so merged values are visible through every existing read path
+    (``offchip_bytes()``, link reports, snapshots).  Derived counters (the
+    network's queue-delay fold) and folded histograms are re-derived by the
+    final flush *after* their per-link cells / per-engine parts are merged,
+    which reproduces the serial float fold bit for bit.
+    """
+    system = host_runtime.system
+    sim = system.sim
+    stats = sim.stats
+    stats.flush()
+    engines = {}
+    if system.ar_host is not None:
+        engines = {engine.node_id: engine for engine in system.ar_host.engines}
+    for harvest in harvests:
+        for name, value in harvest["counters"].items():
+            stats.add(name, value)
+        for name, value in harvest["gauges"].items():
+            stats.set_gauge(name, value)
+        for name, state in harvest["histograms"].items():
+            _fold_histogram_state(stats.histogram(name), state)
+        for (node_id, suffix), state in harvest["parts"].items():
+            engine = engines[node_id]
+            part = engine._hists_latency[_LATENCY_SUFFIXES.index(suffix)]
+            _load_histogram_state(part, state)
+        # A worker's serial-equivalent event count excludes its injector
+        # replica's wake-ups (the host replica's stand for the serial ones)
+        # and its extra replay/retransmit events.
+        sim._executed_events += (harvest["executed"] - harvest["fires"]
+                                 - harvest["extra"])
+        if harvest["last_time"] > sim.now:
+            sim.now = harvest["last_time"]
+    sim._executed_events -= host_runtime._extra_events
+    sim._finished = True
+    stats.flush()
+
+
+# ---------------------------------------------------------------------------
+# Worker drivers
+# ---------------------------------------------------------------------------
+
+class _InProcessWorker:
+    """Single-process emulation: the shard runtime lives right here."""
+
+    def __init__(self, config: SystemConfig, rank: int, cube_shards: int) -> None:
+        self.runtime = ShardRuntime(config, rank, cube_shards)
+        self._reply: Optional[dict] = None
+
+    def initial_next_time(self) -> Optional[float]:
+        return self.runtime.events.peek_time()
+
+    def start_epoch(self, edge: float, messages: List[tuple],
+                    finish_time: Optional[float]) -> None:
+        self._reply = self.runtime.run_epoch(edge, messages, finish_time)
+
+    def finish_epoch(self) -> dict:
+        reply, self._reply = self._reply, None
+        assert reply is not None
+        return reply
+
+    def harvest(self) -> dict:
+        return self.runtime.harvest()
+
+    def close(self) -> None:
+        pass
+
+
+def _worker_main(conn, config: SystemConfig, rank: int, cube_shards: int) -> None:
+    """Worker-process loop: build the shard replica, serve epoch requests."""
+    try:
+        runtime = ShardRuntime(config, rank, cube_shards)
+        conn.send(("ok", runtime.events.peek_time()))
+        while True:
+            request = conn.recv()
+            op = request[0]
+            if op == "epoch":
+                conn.send(("ok", runtime.run_epoch(request[1], request[2],
+                                                   request[3])))
+            elif op == "harvest":
+                conn.send(("ok", runtime.harvest()))
+                return
+            else:  # pragma: no cover - protocol misuse
+                raise RuntimeError(f"unknown shard request {op!r}")
+    except EOFError:  # parent went away; nothing to report to
+        pass
+    except BaseException as exc:
+        try:
+            conn.send(("error", f"{type(exc).__name__}: {exc}"))
+        except Exception:
+            pass
+    finally:
+        try:
+            conn.close()
+        except Exception:
+            pass
+
+
+class _ProcessWorker:
+    """One cube shard in its own worker process, spoken to over a pipe."""
+
+    def __init__(self, context, config: SystemConfig, rank: int,
+                 cube_shards: int) -> None:
+        self.rank = rank
+        parent_end, child_end = context.Pipe()
+        self.process = context.Process(
+            target=_worker_main, args=(child_end, config, rank, cube_shards),
+            daemon=True)
+        self.process.start()
+        child_end.close()
+        self.conn = parent_end
+
+    def _receive(self):
+        try:
+            tag, payload = self.conn.recv()
+        except EOFError:
+            raise SimulationError(
+                f"shard worker {self.rank} exited unexpectedly") from None
+        if tag == "error":
+            raise SimulationError(f"shard worker {self.rank} failed: {payload}")
+        return payload
+
+    def initial_next_time(self) -> Optional[float]:
+        # Doubles as the build barrier: the worker answers once its replica
+        # is constructed.
+        return self._receive()
+
+    def start_epoch(self, edge: float, messages: List[tuple],
+                    finish_time: Optional[float]) -> None:
+        self.conn.send(("epoch", edge, messages, finish_time))
+
+    def finish_epoch(self) -> dict:
+        return self._receive()
+
+    def harvest(self) -> dict:
+        self.conn.send(("harvest",))
+        return self._receive()
+
+    def close(self) -> None:
+        try:
+            self.conn.close()
+        except Exception:
+            pass
+        self.process.join(timeout=10)
+        if self.process.is_alive():  # pragma: no cover - hung worker
+            self.process.terminate()
+            self.process.join(timeout=5)
+
+
+def _make_workers(config: SystemConfig, cube_shards: int):
+    """Spawn the cube-shard workers, degrading gracefully to in-process.
+
+    Workers are spawned *before* the parent builds its own (host) replica so
+    replica construction overlaps.  Returns ``(workers, multiprocess)``.
+    """
+    reason = None
+    if os.environ.get(INPROCESS_ENV):
+        reason = f"${INPROCESS_ENV} is set"
+    else:
+        workers: List[_ProcessWorker] = []
+        try:
+            import multiprocessing
+
+            context = multiprocessing.get_context()
+            for rank in range(cube_shards):
+                workers.append(_ProcessWorker(context, config, rank,
+                                              cube_shards))
+            return workers, True
+        except (ImportError, OSError, PermissionError, ValueError) as exc:
+            for worker in workers:
+                worker.close()
+            reason = f"multiprocessing unavailable ({exc})"
+    warnings.warn(
+        f"sharded execution: {reason}; falling back to single-process "
+        f"multi-queue emulation (results are identical, only wall-clock "
+        f"differs)", RuntimeWarning, stacklevel=3)
+    return [_InProcessWorker(config, rank, cube_shards)
+            for rank in range(cube_shards)], False
+
+
+# ---------------------------------------------------------------------------
+# Coordinator
+# ---------------------------------------------------------------------------
+
+def shards_env(count: Optional[int]):
+    """Context manager exporting a shard count through ``$REPRO_SHARDS``.
+
+    The CLI's suite subcommands use it the same way ``--scheduler`` rides on
+    ``$REPRO_SCHEDULER``: worker processes inherit the environment, so every
+    simulation in a parallel batch shards identically.
+    """
+
+    @contextlib.contextmanager
+    def _env():
+        if count is None:
+            yield
+            return
+        if int(count) < 0:
+            raise ValueError(f"shard count must be >= 0, got {count}")
+        previous = os.environ.get(SHARDS_ENV)
+        os.environ[SHARDS_ENV] = str(int(count))
+        try:
+            yield
+        finally:
+            if previous is None:
+                os.environ.pop(SHARDS_ENV, None)
+            else:
+                os.environ[SHARDS_ENV] = previous
+
+    return _env()
+
+
+def _env_shards() -> int:
+    """``$REPRO_SHARDS`` as an int, or 0 when unset/invalid."""
+    raw = os.environ.get(SHARDS_ENV)
+    if not raw:
+        return 0
+    try:
+        return max(0, int(raw))
+    except ValueError:
+        warnings.warn(f"ignoring non-integer ${SHARDS_ENV}={raw!r}",
+                      RuntimeWarning, stacklevel=3)
+        return 0
+
+
+def resolve_shards(config: SystemConfig, shards: Optional[int] = None) -> int:
+    """Effective cube-shard count: explicit argument, config field,
+    ``$REPRO_SHARDS``, backend default."""
+    count = int(shards if shards is not None and shards > 0
+                else (config.shards or _env_shards() or DEFAULT_SHARDS))
+    # Validate the assignment eagerly, parent-side (the same call raises with
+    # the same message inside every worker otherwise).
+    shard_cube_slices(config.hmc_net.num_cubes, count)
+    return count
+
+
+def run_sharded_program(config: SystemConfig, program, max_events: int,
+                        shards: Optional[int] = None) -> BuiltSystem:
+    """Run ``program`` on ``config`` under the sharded backend.
+
+    Returns the finished host-side :class:`BuiltSystem` with worker results
+    merged in, ready for the caller's usual ``all_done`` check and
+    ``collect_results`` — counters, histograms, network statistics, final
+    time and executed-event count are bit-identical to a serial
+    ``run_until_idle`` of the same configuration.
+    """
+    cube_shards = resolve_shards(config, shards)
+    workers, _ = _make_workers(config, cube_shards)
+    try:
+        host = ShardRuntime(config, cube_shards, cube_shards)
+        system = host.system
+        system.cmp.load_program(program)
+        system.cmp.start()
+        window = host.window
+        owner = host.owner
+        worker_next: List[Optional[float]] = [worker.initial_next_time()
+                                              for worker in workers]
+        pending: List[List[tuple]] = [[] for _ in range(cube_shards + 1)]
+        last_edge = 0.0
+        budget_used = 0
+
+        def route_egress(messages: List[tuple], notes: Optional[List[tuple]]) -> None:
+            for message in messages:
+                op = message[0]
+                if op == "pkt":
+                    pending[owner[message[5]]].append(message)
+                elif op == "park":
+                    pending[owner[message[4]]].append(message)
+                else:
+                    assert notes is not None, "host shards cannot emit notes"
+                    notes.append(message)
+
+        while True:
+            # The next window is the earliest one holding any work at all —
+            # a shard's next local event or an undelivered boundary message —
+            # so quiet stretches are skipped wholesale.
+            candidates = [time for time in worker_next if time is not None]
+            host_next = host.events.peek_time()
+            if host_next is not None:
+                candidates.append(host_next)
+            for queue in pending:
+                for message in queue:
+                    candidates.append(message[1])
+            if not candidates:
+                break
+            edge = (math.floor(min(candidates) / window) + 1) * window
+            if edge <= last_edge:
+                # A park return can carry a time inside an already-executed
+                # window; never move the edge backwards.
+                edge = last_edge + window
+            cmp = system.cmp
+            finish = cmp.finish_time() if cmp.all_done else None
+            # Phase A: cube shards (concurrently, under the process driver).
+            # A shard with nothing below the edge and no inbound messages is
+            # skipped; its reported next_time stays valid.
+            active = [rank for rank in range(cube_shards)
+                      if pending[rank]
+                      or (worker_next[rank] is not None
+                          and worker_next[rank] < edge)]
+            for rank in active:
+                workers[rank].start_epoch(edge, pending[rank], finish)
+                pending[rank] = []
+            notes: List[tuple] = []
+            for rank in active:
+                reply = workers[rank].finish_epoch()
+                worker_next[rank] = reply["next_time"]
+                budget_used += reply["executed"]
+                route_egress(reply["egress"], notes)
+            # Phase B: the host shard runs the same window afterwards, with
+            # the cube shards' commit notes replayed at their in-window
+            # ``[time, key]`` positions.  Safe because nothing the host does
+            # in this window can reach a cube shard before the next one.
+            host_messages = pending[cube_shards] + notes
+            pending[cube_shards] = []
+            host_next = host.events.peek_time()
+            if host_messages or (host_next is not None and host_next < edge):
+                reply = host.run_epoch(edge, host_messages)
+                budget_used += reply["executed"]
+                route_egress(reply["egress"], None)
+            if budget_used > max_events:
+                raise SimulationError(
+                    f"simulation did not converge within {max_events} events "
+                    f"(sharded run passed the budget at cycle {edge:g})")
+            last_edge = edge
+        _merge_harvests(host, [worker.harvest() for worker in workers])
+        return system
+    finally:
+        for worker in workers:
+            worker.close()

@@ -1,0 +1,306 @@
+"""Sharded execution backend: registry knobs, bit-identity, windows, guards.
+
+The sharded backend's whole contract is *bit-identity*: partitioning the cube
+network across worker processes and advancing them in conservative time
+windows must reproduce the serial run exactly — final time, executed-event
+count, and the full stats snapshot (counters, gauges, histograms) down to the
+last ulp.  The tests here hold that contract three ways:
+
+* against the checked-in golden digests (the same constants
+  ``test_golden_determinism`` holds the serial kernel to), across shard
+  counts that do and do not divide the cube count, including the fixed-seed
+  degraded (fault-injected) cell;
+* against a fresh serial run under Hypothesis-drawn topology, failure-rate,
+  seed and shard-count combinations (the lockstep harness);
+* at the unit level: the window-edge dispatch rule (edge-exclusive, ties
+  across a shard cut resolved by the shipped sender keys) and the contiguous
+  shard-assignment function.
+
+The resolution knobs (``--execution``/``$REPRO_EXECUTION``,
+``--shards``/``$REPRO_SHARDS``), the worker-oversubscription guard, and the
+single-process degradation path are covered alongside.
+"""
+
+import os
+import warnings
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hmc.config import shard_cube_slices
+from repro.sim import Simulator
+from repro.sim.sharding import ShardEventQueue, WindowRunner
+from repro.system import make_system_config, normalize_workers, run_workload
+from repro.system.builder import build_system
+from repro.system.execution import (DEFAULT_SHARDS, EXECUTION_BACKENDS,
+                                    INPROCESS_ENV, resolve_execution,
+                                    resolve_shards, run_sharded_program)
+from repro.workloads import WorkloadConfig, make_workload
+
+from test_golden_determinism import (DEGRADED_GOLDEN, GOLDEN, TINY_PAGERANK,
+                                     snapshot_digest)
+
+
+def _tiny_program(config):
+    wconfig = WorkloadConfig()
+    wconfig.num_threads = 4
+    workload = make_workload("pagerank", wconfig, **TINY_PAGERANK)
+    mode = "active" if config.kind.uses_active_routing else "baseline"
+    return workload.generate(mode)
+
+
+def _serial_system(config):
+    system = build_system(config)
+    system.cmp.load_program(_tiny_program(config))
+    system.cmp.start()
+    system.sim.run_until_idle()
+    return system
+
+
+def _sharded_system(config, shards):
+    return run_sharded_program(config, _tiny_program(config),
+                               max_events=80_000_000, shards=shards)
+
+
+# ---------------------------------------------------------------------------
+# Registry and resolution knobs
+# ---------------------------------------------------------------------------
+
+def test_execution_backend_registry():
+    assert set(EXECUTION_BACKENDS) == {"serial", "sharded"}
+
+
+def test_resolve_execution_precedence(monkeypatch):
+    monkeypatch.delenv("REPRO_EXECUTION", raising=False)
+    assert resolve_execution() == "serial"
+    monkeypatch.setenv("REPRO_EXECUTION", "sharded")
+    assert resolve_execution() == "sharded"
+    assert resolve_execution("serial") == "serial"  # explicit beats the env
+    assert resolve_execution(" Sharded ") == "sharded"
+    with pytest.raises(ValueError, match="serial"):
+        resolve_execution("threads")
+    monkeypatch.setenv("REPRO_EXECUTION", "nonsense")
+    with pytest.raises(ValueError):
+        resolve_execution()
+
+
+def test_resolve_shards_precedence(monkeypatch):
+    monkeypatch.delenv("REPRO_SHARDS", raising=False)
+    config = make_system_config("ARF-tid")
+    assert resolve_shards(config) == DEFAULT_SHARDS
+    monkeypatch.setenv("REPRO_SHARDS", "3")
+    assert resolve_shards(config) == 3
+    assert resolve_shards(config, 4) == 4           # explicit beats the env
+    field = make_system_config("ARF-tid", shards=5)
+    assert resolve_shards(field) == 5               # config field beats the env
+    monkeypatch.setenv("REPRO_SHARDS", "garbage")
+    with pytest.warns(RuntimeWarning, match="REPRO_SHARDS"):
+        assert resolve_shards(config) == DEFAULT_SHARDS
+    monkeypatch.delenv("REPRO_SHARDS")
+    with pytest.raises(ValueError, match="shard"):
+        resolve_shards(config, config.hmc_net.num_cubes + 1)
+
+
+def test_execution_folds_into_label_only_when_non_default():
+    assert make_system_config("ARF-tid").label == "ARF-tid"
+    assert make_system_config("ARF-tid", execution="serial").label == "ARF-tid"
+    assert (make_system_config("ARF-tid", execution="sharded", shards=2).label
+            == "ARF-tid%sharded2")
+
+
+# ---------------------------------------------------------------------------
+# Shard assignment
+# ---------------------------------------------------------------------------
+
+def test_shard_slices_contiguous_when_count_does_not_divide():
+    slices = shard_cube_slices(16, 3)
+    assert [cube for cube_slice in slices for cube in cube_slice] == list(range(16))
+    sizes = [len(cube_slice) for cube_slice in slices]
+    assert max(sizes) - min(sizes) <= 1
+    assert sizes == sorted(sizes, reverse=True)  # remainder on leading shards
+    assert all(len(cube_slice) >= 1 for cube_slice in shard_cube_slices(5, 5))
+    with pytest.raises(ValueError, match="at least one cube"):
+        shard_cube_slices(4, 5)
+    with pytest.raises(ValueError, match=">= 1"):
+        shard_cube_slices(4, 0)
+
+
+# ---------------------------------------------------------------------------
+# Window dispatch unit tests
+# ---------------------------------------------------------------------------
+
+def _shard_sim(rank=0):
+    sim = Simulator(events=ShardEventQueue(rank))
+    return sim, WindowRunner(sim)
+
+
+def test_window_edge_is_exclusive():
+    sim, runner = _shard_sim()
+    fired = []
+    sim.schedule(5.9, lambda: fired.append(5.9))
+    sim.schedule(6.0, lambda: fired.append(6.0))
+    sim.schedule(6.1, lambda: fired.append(6.1))
+    runner.run_to(6.0)
+    # The edge belongs to the next epoch, and a quiet shard must not
+    # manufacture clock progress: now parks on the last *executed* event.
+    assert fired == [5.9]
+    assert sim.now == 5.9
+    assert sim.events.peek_time() == 6.0
+    runner.run_to(12.0)
+    assert fired == [5.9, 6.0, 6.1]
+    assert runner.executed == 3
+    assert sim.now == 6.1
+
+
+def test_cross_cut_ties_follow_sender_keys():
+    sim, runner = _shard_sim(rank=1)
+    order = []
+    events = sim.events
+    # Three arrivals at t=10.0.  The local one's key is founded at push time
+    # (now=0, local root counter 0, rank 1).  The two boundary events carry
+    # their rank-0 sender keys verbatim; the serial run would have dispatched
+    # them in *push order*, which the key's scheduled-at head and the
+    # (rank, uid) tail reproduce regardless of arrival order here.
+    sim.schedule(10.0, lambda: order.append("local"))
+    events.push_with_key(10.0, (0.0, (), 0, 0, 0, 0),
+                         lambda: order.append("remote-early"))
+    events.push_with_key(10.0, (5.0, (), 3, 3, 0, 3),
+                         lambda: order.append("remote-late"))
+    runner.run_to(11.0)
+    # remote-early ties with local through every hierarchical field and wins
+    # on rank (0 < 1); remote-late was pushed at t=5.0 and sorts last.
+    assert order == ["remote-early", "local", "remote-late"]
+
+
+def test_dispatch_children_keyed_under_parent_in_program_order():
+    sim, runner = _shard_sim()
+    order = []
+
+    def parent_a():
+        sim.schedule(4.0, lambda: order.append("a0"))
+        sim.schedule(4.0, lambda: order.append("a1"))
+
+    def parent_b():
+        sim.schedule(2.0, lambda: order.append("b0"))
+
+    sim.schedule(2.0, parent_a)
+    sim.schedule(2.0, parent_b)
+    runner.run_to(10.0)
+    # Both parents fire at t=2 (push order: a then b).  b's child lands at
+    # t=4; a's two children tie at t=6 and must dispatch in program order —
+    # same parent token, child indices 0 then 1.
+    assert order == ["b0", "a0", "a1"]
+
+
+# ---------------------------------------------------------------------------
+# Golden bit-identity: serial goldens reproduced by the sharded backend
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("shards", [2, 4])
+@pytest.mark.parametrize("kind", ["HMC", "ART", "ARF-tid", "ARF-addr"])
+def test_sharded_reproduces_serial_goldens(kind, shards):
+    system = _sharded_system(make_system_config(kind), shards)
+    cycles, events, digest = GOLDEN[kind]
+    assert system.sim.now == cycles
+    assert system.sim.executed_events == events
+    assert snapshot_digest(system.sim.stats) == digest
+
+
+def test_sharded_non_dividing_shard_count_matches_golden():
+    # 3 shards over 16 cubes: the 6/5/5 assignment must not move a bit.
+    system = _sharded_system(make_system_config("ARF-tid"), 3)
+    cycles, events, digest = GOLDEN["ARF-tid"]
+    assert system.sim.now == cycles
+    assert system.sim.executed_events == events
+    assert snapshot_digest(system.sim.stats) == digest
+
+
+@pytest.mark.parametrize("shards", [2, 4])
+def test_sharded_degraded_golden_fixed_failure_seed(shards):
+    config = make_system_config("ARF-tid", routing="resilient",
+                                failure_rate=10.0, failure_seed=7)
+    system = _sharded_system(config, shards)
+    cycles, events, digest = DEGRADED_GOLDEN
+    assert system.sim.now == cycles
+    assert system.sim.executed_events == events
+    assert snapshot_digest(system.sim.stats) == digest
+    # The run did degrade: every shard's injector replica fired in lockstep.
+    assert system.sim.stats.snapshot()["network.dropped"] > 0
+
+
+def test_dram_baseline_silently_falls_back_to_serial():
+    # The DRAM baseline has no cube network to shard; a sweep mixing it into
+    # a sharded batch must run it serially without noise or failure.
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        result = run_workload("DRAM", "pagerank", num_threads=4,
+                              execution="sharded", **TINY_PAGERANK)
+    assert result.events_executed == GOLDEN["DRAM"][1]
+
+
+# ---------------------------------------------------------------------------
+# Hypothesis lockstep: serial vs sharded over random draws
+# ---------------------------------------------------------------------------
+
+@settings(max_examples=4, deadline=None)
+@given(topology=st.sampled_from(["dragonfly", "mesh", "torus"]),
+       failure_rate=st.sampled_from([0.0, 8.0, 25.0]),
+       failure_seed=st.integers(min_value=0, max_value=2 ** 16 - 1),
+       shards=st.integers(min_value=2, max_value=4))
+def test_lockstep_serial_vs_sharded(topology, failure_rate, failure_seed,
+                                    shards):
+    net = dict(topology=topology, num_cubes=16)
+    if failure_rate:
+        net.update(routing="resilient", failure_rate=failure_rate,
+                   failure_seed=failure_seed)
+    config = make_system_config("ARF-tid", **net)
+    serial = _serial_system(config)
+    # The in-process driver keeps Hypothesis' many examples spawn-free; it
+    # runs the identical window/barrier/merge machinery, and the multiprocess
+    # path is held to the same goldens by the tests above.
+    previous = os.environ.get(INPROCESS_ENV)
+    os.environ[INPROCESS_ENV] = "1"
+    try:
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)
+            sharded = _sharded_system(config, shards)
+    finally:
+        if previous is None:
+            os.environ.pop(INPROCESS_ENV, None)
+        else:
+            os.environ[INPROCESS_ENV] = previous
+    assert sharded.sim.now == serial.sim.now
+    assert sharded.sim.executed_events == serial.sim.executed_events
+    # One digest covers every counter, gauge and histogram — including the
+    # network.* fabric totals the figures read as network_stats.
+    assert (snapshot_digest(sharded.sim.stats)
+            == snapshot_digest(serial.sim.stats))
+
+
+# ---------------------------------------------------------------------------
+# Guards and degradation
+# ---------------------------------------------------------------------------
+
+def test_normalize_workers_oversubscription_guard():
+    cpus = os.cpu_count() or 1
+    with pytest.warns(RuntimeWarning, match="oversubscribe"):
+        capped = normalize_workers(cpus * 4, shards=4)
+    assert capped == max(1, cpus // 5)
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        # Serial jobs (shards 0/1) keep the old behavior, warning-free, and
+        # a request that already fits is passed through untouched.
+        assert normalize_workers(2, shards=0) == 2
+        assert normalize_workers(2, shards=1) == 2
+        assert normalize_workers(1, shards=4) == 1
+
+
+def test_inprocess_fallback_warns_once_and_matches_goldens(monkeypatch):
+    monkeypatch.setenv(INPROCESS_ENV, "1")
+    with pytest.warns(RuntimeWarning, match="single-process"):
+        system = _sharded_system(make_system_config("HMC"), 2)
+    cycles, events, digest = GOLDEN["HMC"]
+    assert system.sim.now == cycles
+    assert system.sim.executed_events == events
+    assert snapshot_digest(system.sim.stats) == digest
