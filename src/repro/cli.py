@@ -14,8 +14,15 @@ sessions perform zero simulations; ``sweep`` runs the scheme x topology
 cross product and renders the network-shape figure.  ``--workers 0`` means one
 worker per CPU core.  Every subcommand accepts memory-network overrides
 (``--topology``/``--num-cubes`` — ``sweep`` takes the plural ``--topologies``
-/``--num-cubes`` lists — plus ``--num-controllers``/``--link-bandwidth``),
-making the network shape an experiment dimension; a routing-policy override
+/``--num-cubes`` lists — plus ``--num-controllers``/``--link-bandwidth``,
+which on ``sweep`` accept value lists and become sweep axes crossed with the
+topology/cube-count dimensions), making the network shape an experiment
+dimension; a traffic-driver override (``--driver closed|open`` with
+``--arrival-rate``/``--zipf-s``/``--tenant-mix``, also settable via
+``$REPRO_DRIVER``) that swaps the fixed kernels for seeded open-loop request
+streams; a quantile-summary override (``--summary reservoir|sketch``, also
+settable via ``$REPRO_SUMMARY``) that swaps every histogram's backend without
+moving a golden digest; a routing-policy override
 (``--routing static|resilient|adaptive``, also settable via
 ``$REPRO_ROUTING``) with a deterministic seeded fault process
 (``--failure-rate``/``--failure-seed``, needs a fault-capable policy); and an
@@ -40,13 +47,14 @@ from .experiments import (FIGURE_REGISTRY, SCALES, EvaluationSuite,
                           default_cache_dir, fig_topology, full_report)
 from .network.routing import ROUTING_BACKENDS
 from .network.topology import TOPOLOGY_BUILDERS
+from .sim import DEFAULT_SUMMARY, SUMMARY_BACKENDS, summary_env
 from .sim.event_queue import (DEFAULT_SCHEDULER, SCHEDULER_BACKENDS,
                               scheduler_env)
 from .system import CONFIG_ORDER, SystemKind, make_system_config, run_workload
 from .system.config import make_network_config
 from .system.execution import (DEFAULT_EXECUTION, DEFAULT_SHARDS,
                                EXECUTION_BACKENDS, execution_env, shards_env)
-from .workloads import ALL_WORKLOADS
+from .workloads import ALL_WORKLOADS, DRIVER_BACKENDS, TrafficSpec
 
 
 def _parse_workload_params(pairs: Sequence[str]) -> dict:
@@ -105,6 +113,7 @@ def build_parser() -> argparse.ArgumentParser:
                             "topology is built with exactly this many cubes "
                             "or the request is rejected up front")
     _add_network_detail_options(run_p)
+    _add_traffic_options(run_p)
     _add_scheduler_option(run_p)
 
     report_p = sub.add_parser("report", help="regenerate every evaluation table and figure")
@@ -154,7 +163,7 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_p.add_argument("--num-cubes", dest="cube_counts", nargs="+", type=int,
                          default=list(fig_topology.SWEEP_CUBE_COUNTS), metavar="N",
                          help="cube counts to sweep (default: 16)")
-    _add_network_detail_options(sweep_p)
+    _add_network_detail_options(sweep_p, axes=True)
     sweep_p.add_argument("--configs", nargs="+", type=_config_name,
                          default=["HMC", "ART", "ARF-tid", "ARF-addr"],
                          metavar="CONFIG",
@@ -190,16 +199,34 @@ def _add_scheduler_option(parser: argparse.ArgumentParser) -> None:
                              "ignored under serial execution")
 
 
-def _add_network_detail_options(parser: argparse.ArgumentParser) -> None:
-    """Network knobs beyond the shape: controllers, links, routing, faults."""
-    parser.add_argument("--num-controllers", type=int, default=None, metavar="N",
-                        help="host-side memory-controller count "
-                             "(default: Table 4.1's 4)")
-    parser.add_argument("--link-bandwidth", type=float, default=None,
-                        metavar="BYTES_PER_CYCLE",
-                        help="memory-network link bandwidth in bytes per CPU "
-                             "cycle (default: Table 4.1's 12.5, i.e. 25 GB/s "
-                             "per direction)")
+def _add_network_detail_options(parser: argparse.ArgumentParser,
+                                axes: bool = False) -> None:
+    """Network knobs beyond the shape: controllers, links, routing, faults.
+
+    With ``axes=True`` (the sweep subcommand) ``--num-controllers`` and
+    ``--link-bandwidth`` accept value *lists* and become sweep dimensions
+    crossed with the topology/cube-count axes.
+    """
+    if axes:
+        parser.add_argument("--num-controllers", dest="controller_counts",
+                            nargs="+", type=int, default=None, metavar="N",
+                            help="host-side memory-controller counts to sweep "
+                                 "(default: Table 4.1's 4)")
+        parser.add_argument("--link-bandwidth", dest="link_bandwidths",
+                            nargs="+", type=float, default=None,
+                            metavar="BYTES_PER_CYCLE",
+                            help="memory-network link bandwidths to sweep, in "
+                                 "bytes per CPU cycle (default: Table 4.1's "
+                                 "12.5, i.e. 25 GB/s per direction)")
+    else:
+        parser.add_argument("--num-controllers", type=int, default=None, metavar="N",
+                            help="host-side memory-controller count "
+                                 "(default: Table 4.1's 4)")
+        parser.add_argument("--link-bandwidth", type=float, default=None,
+                            metavar="BYTES_PER_CYCLE",
+                            help="memory-network link bandwidth in bytes per CPU "
+                                 "cycle (default: Table 4.1's 12.5, i.e. 25 GB/s "
+                                 "per direction)")
     parser.add_argument("--routing", default=None,
                         choices=sorted(ROUTING_BACKENDS),
                         help="routing policy (default: $REPRO_ROUTING or "
@@ -217,6 +244,48 @@ def _add_network_detail_options(parser: argparse.ArgumentParser) -> None:
                              "same failures — and results — on every run")
 
 
+def _add_traffic_options(parser: argparse.ArgumentParser) -> None:
+    """Traffic-driver knobs (open-loop streams) plus the summary backend."""
+    parser.add_argument("--driver", default=None,
+                        choices=sorted(DRIVER_BACKENDS),
+                        help="traffic driver (default: $REPRO_DRIVER or "
+                             "closed); 'closed' runs the paper's fixed "
+                             "kernels, 'open' synthesizes a seeded open-loop "
+                             "request stream shaped like the workload")
+    parser.add_argument("--arrival-rate", type=float, default=None,
+                        metavar="RATE",
+                        help="open driver: mean requests per thread per 1000 "
+                             "cycles while a burst is on (implies --driver "
+                             "open)")
+    parser.add_argument("--zipf-s", type=float, default=None, metavar="S",
+                        help="open driver: zipfian key-popularity exponent "
+                             "(implies --driver open)")
+    parser.add_argument("--tenant-mix", default=None, metavar="W1,W2,...",
+                        help="open driver: comma-separated workload names "
+                             "whose request shapes share the memory network, "
+                             "e.g. mac,pagerank (implies --driver open)")
+    parser.add_argument("--summary", default=None,
+                        choices=sorted(SUMMARY_BACKENDS),
+                        help="quantile-summary backend for every histogram "
+                             f"(default: $REPRO_SUMMARY or {DEFAULT_SUMMARY}); "
+                             "'reservoir' keeps a bounded sample, 'sketch' a "
+                             "mergeable log-bucketed sketch; means and "
+                             "counts — and thus golden digests — are "
+                             "identical across backends")
+
+
+def _traffic_spec(args: argparse.Namespace) -> TrafficSpec:
+    """The resolved traffic spec from the CLI flags (usage-error on conflicts)."""
+    try:
+        return TrafficSpec.from_args(
+            driver=getattr(args, "driver", None),
+            arrival_rate=getattr(args, "arrival_rate", None),
+            zipf_s=getattr(args, "zipf_s", None),
+            tenant_mix=getattr(args, "tenant_mix", None))
+    except ValueError as exc:
+        raise SystemExit(f"repro: {exc}")
+
+
 #: args attributes forwarded verbatim to make_network_config /
 #: make_system_config (argparse turns --num-controllers into num_controllers).
 _NETWORK_ARG_NAMES = ("topology", "num_cubes", "num_controllers",
@@ -232,6 +301,7 @@ def _network_overrides(args: argparse.Namespace) -> dict:
 def _add_suite_options(parser: argparse.ArgumentParser,
                        network_override: bool = True) -> None:
     _add_scheduler_option(parser)
+    _add_traffic_options(parser)
     parser.add_argument("--workers", type=int, default=1,
                         help="worker processes for the (workload x config) suite; "
                              "0 means one per CPU core (each pair is an "
@@ -263,7 +333,8 @@ def _make_suite(args: argparse.Namespace, workloads: Optional[Sequence[str]] = N
         with _network_usage_errors():
             net = make_network_config(**overrides)
     return EvaluationSuite(args.scale, workloads=workloads, workers=args.workers,
-                           cache_dir=cache_dir, net=net)
+                           cache_dir=cache_dir, net=net,
+                           traffic=_traffic_spec(args))
 
 
 @contextlib.contextmanager
@@ -282,6 +353,10 @@ def _network_usage_errors():
 
 def _cmd_run(args: argparse.Namespace) -> int:
     params = _parse_workload_params(args.param)
+    # The driver knobs ride inside the ordinary params dict; run_workload
+    # splits them back out (and the closed driver adds zero keys, keeping
+    # every existing invocation byte-identical).
+    params.update(_traffic_spec(args).params())
     overrides = _network_overrides(args)
     if args.config == "DRAM" and any(v is not None for v in overrides.values()):
         raise SystemExit("repro: network options (--topology, --num-cubes, "
@@ -306,6 +381,14 @@ def _cmd_run(args: argparse.Namespace) -> int:
         stats = result.network_stats
         rows.append(["hops interrupted", f"{stats['dropped']:,.0f}"])
         rows.append(["delivered traffic", f"{stats['delivered_fraction']:.4f}"])
+    request_stats = result.request_stats
+    if request_stats:
+        rows.append(["requests completed", f"{request_stats['count']:,.0f}"])
+        rows.append(["request p50/p99/p999",
+                     f"{request_stats['p50']:.1f} / {request_stats['p99']:.1f}"
+                     f" / {request_stats['p999']:.1f} cycles"])
+        rows.append(["delivered throughput",
+                     f"{request_stats['throughput']:.2f} req/kcycle"])
     if result.mode == "active":
         rows.append(["update round-trip", f"{result.update_roundtrip:.0f} cycles"])
         checked, mismatched = result.flow_checks
@@ -363,17 +446,21 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     # --num-controllers applies to every swept shape; the remaining detail
     # options ride along to make_network_config uniformly per cell.
     detail = {name: value for name, value in _network_overrides(args).items()
-              if name not in ("topology", "num_cubes", "num_controllers")
+              if name not in ("topology", "num_cubes", "num_controllers",
+                              "link_bandwidth")
               and value is not None}
     with _network_usage_errors():
         # Planning-time shape validation only; simulation/rendering errors
         # below keep their tracebacks.
         fig_topology.sweep_networks(args.topologies, args.cube_counts,
-                                    args.num_controllers, detail)
+                                    net_overrides=detail,
+                                    controller_counts=args.controller_counts,
+                                    link_bandwidths=args.link_bandwidths)
     text, stats = fig_topology.run_sweep(
         suite, topologies=args.topologies, cube_counts=args.cube_counts,
-        kinds=kinds, workloads=args.workloads,
-        num_controllers=args.num_controllers, net_overrides=detail)
+        kinds=kinds, workloads=args.workloads, net_overrides=detail,
+        controller_counts=args.controller_counts,
+        link_bandwidths=args.link_bandwidths)
     print(text)
     print()
     print(f"sweep: {stats['pairs']} runs at scale {suite.scale.name!r} "
@@ -399,7 +486,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     # choice into its config, making it visible in the printed label).
     with scheduler_env(getattr(args, "scheduler", None)), \
             execution_env(getattr(args, "execution", None)), \
-            shards_env(getattr(args, "shards", None)):
+            shards_env(getattr(args, "shards", None)), \
+            summary_env(getattr(args, "summary", None)):
         if args.command == "run":
             return _cmd_run(args)
         if args.command == "report":

@@ -18,6 +18,7 @@ from __future__ import annotations
 from typing import Callable, Dict, List, Optional, Tuple
 
 from ..isa import (
+    ArrivalOp,
     AtomicOp,
     BarrierOp,
     ComputeOp,
@@ -65,6 +66,12 @@ class Core(Component):
 
         #: Bound histogram: one sample per completed memory miss.
         self._hist_mem_latency = sim.stats.histogram(f"{self.name}.mem_latency")
+        #: Open-loop request latency, measured from the *intended* arrival
+        #: cycle (the preceding ArrivalOp) to completion, so client-side
+        #: queueing under saturation is included.  Empty for closed kernels.
+        self._hist_request_latency = sim.stats.histogram(f"{self.name}.request_latency")
+        #: Intended arrival cycle of the in-flight open-loop request, if any.
+        self._pending_arrival: Optional[float] = None
         #: (instructions, cycle) samples for IPC-over-time analysis (Fig. 5.8).
         self.ipc_samples: List[Tuple[int, float]] = []
         self._next_sample = config.ipc_sample_interval
@@ -124,6 +131,17 @@ class Core(Component):
             self._unblock()
         self._maybe_finish()
 
+    def _request_done(self, arrival: float, latency: float) -> None:
+        """Miss completion for the memory op heading an open-loop request."""
+        self._hist_request_latency.add(self.now - arrival)
+        self.count("requests_completed")
+        self._mem_done(latency)
+
+    def _request_hit(self, arrival: float, completion: float) -> None:
+        """Cache-hit completion for the op heading an open-loop request."""
+        self._hist_request_latency.add(completion - arrival)
+        self.count("requests_completed")
+
     def _mi_space(self) -> None:
         if self._waiting_for_mi_slot:
             self._waiting_for_mi_slot = False
@@ -170,13 +188,25 @@ class Core(Component):
                 self._retire(op)
                 used += cfg.mem_issue_cycles
                 is_write = isinstance(op, StoreOp)
+                arrival = self._pending_arrival
+                if arrival is None:
+                    on_complete = self._mem_done
+                else:
+                    # First memory op after an ArrivalOp heads an open-loop
+                    # request: its completion samples request_latency from
+                    # the intended arrival cycle.
+                    self._pending_arrival = None
+                    on_complete = (lambda latency, _arrival=arrival:
+                                   self._request_done(_arrival, latency))
                 latency = self.hierarchy.access(self.core_id, op.addr, is_write,
-                                                on_complete=self._mem_done)
+                                                on_complete=on_complete)
                 if latency is None:
                     self.outstanding_mem += 1
                     self.count("mem_misses_issued")
                 else:
                     self.count("mem_hits")
+                    if arrival is not None:
+                        self._request_hit(arrival, self.now + latency)
                 continue
 
             if isinstance(op, UpdateOp):
@@ -197,6 +227,15 @@ class Core(Component):
                 used += cfg.update_issue_cycles
                 self.count("updates_issued")
                 self.mi.offload_update(op)
+                if self._pending_arrival is not None:
+                    # Offloaded requests complete network-side; sample the
+                    # client-visible latency (arrival to MI accept, i.e. the
+                    # queueing the request experienced before entering the
+                    # memory network).  The network round trip is measured
+                    # separately by ar.update_latency.*.
+                    self._hist_request_latency.add(self.now - self._pending_arrival)
+                    self.count("requests_completed")
+                    self._pending_arrival = None
                 continue
 
             # The remaining operations block the core; start them only at the
@@ -204,6 +243,19 @@ class Core(Component):
             if used > 0:
                 self._schedule_advance(used)
                 return
+
+            if isinstance(op, ArrivalOp):
+                self._retire(op)
+                self._pending_arrival = op.at
+                if op.at > self.now:
+                    # Idle until the intended arrival cycle; the wait is a
+                    # distinct stall reason so open-loop idle time never
+                    # pollutes the contention stall breakdown.
+                    self._block("arrival")
+                    self.schedule(op.at - self.now, self._unblock,
+                                  label=f"{self.name}.arrival")
+                    return
+                continue
 
             if isinstance(op, GatherOp):
                 self._retire(op)

@@ -1,0 +1,217 @@
+"""Saturation sweep — offered load x topology -> tail latency and throughput.
+
+The paper's kernels are closed-loop, so the evaluation never shows what
+happens when offered load exceeds what a scheme can deliver.  This figure
+drives the same schemes with the *open* traffic driver at a ladder of offered
+rates and reports, per (network, scheme, rate) cell:
+
+* delivered throughput (completed requests per 1000 cycles, all cores),
+* p50 / p99 / p999 request latency measured from each request's *intended*
+  arrival time (anti-coordinated-omission: under saturation this includes the
+  client-side queueing a measured-from-issue latency would hide),
+* and the detected saturation knee — the largest swept rate at which the
+  scheme still delivers at least :data:`KNEE_DELIVERY_FRACTION` of the
+  offered load with a p99 within :data:`KNEE_P99_BLOWUP` of its own
+  lowest-rate p99.
+
+Every cell is a bespoke run (the open stream is not a registry workload), so
+the figure declares them through ``bespoke_jobs``: prefetch executes the
+missing ones in one parallel batch and a warm ``repro report --figures
+saturation`` simulates nothing.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..analysis import format_table
+from ..hmc.config import HMCNetworkConfig
+from ..system import SystemKind
+from ..system.config import make_network_config
+from ..workloads import TrafficSpec, WorkloadConfig
+from ..workloads.drivers import OpenStreamWorkload
+from .suite import BespokeJob, EvaluationSuite, Pair
+
+#: Offered rates swept by default (requests per thread per 1000 cycles while a
+#: burst is on); chosen to straddle the knee of the scaled-down configs.
+SWEEP_RATES: Tuple[float, ...] = (5.0, 20.0, 80.0, 320.0)
+#: Network shapes swept by default: the paper's dragonfly plus the mesh, both
+#: at Table 4.1 cube/controller counts so labels match the other sweeps.
+SWEEP_TOPOLOGIES: Tuple[str, ...] = ("dragonfly", "mesh")
+#: Schemes swept by default (one baseline, one flow scheme; the DRAM baseline
+#: has no memory network to saturate, so it is not part of this figure).
+SWEEP_KINDS: Tuple[SystemKind, ...] = (SystemKind.HMC, SystemKind.ARF_TID)
+#: Tenant mix of the default sweep: one streaming and one irregular kernel
+#: shape sharing the memory network.
+SWEEP_TENANT_MIX = "mac,pagerank"
+
+#: Knee definition: the largest swept rate still delivering at least this
+#: fraction of the offered load...
+KNEE_DELIVERY_FRACTION = 0.9
+#: ...with a p99 no worse than this multiple of the scheme's lowest-rate p99.
+KNEE_P99_BLOWUP = 5.0
+
+
+def sweep_spec(rate: float, tenant_mix: str = SWEEP_TENANT_MIX) -> TrafficSpec:
+    """The open-driver traffic spec for one swept offered rate."""
+    return TrafficSpec(driver="open", arrival_rate=rate, tenant_mix=tenant_mix)
+
+
+def sweep_networks(topologies: Optional[Sequence[str]] = None) -> List[HMCNetworkConfig]:
+    """The swept networks, deduplicated by fingerprint like the other sweeps."""
+    topologies = (list(topologies) if topologies is not None
+                  else list(SWEEP_TOPOLOGIES))
+    networks: Dict[str, HMCNetworkConfig] = {}
+    for topology in topologies:
+        net = make_network_config(topology=topology)
+        networks.setdefault(net.label, net)
+    return list(networks.values())
+
+
+def _cells(suite: EvaluationSuite,
+           topologies: Optional[Sequence[str]] = None,
+           rates: Optional[Sequence[float]] = None,
+           kinds: Optional[Sequence[SystemKind]] = None,
+           tenant_mix: str = SWEEP_TENANT_MIX):
+    """Every (net, kind, rate, tag, config, spec) cell, deterministic order."""
+    kinds = list(kinds) if kinds is not None else list(SWEEP_KINDS)
+    rates = sorted(set(rates)) if rates is not None else list(SWEEP_RATES)
+    for net in sweep_networks(topologies):
+        for kind in kinds:
+            config = suite.config_for(kind, net=net)
+            for rate in rates:
+                spec = sweep_spec(rate, tenant_mix)
+                tag = f"sat:{net.label}:{kind.value}:r{rate:g}"
+                yield net, kind, rate, tag, config, spec
+
+
+def _stream(suite: EvaluationSuite, spec: TrafficSpec) -> OpenStreamWorkload:
+    return OpenStreamWorkload.from_spec(
+        spec, "mac", WorkloadConfig(num_threads=suite.scale.num_threads))
+
+
+def required_pairs(suite: EvaluationSuite) -> Set[Pair]:
+    """No matrix pairs: every saturation cell is a bespoke open-stream run."""
+    return set()
+
+
+def bespoke_jobs(suite: EvaluationSuite,
+                 topologies: Optional[Sequence[str]] = None,
+                 rates: Optional[Sequence[float]] = None,
+                 kinds: Optional[Sequence[SystemKind]] = None,
+                 tenant_mix: str = SWEEP_TENANT_MIX) -> List[BespokeJob]:
+    """Every saturation cell in prefetch-batch form.
+
+    Tags and cache params must match :func:`compute`'s ``run_cached`` calls so
+    a prefetched batch satisfies the figure without re-simulating.
+    """
+    return [(tag, config, _stream(suite, spec), spec.params())
+            for _net, _kind, _rate, tag, config, spec
+            in _cells(suite, topologies, rates, kinds, tenant_mix)]
+
+
+def detect_knee(rows: List[Dict[str, float]]) -> Optional[float]:
+    """The saturation knee of one (network, scheme) rate ladder.
+
+    ``rows`` are per-rate measurements (ascending rate) with ``offered``,
+    ``throughput`` and ``p99`` fields.  Returns the largest rate that still
+    meets both knee criteria, or ``None`` when even the lowest rate is past
+    the knee.
+    """
+    if not rows:
+        return None
+    base_p99 = rows[0]["p99"]
+    knee: Optional[float] = None
+    for row in rows:
+        offered = row["offered"]
+        delivered_ok = (offered <= 0
+                        or row["throughput"] >= KNEE_DELIVERY_FRACTION * offered)
+        tail_ok = (base_p99 <= 0
+                   or row["p99"] <= KNEE_P99_BLOWUP * base_p99)
+        if delivered_ok and tail_ok:
+            knee = row["rate"]
+    return knee
+
+
+def compute(suite: EvaluationSuite,
+            topologies: Optional[Sequence[str]] = None,
+            rates: Optional[Sequence[float]] = None,
+            kinds: Optional[Sequence[SystemKind]] = None,
+            tenant_mix: str = SWEEP_TENANT_MIX) -> Dict[str, object]:
+    """Latency/throughput ladders over (network, scheme, offered rate).
+
+    ``curves`` maps ``(net label, kind label)`` -> ascending-rate rows of
+    ``rate`` / ``offered`` / ``throughput`` / ``p50`` / ``p99`` / ``p999``;
+    ``knees`` maps the same key to the detected saturation knee rate.
+    """
+    curves: Dict[Tuple[str, str], List[Dict[str, float]]] = {}
+    nets: List[str] = []
+    kind_labels: List[str] = []
+    for net, kind, rate, tag, config, spec in _cells(suite, topologies, rates,
+                                                     kinds, tenant_mix):
+        if net.label not in nets:
+            nets.append(net.label)
+        if kind.value not in kind_labels:
+            kind_labels.append(kind.value)
+        stream = _stream(suite, spec)
+        mode = "active" if kind.uses_active_routing else "baseline"
+        result = suite.run_cached(tag, config,
+                                  lambda s=stream, m=mode: s.generate(m),
+                                  spec.params())
+        stats = result.request_stats
+        offered = float(result.metadata.get("offered_rate", 0.0))
+        curves.setdefault((net.label, kind.value), []).append({
+            "rate": rate,
+            "offered": offered,
+            "throughput": stats.get("throughput", 0.0),
+            "p50": stats.get("p50", 0.0),
+            "p99": stats.get("p99", 0.0),
+            "p999": stats.get("p999", 0.0),
+        })
+    knees = {key: detect_knee(rows) for key, rows in curves.items()}
+    return {
+        "networks": nets,
+        "kinds": kind_labels,
+        "tenant_mix": tenant_mix,
+        "curves": {f"{net}|{kind}": rows for (net, kind), rows in curves.items()},
+        "knees": {f"{net}|{kind}": knee for (net, kind), knee in knees.items()},
+    }
+
+
+def render(data: Dict[str, object]) -> str:
+    """Plain-text rendering of the saturation sweep."""
+    lines: List[str] = [
+        "Saturation sweep: open-loop tail latency vs offered load "
+        f"(tenants: {data['tenant_mix']}; latency from intended arrival, "
+        "cycles; throughput = completed requests per 1000 cycles)",
+        "",
+    ]
+    rows = []
+    for net in data["networks"]:
+        for kind in data["kinds"]:
+            for point in data["curves"].get(f"{net}|{kind}", []):
+                rows.append([net, kind, point["rate"], point["offered"],
+                             point["throughput"], point["p50"], point["p99"],
+                             point["p999"]])
+    lines.append(format_table(
+        ["network", "config", "rate", "offered", "delivered", "p50", "p99",
+         "p999"],
+        rows, float_format="{:.2f}"))
+    lines.append("")
+    lines.append(
+        f"Saturation knee (largest rate delivering >= "
+        f"{KNEE_DELIVERY_FRACTION:.0%} of offered load with p99 <= "
+        f"{KNEE_P99_BLOWUP:g}x the lowest-rate p99):")
+    knee_rows = []
+    for net in data["networks"]:
+        for kind in data["kinds"]:
+            knee = data["knees"].get(f"{net}|{kind}")
+            knee_rows.append([net, kind,
+                              "past knee at all rates" if knee is None
+                              else f"{knee:g}"])
+    lines.append(format_table(["network", "config", "knee rate"], knee_rows))
+    return "\n".join(lines)
+
+
+def run(suite: EvaluationSuite) -> str:
+    return render(compute(suite))

@@ -61,20 +61,35 @@ def sweep_networks(topologies: Optional[Sequence[str]] = None,
                    cube_counts: Optional[Sequence[int]] = None,
                    num_controllers: Optional[int] = None,
                    net_overrides: Optional[Dict[str, object]] = None,
+                   controller_counts: Optional[Sequence[int]] = None,
+                   link_bandwidths: Optional[Sequence[float]] = None,
                    ) -> List[HMCNetworkConfig]:
-    """The swept networks, ordered topology-major then by cube count.
+    """The swept networks: topology x cube count x controllers x bandwidth.
 
+    Ordered topology-major, then by cube count, controller count and link
+    bandwidth.  ``controller_counts`` and ``link_bandwidths`` are full sweep
+    axes; the scalar ``num_controllers`` applies one count uniformly when no
+    controller axis is given (``None`` everywhere = the Table 4.1 defaults).
     Deduplicated by fingerprint, so repeated CLI operands cannot produce
     repeated figure rows or double-counted cells.
     """
     topologies = list(topologies) if topologies is not None else list(SWEEP_TOPOLOGIES)
     cube_counts = list(cube_counts) if cube_counts is not None else list(SWEEP_CUBE_COUNTS)
+    controller_axis: List[Optional[int]] = (
+        list(controller_counts) if controller_counts else [num_controllers])
+    bandwidth_axis: List[Optional[float]] = (
+        list(link_bandwidths) if link_bandwidths else [None])
     networks: Dict[str, HMCNetworkConfig] = {}
     for topology in topologies:
         for num_cubes in cube_counts:
-            net = sweep_network(topology, num_cubes, num_controllers,
-                                net_overrides)
-            networks.setdefault(net.label, net)
+            for controllers in controller_axis:
+                for bandwidth in bandwidth_axis:
+                    overrides = dict(net_overrides or {})
+                    if bandwidth is not None:
+                        overrides["link_bandwidth"] = bandwidth
+                    net = sweep_network(topology, num_cubes, controllers,
+                                        overrides)
+                    networks.setdefault(net.label, net)
     return list(networks.values())
 
 
@@ -119,7 +134,9 @@ def compute(suite: EvaluationSuite,
             kinds: Optional[Sequence[SystemKind]] = None,
             workloads: Optional[Sequence[str]] = None,
             num_controllers: Optional[int] = None,
-            net_overrides: Optional[Dict[str, object]] = None) -> Dict[str, object]:
+            net_overrides: Optional[Dict[str, object]] = None,
+            controller_counts: Optional[Sequence[int]] = None,
+            link_bandwidths: Optional[Sequence[float]] = None) -> Dict[str, object]:
     """Speedup-over-DRAM and queue-delay matrices over (network, scheme).
 
     Rows are network fingerprints (``dragonfly16c4``, ``mesh16c4``, ...),
@@ -130,7 +147,8 @@ def compute(suite: EvaluationSuite,
     kinds = list(kinds) if kinds is not None else list(SWEEP_KINDS)
     names = sweep_workloads(suite, workloads)
     networks = sweep_networks(topologies, cube_counts, num_controllers,
-                              net_overrides)
+                              net_overrides, controller_counts,
+                              link_bandwidths)
     speedup: Dict[str, Dict[str, float]] = {}
     queue_delay: Dict[str, Dict[str, float]] = {}
     per_workload: Dict[str, Dict[str, Dict[str, float]]] = {}
@@ -208,14 +226,17 @@ def sweep_extras(suite: EvaluationSuite,
                  kinds: Optional[Sequence[SystemKind]] = None,
                  workloads: Optional[Sequence[str]] = None,
                  num_controllers: Optional[int] = None,
-                 net_overrides: Optional[Dict[str, object]] = None) -> List[ExtraJob]:
+                 net_overrides: Optional[Dict[str, object]] = None,
+                 controller_counts: Optional[Sequence[int]] = None,
+                 link_bandwidths: Optional[Sequence[float]] = None) -> List[ExtraJob]:
     """Every run a custom sweep needs, DRAM baselines included, as extra jobs."""
     kinds = list(kinds) if kinds is not None else list(SWEEP_KINDS)
     names = sweep_workloads(suite, workloads)
     jobs: List[ExtraJob] = [(workload, suite.config_for(SystemKind.DRAM))
                             for workload in names]
     for net in sweep_networks(topologies, cube_counts, num_controllers,
-                              net_overrides):
+                              net_overrides, controller_counts,
+                              link_bandwidths):
         for kind in kinds:
             config = suite.config_for(kind, net=net)
             jobs.extend((workload, config) for workload in names)
@@ -230,6 +251,8 @@ def run_sweep(suite: EvaluationSuite,
               num_controllers: Optional[int] = None,
               workers: Optional[int] = None,
               net_overrides: Optional[Dict[str, object]] = None,
+              controller_counts: Optional[Sequence[int]] = None,
+              link_bandwidths: Optional[Sequence[float]] = None,
               ) -> Tuple[str, Dict[str, int]]:
     """Prefetch a custom sweep in one parallel batch, then render the figure.
 
@@ -237,8 +260,10 @@ def run_sweep(suite: EvaluationSuite,
     count is zero on a warm cache, which the CI smoke job asserts.
     """
     extras = sweep_extras(suite, topologies, cube_counts, kinds, workloads,
-                          num_controllers, net_overrides)
+                          num_controllers, net_overrides, controller_counts,
+                          link_bandwidths)
     stats = suite.prefetch_extra(extras, workers=workers)
     text = render(compute(suite, topologies, cube_counts, kinds, workloads,
-                          num_controllers, net_overrides))
+                          num_controllers, net_overrides, controller_counts,
+                          link_bandwidths))
     return text, stats

@@ -28,6 +28,7 @@ try:
 except ImportError:  # pragma: no cover - non-POSIX platforms
     fcntl = None  # type: ignore[assignment]
 
+from ..sim import DEFAULT_SUMMARY, resolve_summary
 from ..system import RunResult
 
 Key = Dict[str, object]
@@ -115,7 +116,7 @@ class RunCache:
     @staticmethod
     def make_key(*, scale: str, workload: str, params: Dict[str, object],
                  config_label: str, profile: str, num_threads: int) -> Key:
-        return {
+        key = {
             "digest": code_digest(),
             "scale": scale,
             "workload": workload,
@@ -124,6 +125,13 @@ class RunCache:
             "profile": profile,
             "num_threads": num_threads,
         }
+        # Summaries other than the default reservoir change the result's
+        # percentile fields, so the backend is folded into the key — but only
+        # when non-default, keeping every pre-existing key byte-identical.
+        summary = resolve_summary()
+        if summary != DEFAULT_SUMMARY:
+            key["summary"] = summary
+        return key
 
     def path_for(self, key: Key) -> Path:
         canonical = json.dumps(key, sort_keys=True, separators=(",", ":"), default=str)

@@ -34,7 +34,7 @@ from ..network.topology import build_network_topology
 from ..system import (CONFIG_ORDER, RunResult, SystemConfig, SystemKind,
                       make_system_config, normalize_workers, run_jobs,
                       run_program, run_workload)
-from ..workloads import ALL_WORKLOADS, BENCHMARKS, MICROBENCHMARKS
+from ..workloads import ALL_WORKLOADS, BENCHMARKS, MICROBENCHMARKS, TrafficSpec
 from ..workloads.base import Workload
 from .run_cache import RunCache
 
@@ -159,7 +159,8 @@ class EvaluationSuite:
                  kinds: Optional[Iterable[SystemKind]] = None,
                  workers: int = 1,
                  cache_dir: "str | os.PathLike | None" = None,
-                 net: Optional[HMCNetworkConfig] = None) -> None:
+                 net: Optional[HMCNetworkConfig] = None,
+                 traffic: Optional[TrafficSpec] = None) -> None:
         if isinstance(scale, str):
             scale = SCALES[scale]
         self.scale = scale
@@ -178,6 +179,11 @@ class EvaluationSuite:
             build_network_topology(net.topology, num_cubes=net.num_cubes,
                                    num_controllers=net.num_controllers)
         self.net = net
+        #: Traffic driver for every matrix cell.  The default closed driver
+        #: adds zero parameters, so labels and cache keys are byte-identical
+        #: to a suite without a traffic spec; the open driver folds its full
+        #: effective spec into every cell's params (and therefore disk key).
+        self.traffic = traffic if traffic is not None else TrafficSpec()
         self._results: Dict[Tuple[str, str], RunResult] = {}
         #: kind -> config label under the suite-wide network; building a
         #: SystemConfig just to read its label is the expensive part of key
@@ -211,6 +217,15 @@ class EvaluationSuite:
             label = self.config_for(kind).label
             self._labels[kind] = label
         return label
+
+    def _params_for(self, workload: str) -> Dict[str, object]:
+        """Run/cache parameters for one matrix cell: the scale's kernel sizes
+        under the closed driver; the traffic spec's knobs under the open one
+        (an open stream replaces the kernel's problem sizes — the kernel name
+        only shapes the requests)."""
+        if self.traffic.is_default:
+            return self.scale.params_for(workload)
+        return self.traffic.params()
 
     def _cache_key(self, workload: str, config_label: str,
                    params: Dict[str, object]) -> Dict[str, object]:
@@ -287,7 +302,7 @@ class EvaluationSuite:
         cached = self._results.get(key)
         if cached is not None:
             return cached
-        params = self.scale.params_for(workload)
+        params = self._params_for(workload)
         result = self._cache_get(workload, config.label, params)
         if result is None:
             result = run_workload(config, workload,
@@ -346,7 +361,7 @@ class EvaluationSuite:
             key = (workload, label)
             if key in self._results:
                 continue
-            params = self.scale.params_for(workload)
+            params = self._params_for(workload)
             result = self._cache_get(workload, label, params)
             if result is not None:
                 self._results[key] = result
@@ -438,7 +453,7 @@ class EvaluationSuite:
             total += 1
             if key in self._results:
                 continue
-            params = self.scale.params_for(workload)
+            params = self._params_for(workload)
             result = self._cache_get(workload, config.label, params)
             if result is not None:
                 self._results[key] = result

@@ -68,19 +68,31 @@ class HMCNetworkConfig:
         The routing policy and failure process are spelled out too (e.g.
         ``mesh16c4-resilient-f0.5s7``) — but only when they deviate from the
         failure-free static defaults, so every pre-existing label (and with
-        it every cache key and golden result) is byte-identical.
+        it every cache key and golden result) is byte-identical.  A link
+        bandwidth deviating on its own is likewise spelled out
+        (``dragonfly16c4-bw25``) rather than hidden in the digest: bandwidth
+        is a sweep axis and its rows should be readable in figure tables.
         """
         base = f"{self.topology}{self.num_cubes}c{self.num_controllers}"
         if self.routing != "static":
             base += f"-{self.routing}"
         if self.failure_rate:
             base += f"-f{self.failure_rate:g}s{self.failure_seed}"
+        default_link = default_network().link
+        bandwidth = self.link.bandwidth_bytes_per_cycle
+        if bandwidth != default_link.bandwidth_bytes_per_cycle:
+            base += f"-bw{bandwidth:g}"
+        # Only the bandwidth field of the link is spelled out: any *other*
+        # link deviation (latency, energy) must still fall through to the
+        # digest below or two different networks could share a label.
         spelled_out = replace(default_network(), topology=self.topology,
                               num_cubes=self.num_cubes,
                               num_controllers=self.num_controllers,
                               routing=self.routing,
                               failure_rate=self.failure_rate,
-                              failure_seed=self.failure_seed)
+                              failure_seed=self.failure_seed,
+                              link=replace(default_link,
+                                           bandwidth_bytes_per_cycle=bandwidth))
         if self == spelled_out:
             return base
         digest = hashlib.sha256(repr(self).encode()).hexdigest()[:8]

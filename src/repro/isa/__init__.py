@@ -1,6 +1,7 @@
 """ISA extension and trace format: Update/Gather operations, program traces."""
 
 from .operations import (
+    ArrivalOp,
     AtomicOp,
     BarrierOp,
     ComputeOp,
@@ -17,6 +18,7 @@ from .operations import (
 from .program import ProgramTrace, TraceBuilder, make_program
 
 __all__ = [
+    "ArrivalOp",
     "AtomicOp",
     "BarrierOp",
     "ComputeOp",

@@ -6,6 +6,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from .operations import (
+    ArrivalOp,
     AtomicOp,
     BarrierOp,
     ComputeOp,
@@ -59,9 +60,16 @@ class ProgramTrace:
         store_opcodes = {"mov", "const_assign"}
         for tid, trace in enumerate(self.threads):
             seen_gather_targets = set()
+            last_arrival = 0.0
             for op in trace:
                 if not isinstance(op, Operation):
                     raise TypeError(f"thread {tid} contains a non-operation: {op!r}")
+                if isinstance(op, ArrivalOp):
+                    if op.at < last_arrival:
+                        raise ValueError(
+                            f"thread {tid} arrival times regress "
+                            f"({op.at} after {last_arrival})")
+                    last_arrival = op.at
                 if (isinstance(op, UpdateOp) and op.opcode not in store_opcodes
                         and op.target in seen_gather_targets):
                     raise ValueError(
@@ -98,6 +106,11 @@ class TraceBuilder:
 
     def load(self, addr: int) -> "TraceBuilder":
         self.ops.append(LoadOp(addr))
+        return self
+
+    def arrival(self, at: float) -> "TraceBuilder":
+        """Open-loop pacing point: issue must wait until absolute cycle ``at``."""
+        self.ops.append(ArrivalOp(at))
         return self
 
     def store(self, addr: int) -> "TraceBuilder":

@@ -5,7 +5,9 @@ from .event_queue import (DEFAULT_SCHEDULER, SCHEDULER_BACKENDS, CalendarQueue,
                           EventHandle, EventQueue, make_event_queue,
                           resolve_scheduler)
 from .simulator import SimulationError, Simulator
-from .stats import CounterHandle, Histogram, StatsRegistry, geometric_mean
+from .stats import (DEFAULT_SUMMARY, SUMMARY_BACKENDS, CounterHandle,
+                    Histogram, QuantileSketch, StatsRegistry, geometric_mean,
+                    make_summary, resolve_summary, summary_env)
 
 __all__ = [
     "Component",
@@ -13,14 +15,20 @@ __all__ = [
     "CalendarQueue",
     "CounterHandle",
     "DEFAULT_SCHEDULER",
+    "DEFAULT_SUMMARY",
     "EventHandle",
     "EventQueue",
     "SCHEDULER_BACKENDS",
+    "SUMMARY_BACKENDS",
     "SimulationError",
     "Simulator",
     "Histogram",
+    "QuantileSketch",
     "StatsRegistry",
     "geometric_mean",
     "make_event_queue",
+    "make_summary",
     "resolve_scheduler",
+    "resolve_summary",
+    "summary_env",
 ]

@@ -422,30 +422,23 @@ class ShardRuntime:
 
 
 def _histogram_state(hist: Histogram) -> tuple:
-    return (hist.count, hist.total, hist.minimum, hist.maximum,
-            list(hist.samples), hist.truncated, hist._seen)
+    """Picklable summary state via the per-backend shard-state protocol.
+
+    Both the reservoir histogram and the quantile sketch implement
+    ``shard_state``/``load_shard_state``/``fold_shard_state``; the state is
+    tagged with the backend name so a worker/host mismatch fails loudly."""
+    return hist.shard_state()
 
 
 def _load_histogram_state(hist: Histogram, state: tuple) -> None:
     """Overwrite ``hist`` with a shipped state (single-writer histograms:
     the local replica never observed anything)."""
-    (hist.count, hist.total, hist.minimum, hist.maximum,
-     samples, hist.truncated, hist._seen) = state
-    hist.samples[:] = list(samples)
+    hist.load_shard_state(state)
 
 
 def _fold_histogram_state(hist: Histogram, state: tuple) -> None:
     """Fold a shipped state into ``hist`` field-wise (shared-name histograms)."""
-    count, total, minimum, maximum, samples, truncated, seen = state
-    hist.count += count
-    hist.total += total
-    if minimum < hist.minimum:
-        hist.minimum = minimum
-    if maximum > hist.maximum:
-        hist.maximum = maximum
-    hist.truncated = hist.truncated or truncated
-    hist.samples.extend(samples)
-    hist._seen += seen
+    hist.fold_shard_state(state)
 
 
 def _merge_harvests(host_runtime: ShardRuntime, harvests: List[dict]) -> None:

@@ -32,6 +32,10 @@ class RunResult:
     #: packets, accumulated link queue delay.  The topology-sweep figure reads
     #: queueing pressure from here; empty for the DRAM baseline.
     network_stats: Dict[str, float] = field(default_factory=dict)
+    #: Open-loop request-latency summary (empty for closed kernels): completed
+    #: request count, p50/p95/p99/p999 latency measured from intended arrival,
+    #: and delivered throughput in requests per 1000 cycles.
+    request_stats: Dict[str, float] = field(default_factory=dict)
     flow_checks: Tuple[int, int] = (0, 0)
     ipc_samples: List[Tuple[float, int]] = field(default_factory=list)
     metadata: Dict[str, object] = field(default_factory=dict)
@@ -85,6 +89,7 @@ class RunResult:
         }
         out.update({f"data.{k}": v for k, v in self.data_movement.items()})
         out.update({f"latency.{k}": v for k, v in self.update_latency.items()})
+        out.update({f"request.{k}": v for k, v in self.request_stats.items()})
         return out
 
 
@@ -130,6 +135,46 @@ def _collect_update_latency(system: BuiltSystem) -> Dict[str, float]:
     for component in ("request", "stall", "response", "total"):
         hist = stats.histogram(f"ar.update_latency.{component}")
         out[component] = hist.mean
+    return out
+
+
+def _collect_request_stats(system: BuiltSystem, cycles: float) -> Dict[str, float]:
+    """Merged open-loop request-latency percentiles across cores.
+
+    Per-core ``core*.request_latency`` summaries (empty unless the trace
+    carried ArrivalOps) merge in core-id order into one summary of the same
+    backend type, so the percentile semantics follow the selected summary
+    backend and the merge order is deterministic.
+    """
+    stats = system.sim.stats
+    parts = []
+    for core in system.cmp.cores:
+        hist = stats._histograms.get(f"{core.name}.request_latency")
+        if hist is not None and hist.count:
+            parts.append(hist)
+    if not parts:
+        return {}
+    merged = type(parts[0])()
+    for part in parts:
+        merged.merge(part)
+    out = {
+        "count": float(merged.count),
+        "mean": merged.mean,
+        "max": merged.maximum,
+        "p50": merged.percentile(0.50),
+        "p95": merged.percentile(0.95),
+        "p99": merged.percentile(0.99),
+        "p999": merged.percentile(0.999),
+        # Requests completed per 1000 cycles, all cores: the delivered side
+        # of the offered-vs-delivered saturation curve.
+        "throughput": merged.count * 1000.0 / cycles if cycles else 0.0,
+    }
+    # For Active-Routing configs the client-side sample excludes the network
+    # round trip; surface the engine-side tail alongside it.
+    roundtrip = stats._histograms.get("ar.update_latency.total")
+    if roundtrip is not None and roundtrip.count:
+        out["update_p99"] = roundtrip.percentile(0.99)
+        out["update_p999"] = roundtrip.percentile(0.999)
     return out
 
 
@@ -198,6 +243,7 @@ def collect_results(system: BuiltSystem, program: ProgramTrace) -> RunResult:
         energy=energy,
         data_movement=_collect_data_movement(system, counters),
         network_stats=_collect_network(system, counters),
+        request_stats=_collect_request_stats(system, cycles),
         update_latency=_collect_update_latency(system),
         stall_breakdown=system.cmp.stall_breakdown(),
         cache_stats=cache_stats,

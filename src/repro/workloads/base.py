@@ -75,6 +75,10 @@ class Workload(abc.ABC):
         self.rng = random.Random(self.config.seed)
         self.layout = DataLayout()
         self._expected: Dict[int, float] = {}
+        #: Parameter names the kernel has declared by reading them (see
+        #: :meth:`param`); anything left over in ``config.extra`` at
+        #: trace-generation time is an unknown override and fails fast.
+        self._params_read: set = set()
         self._build()
 
     # -- subclass hooks -------------------------------------------------------------
@@ -99,6 +103,15 @@ class Workload(abc.ABC):
         builders = [TraceBuilder(tid) for tid in range(self.num_threads)]
         for tid, builder in enumerate(builders):
             self._generate_thread(builder, tid, mode)
+        # Every param() read — build-time sizes and lazily-read knobs like
+        # gather_batch — has happened by now, so any override name the kernel
+        # never consulted is a typo or a mis-targeted parameter.
+        unknown = sorted(set(self.config.extra) - self._params_read)
+        if unknown:
+            valid = ", ".join(sorted(self._params_read)) or "(none)"
+            raise ValueError(
+                f"unknown parameter(s) {', '.join(repr(n) for n in unknown)} "
+                f"for workload {self.name!r}; valid parameters: {valid}")
         return make_program(self.name, mode, builders,
                             metadata=self.metadata(),
                             expected_results=dict(self._expected))
@@ -110,11 +123,24 @@ class Workload(abc.ABC):
 
     # -- helpers for subclasses ------------------------------------------------------------
     def param(self, name: str, default: int, minimum: int = 1) -> int:
-        """Integer problem dimension: explicit override, else default * scale."""
+        """Integer problem dimension: explicit override, else default * scale.
+
+        Reading a parameter declares it: names never read by the kernel are
+        rejected at trace-generation time (see :meth:`generate`).
+        """
+        self._params_read.add(name)
         override = self.config.extra.get(name)
         if override is not None:
             return int(override)
         return scaled(default, self.config.scale, minimum=minimum)
+
+    def float_param(self, name: str, default: float) -> float:
+        """Unscaled float parameter (densities, rates): override or default."""
+        self._params_read.add(name)
+        override = self.config.extra.get(name)
+        if override is not None:
+            return float(override)
+        return default
 
     def record_expected(self, target: int, value: float) -> None:
         self._expected[target] = self._expected.get(target, 0.0) + value

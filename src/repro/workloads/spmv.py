@@ -24,8 +24,7 @@ class SpmvWorkload(Workload):
     def _build(self) -> None:
         self.num_rows = self.param("num_rows", 256)
         self.num_cols = self.param("num_cols", 256)
-        density_override = self.config.extra.get("density")
-        self.density = float(density_override) if density_override is not None else 0.3
+        self.density = self.float_param("density", 0.3)
         self.matrix = generate_sparse_matrix(self.num_rows, self.num_cols, self.density,
                                              seed=self.config.seed)
         nnz = max(1, self.matrix.num_nonzeros)

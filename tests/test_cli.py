@@ -195,13 +195,21 @@ def test_cli_network_detail_options_parse_everywhere():
     detail = ["--routing", "resilient", "--failure-rate", "10",
               "--failure-seed", "7", "--num-controllers", "2",
               "--link-bandwidth", "25"]
-    for command in (["run"], ["report"], ["prefetch"], ["sweep"]):
+    for command in (["run"], ["report"], ["prefetch"]):
         args = parser.parse_args(command + detail)
         assert args.routing == "resilient"
         assert args.failure_rate == 10.0 and args.failure_seed == 7
         assert args.num_controllers == 2 and args.link_bandwidth == 25.0
         defaults = parser.parse_args(command)
         assert defaults.routing is None and defaults.failure_rate is None
+    # On sweep the controller/bandwidth flags are sweep *axes*: value lists.
+    args = parser.parse_args(["sweep"] + detail + ["12.5"])
+    assert args.routing == "resilient"
+    assert args.failure_rate == 10.0 and args.failure_seed == 7
+    assert args.controller_counts == [2]
+    assert args.link_bandwidths == [25.0, 12.5]
+    defaults = parser.parse_args(["sweep"])
+    assert defaults.controller_counts is None and defaults.link_bandwidths is None
     with pytest.raises(SystemExit):
         parser.parse_args(["run", "--routing", "wormhole"])
 

@@ -1,0 +1,225 @@
+"""Tests for the traffic-driver layer: closed bit-identity, open determinism.
+
+The driver family's whole contract has two halves:
+
+* the default ``closed`` driver is the pre-driver world *verbatim* — same
+  workload objects, same traces, same labels, zero extra cache-key entries;
+* the ``open`` driver is a deterministic function of its spec and seed, with
+  arrival pacing resolved on the ``[time, seq]`` event queue so serial and
+  sharded execution reproduce each other bit for bit.
+"""
+
+import os
+import warnings
+
+import pytest
+
+from repro.isa.operations import ArrivalOp
+from repro.system import make_system_config, run_workload
+from repro.system.execution import INPROCESS_ENV, run_sharded_program
+from repro.workloads import (
+    OpenStreamWorkload,
+    TrafficSpec,
+    WorkloadConfig,
+    make_driver,
+    make_workload,
+    split_driver_params,
+)
+
+from test_golden_determinism import snapshot_digest
+
+
+def _fingerprint(result):
+    return (result.cycles, result.instructions, result.events_executed,
+            sorted(result.summary().items()))
+
+
+# ---------------------------------------------------------------------------
+# TrafficSpec and parameter splitting
+# ---------------------------------------------------------------------------
+
+def test_default_spec_adds_zero_params():
+    spec = TrafficSpec()
+    assert spec.is_default
+    assert spec.params() == {}          # closed cache keys stay byte-identical
+
+
+def test_open_spec_folds_full_effective_knobs():
+    spec = TrafficSpec(driver="open", tenant_mix="mac,pagerank")
+    assert not spec.is_default
+    params = spec.params()
+    # Every knob appears — defaults included — so changing a *default* later
+    # can never alias a cached open-driver result.
+    assert set(params) == {"driver", "arrival_rate", "zipf_s", "tenant_mix",
+                           "stream_requests", "stream_keys"}
+    assert params["tenant_mix"] == "mac,pagerank"
+    assert spec.tenants == ("mac", "pagerank")
+
+
+def test_open_knobs_imply_open_driver():
+    assert TrafficSpec.from_args(arrival_rate=20.0).driver == "open"
+    with pytest.raises(ValueError, match="open traffic driver"):
+        TrafficSpec.from_args(driver="closed", zipf_s=0.9)
+
+
+def test_spec_rejects_unknown_tenants_and_bad_knobs():
+    with pytest.raises(ValueError, match="unknown tenant"):
+        TrafficSpec(driver="open", tenant_mix="mac,quicksort")
+    with pytest.raises(ValueError, match="arrival rate"):
+        TrafficSpec(driver="open", arrival_rate=-1.0)
+
+
+def test_split_driver_params_separates_kernel_sizes():
+    spec, rest = split_driver_params(
+        {"driver": "open", "arrival_rate": 16.0, "tenant_mix": "mac"})
+    assert spec.driver == "open" and spec.arrival_rate == 16.0
+    assert rest == {}
+    spec, rest = split_driver_params({"array_elements": 512})
+    assert spec.is_default
+    assert rest == {"array_elements": 512}
+
+
+def test_open_driver_rejects_kernel_size_params():
+    with pytest.raises(ValueError, match="do not apply to the open driver"):
+        make_driver("open").build("mac", WorkloadConfig(num_threads=2),
+                                  TrafficSpec(driver="open"),
+                                  array_elements=512)
+
+
+# ---------------------------------------------------------------------------
+# Closed-driver bit-identity
+# ---------------------------------------------------------------------------
+
+def test_closed_driver_builds_the_exact_registry_workload():
+    config = WorkloadConfig(num_threads=2)
+    via_driver = make_driver("closed").build(
+        "mac", config, TrafficSpec(), array_elements=256)
+    direct = make_workload("mac", WorkloadConfig(num_threads=2),
+                           array_elements=256)
+    assert type(via_driver) is type(direct)
+    assert via_driver.name == direct.name
+    first = via_driver.generate("active")
+    second = direct.generate("active")
+    assert first.metadata == second.metadata
+    assert len(first.threads) == len(second.threads)
+
+
+def test_closed_run_with_explicit_driver_matches_plain_run():
+    plain = run_workload("HMC", "mac", num_threads=2, array_elements=256)
+    explicit = run_workload("HMC", "mac", num_threads=2, array_elements=256,
+                            driver="closed")
+    assert _fingerprint(plain) == _fingerprint(explicit)
+    assert plain.request_stats == {} == explicit.request_stats
+
+
+# ---------------------------------------------------------------------------
+# Open-driver determinism and measurement
+# ---------------------------------------------------------------------------
+
+def _open_stream(num_threads=4, **kwargs):
+    kwargs.setdefault("tenants", ("mac", "pagerank"))
+    kwargs.setdefault("arrival_rate", 20.0)
+    kwargs.setdefault("stream_requests", 64)
+    kwargs.setdefault("stream_keys", 256)
+    return OpenStreamWorkload(WorkloadConfig(num_threads=num_threads), **kwargs)
+
+
+def test_open_trace_interleaves_monotonic_arrivals():
+    program = _open_stream().generate("baseline")
+    assert program.name == "open:mac+pagerank"
+    for thread in program.threads:
+        arrivals = [op.at for op in thread if isinstance(op, ArrivalOp)]
+        assert len(arrivals) == 64
+        assert arrivals == sorted(arrivals)
+    meta = program.metadata
+    assert meta["driver"] == "open" and meta["offered_rate"] > 0
+
+
+def test_open_stream_generation_is_deterministic():
+    first = _open_stream().generate("active")
+    second = _open_stream().generate("active")
+    assert first.expected_results == second.expected_results
+    for a, b in zip(first.threads, second.threads):
+        assert len(a) == len(b)
+        assert ([op.at for op in a if isinstance(op, ArrivalOp)]
+                == [op.at for op in b if isinstance(op, ArrivalOp)])
+
+
+def test_open_run_measures_request_tail_and_verifies_flows():
+    result = run_workload("ARF-tid", "mac", num_threads=4, driver="open",
+                          arrival_rate=20.0, tenant_mix="mac,pagerank",
+                          stream_requests=64, stream_keys=256)
+    assert result.flows_verified
+    stats = result.request_stats
+    assert stats["count"] == 4 * 64
+    assert stats["throughput"] > 0
+    assert stats["p50"] <= stats["p99"] <= stats["p999"] <= stats["max"]
+    # Client-side queueing excludes the network round trip; the engine-side
+    # tail is surfaced alongside it for the active schemes.
+    assert stats["update_p99"] > 0
+
+
+def test_open_run_repeats_bit_identically():
+    kwargs = dict(num_threads=4, driver="open", arrival_rate=40.0,
+                  tenant_mix="mac,pagerank", stream_requests=64,
+                  stream_keys=256)
+    first = run_workload("HMC", "mac", **kwargs)
+    second = run_workload("HMC", "mac", **kwargs)
+    assert _fingerprint(first) == _fingerprint(second)
+
+
+def test_open_run_serial_vs_sharded_bit_identical():
+    config = make_system_config("ARF-tid")
+    program = _open_stream().generate("active")
+    serial = run_workload(config, _open_stream())
+    previous = os.environ.get(INPROCESS_ENV)
+    os.environ[INPROCESS_ENV] = "1"
+    try:
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)
+            sharded = run_sharded_program(config, program,
+                                          max_events=80_000_000, shards=2)
+    finally:
+        if previous is None:
+            os.environ.pop(INPROCESS_ENV, None)
+        else:
+            os.environ[INPROCESS_ENV] = previous
+    assert sharded.sim.now == serial.cycles
+    digest = snapshot_digest(sharded.sim.stats)
+    # Same arrival timeline, same [time, seq] dispatch, same stats — the open
+    # driver inherits the sharded backend's bit-identity contract for free.
+    rerun_serial = run_workload(config, _open_stream())
+    assert _fingerprint(serial) == _fingerprint(rerun_serial)
+    serial_system = run_sharded_program(config, _open_stream().generate("active"),
+                                        max_events=80_000_000, shards=1)
+    assert snapshot_digest(serial_system.sim.stats) == digest
+
+
+def test_saturation_raises_tail_latency():
+    low = run_workload("HMC", "mac", num_threads=4, driver="open",
+                       arrival_rate=5.0, stream_requests=64, stream_keys=256)
+    high = run_workload("HMC", "mac", num_threads=4, driver="open",
+                        arrival_rate=400.0, stream_requests=64,
+                        stream_keys=256)
+    assert high.request_stats["p99"] > low.request_stats["p99"]
+    assert high.request_stats["throughput"] > low.request_stats["throughput"]
+
+
+# ---------------------------------------------------------------------------
+# Unknown-parameter fail-fast (regression for the make_workload satellite)
+# ---------------------------------------------------------------------------
+
+def test_unknown_workload_param_fails_fast_with_valid_list():
+    workload = make_workload("mac", WorkloadConfig(num_threads=2),
+                             array_elementz=512)
+    with pytest.raises(ValueError) as excinfo:
+        workload.generate("active")
+    message = str(excinfo.value)
+    assert "array_elementz" in message          # the offending name
+    assert "array_elements" in message          # the valid list names the fix
+    assert "mac" in message
+
+
+def test_unknown_param_fails_fast_through_run_workload():
+    with pytest.raises(ValueError, match="unknown parameter"):
+        run_workload("HMC", "reduce", num_threads=2, array_element=128)

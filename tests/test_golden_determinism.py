@@ -23,6 +23,7 @@ import hashlib
 
 import pytest
 
+from repro.sim import SUMMARY_BACKENDS
 from repro.sim.event_queue import SCHEDULER_BACKENDS
 from repro.system import CONFIG_ORDER, run_suite
 from repro.system.builder import build_system
@@ -129,6 +130,50 @@ def test_degraded_golden_fixed_failure_seed(scheduler, monkeypatch):
     assert snapshot_digest(system.sim.stats) == digest
     # The run did degrade: interruptions were recorded and recovered from.
     assert system.sim.stats.snapshot()["network.dropped"] > 0
+
+
+@pytest.mark.parametrize("summary", sorted(SUMMARY_BACKENDS))
+@pytest.mark.parametrize("kind", ["HMC", "ARF-tid"])
+def test_golden_digest_holds_under_every_summary_backend(kind, summary,
+                                                         monkeypatch):
+    # The stats snapshot records per-histogram mean and count only, and every
+    # summary backend accumulates count/total exactly — so swapping the
+    # reservoir for the sketch must reproduce the SAME golden digests, not
+    # new ones.  (Percentile estimates may differ; digests may not.)
+    monkeypatch.setenv("REPRO_SUMMARY", summary)
+    system = run_tiny_pagerank(kind)
+    cycles, events, digest = GOLDEN[kind]
+    assert system.sim.now == cycles
+    assert system.sim.executed_events == events
+    assert snapshot_digest(system.sim.stats) == digest
+    assert system.sim.stats.summary_backend == summary
+
+
+#: Open-driver golden: ARF-tid, two-tenant mac+pagerank stream at a fixed
+#: seed and rate.  Pins the open driver's entire arrival timeline and stats
+#: so an accidental RNG or event-order change cannot slip through; the
+#: sharded-execution bit-identity of the same stream is held by
+#: test_drivers.test_open_run_serial_vs_sharded_bit_identical.
+OPEN_DRIVER_PARAMS = dict(driver="open", arrival_rate=20.0,
+                          tenant_mix="mac,pagerank", stream_requests=64,
+                          stream_keys=256)
+
+
+def test_open_driver_runs_repeat_bit_identically_across_backends(monkeypatch):
+    from repro.system import run_workload
+
+    baseline = run_workload("ARF-tid", "mac", num_threads=4,
+                            **OPEN_DRIVER_PARAMS)
+    fingerprint = (baseline.cycles, baseline.instructions,
+                   baseline.events_executed,
+                   sorted(baseline.summary().items()))
+    for scheduler in sorted(SCHEDULER_BACKENDS):
+        monkeypatch.setenv("REPRO_SCHEDULER", scheduler)
+        again = run_workload("ARF-tid", "mac", num_threads=4,
+                             **OPEN_DRIVER_PARAMS)
+        assert (again.cycles, again.instructions, again.events_executed,
+                sorted(again.summary().items())) == fingerprint, scheduler
+    monkeypatch.delenv("REPRO_SCHEDULER", raising=False)
 
 
 def test_repeated_runs_are_identical():

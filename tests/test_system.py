@@ -159,9 +159,11 @@ def test_build_system_with_variant_network():
 
 def test_run_workload_does_not_mutate_callers_workload_config():
     wconfig = WorkloadConfig(num_threads=4)
-    wconfig.extra["marker"] = 1
+    # A real parameter (unknown names now fail fast) that the override below
+    # would clobber if run_workload wrote through into the caller's dict.
+    wconfig.extra["array_elements"] = 64
     run_workload("HMC", "mac", num_threads=2, workload_config=wconfig,
                  array_elements=128)
     # The caller's object keeps its thread count and its extra dict untouched.
     assert wconfig.num_threads == 4
-    assert wconfig.extra == {"marker": 1}
+    assert wconfig.extra == {"array_elements": 64}
