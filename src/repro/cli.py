@@ -12,27 +12,20 @@ metrics; ``report`` regenerates the full evaluation (every table and figure);
 ``prefetch`` populates the persistent run cache so later reports and benchmark
 sessions perform zero simulations; ``sweep`` runs the scheme x topology
 cross product and renders the network-shape figure.  ``--workers 0`` means one
-worker per CPU core.  Every subcommand accepts memory-network overrides
-(``--topology``/``--num-cubes`` — ``sweep`` takes the plural ``--topologies``
-/``--num-cubes`` lists — plus ``--num-controllers``/``--link-bandwidth``,
-which on ``sweep`` accept value lists and become sweep axes crossed with the
-topology/cube-count dimensions), making the network shape an experiment
-dimension; a traffic-driver override (``--driver closed|open`` with
-``--arrival-rate``/``--zipf-s``/``--tenant-mix``, also settable via
-``$REPRO_DRIVER``) that swaps the fixed kernels for seeded open-loop request
-streams; a quantile-summary override (``--summary reservoir|sketch``, also
-settable via ``$REPRO_SUMMARY``) that swaps every histogram's backend without
-moving a golden digest; a routing-policy override
-(``--routing static|resilient|adaptive``, also settable via
-``$REPRO_ROUTING``) with a deterministic seeded fault process
-(``--failure-rate``/``--failure-seed``, needs a fault-capable policy); and an
-event-scheduler override (``--scheduler heap|calendar``, also settable via
-``$REPRO_SCHEDULER``) that swaps the kernel's event queue for the calendar
-queue without changing any result bit.  An execution-backend override
-(``--execution serial|sharded`` plus ``--shards N``, also settable via
-``$REPRO_EXECUTION``/``$REPRO_SHARDS``) partitions each single simulation's
-cube network across worker processes — results stay bit-identical to serial,
-only wall time changes.
+worker per CPU core.
+
+Every experiment-axis flag the four subcommands share — network shape,
+routing + fault injection, link bandwidth, traffic driver, quantile summary,
+event scheduler, execution backend — is *generated* from the declarative
+registry in :mod:`repro.core.spec` (``add_axis_flags``), which is also where
+each axis's ``$REPRO_*`` environment knob, default and label-folding rule are
+declared; run ``python -m repro.core.spec --table`` for the full table.
+``sweep`` swaps the registry's ``list`` axes (``--num-controllers``,
+``--link-bandwidth``) for value-list spellings that become sweep dimensions,
+and owns plural ``--topologies``/``--num-cubes`` flags of its own.  The
+parsed flags land in one immutable :class:`~repro.core.spec.ExperimentSpec`,
+which every subcommand threads through config construction, suite creation,
+cache keys and the worker-process environment exports.
 """
 
 from __future__ import annotations
@@ -43,18 +36,12 @@ import sys
 from typing import Optional, Sequence
 
 from .analysis import format_table
+from .core.spec import ExperimentSpec, add_axis_flags
 from .experiments import (FIGURE_REGISTRY, SCALES, EvaluationSuite,
                           default_cache_dir, fig_topology, full_report)
-from .network.routing import ROUTING_BACKENDS
 from .network.topology import TOPOLOGY_BUILDERS
-from .sim import DEFAULT_SUMMARY, SUMMARY_BACKENDS, summary_env
-from .sim.event_queue import (DEFAULT_SCHEDULER, SCHEDULER_BACKENDS,
-                              scheduler_env)
 from .system import CONFIG_ORDER, SystemKind, make_system_config, run_workload
-from .system.config import make_network_config
-from .system.execution import (DEFAULT_EXECUTION, DEFAULT_SHARDS,
-                               EXECUTION_BACKENDS, execution_env, shards_env)
-from .workloads import ALL_WORKLOADS, DRIVER_BACKENDS, TrafficSpec
+from .workloads import ALL_WORKLOADS, TrafficSpec
 
 
 def _parse_workload_params(pairs: Sequence[str]) -> dict:
@@ -106,15 +93,7 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--threads", type=int, default=4, help="number of worker threads")
     run_p.add_argument("--param", action="append", default=[], metavar="KEY=VALUE",
                        help="workload size override (repeatable), e.g. array_elements=4096")
-    run_p.add_argument("--topology", default=None, choices=sorted(TOPOLOGY_BUILDERS),
-                       help="memory-network topology (default: Table 4.1 dragonfly)")
-    run_p.add_argument("--num-cubes", type=int, default=None, metavar="N",
-                       help="memory-network cube count (default: 16); the "
-                            "topology is built with exactly this many cubes "
-                            "or the request is rejected up front")
-    _add_network_detail_options(run_p)
-    _add_traffic_options(run_p)
-    _add_scheduler_option(run_p)
+    add_axis_flags(run_p, "run")
 
     report_p = sub.add_parser("report", help="regenerate every evaluation table and figure")
     report_p.add_argument("--scale", default="small", choices=sorted(SCALES),
@@ -128,7 +107,7 @@ def build_parser() -> argparse.ArgumentParser:
                                f"{', '.join(sorted(FIGURE_REGISTRY))}")
     report_p.add_argument("--skip-dynamic-offload", action="store_true",
                           help="skip the Figure 5.8 case study (extra simulations)")
-    _add_suite_options(report_p)
+    _add_suite_options(report_p, "report")
 
     pre_p = sub.add_parser(
         "prefetch",
@@ -146,7 +125,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="garbage-collect the run cache first: drop orphaned "
                             ".tmp files and entries recorded under a stale code "
                             "digest, then prefetch as usual")
-    _add_suite_options(pre_p)
+    _add_suite_options(pre_p, "prefetch")
 
     sweep_p = sub.add_parser(
         "sweep",
@@ -163,7 +142,7 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_p.add_argument("--num-cubes", dest="cube_counts", nargs="+", type=int,
                          default=list(fig_topology.SWEEP_CUBE_COUNTS), metavar="N",
                          help="cube counts to sweep (default: 16)")
-    _add_network_detail_options(sweep_p, axes=True)
+    add_axis_flags(sweep_p, "sweep")
     sweep_p.add_argument("--configs", nargs="+", type=_config_name,
                          default=["HMC", "ART", "ARF-tid", "ARF-addr"],
                          metavar="CONFIG",
@@ -175,133 +154,28 @@ def build_parser() -> argparse.ArgumentParser:
                               f"{' '.join(fig_topology.SWEEP_WORKLOADS)})")
     sweep_p.add_argument("--output", default=None,
                          help="optional path to also write the figure to")
-    _add_suite_options(sweep_p, network_override=False)
+    _add_suite_options(sweep_p)
     return parser
 
 
-def _add_scheduler_option(parser: argparse.ArgumentParser) -> None:
-    parser.add_argument("--scheduler", default=None,
-                        choices=sorted(SCHEDULER_BACKENDS),
-                        help="event-scheduler backend for every simulation "
-                             f"(default: $REPRO_SCHEDULER or {DEFAULT_SCHEDULER}); "
-                             "results are bit-identical across backends, only "
-                             "wall time differs")
-    parser.add_argument("--execution", default=None,
-                        choices=sorted(EXECUTION_BACKENDS),
-                        help="execution backend for every simulation "
-                             f"(default: $REPRO_EXECUTION or {DEFAULT_EXECUTION}); "
-                             "'sharded' partitions each simulation's cube "
-                             "network across worker processes with results "
-                             "bit-identical to serial")
-    parser.add_argument("--shards", type=int, default=None, metavar="N",
-                        help="cube-shard count for the sharded execution "
-                             f"backend (default: $REPRO_SHARDS or {DEFAULT_SHARDS}); "
-                             "ignored under serial execution")
-
-
-def _add_network_detail_options(parser: argparse.ArgumentParser,
-                                axes: bool = False) -> None:
-    """Network knobs beyond the shape: controllers, links, routing, faults.
-
-    With ``axes=True`` (the sweep subcommand) ``--num-controllers`` and
-    ``--link-bandwidth`` accept value *lists* and become sweep dimensions
-    crossed with the topology/cube-count axes.
-    """
-    if axes:
-        parser.add_argument("--num-controllers", dest="controller_counts",
-                            nargs="+", type=int, default=None, metavar="N",
-                            help="host-side memory-controller counts to sweep "
-                                 "(default: Table 4.1's 4)")
-        parser.add_argument("--link-bandwidth", dest="link_bandwidths",
-                            nargs="+", type=float, default=None,
-                            metavar="BYTES_PER_CYCLE",
-                            help="memory-network link bandwidths to sweep, in "
-                                 "bytes per CPU cycle (default: Table 4.1's "
-                                 "12.5, i.e. 25 GB/s per direction)")
-    else:
-        parser.add_argument("--num-controllers", type=int, default=None, metavar="N",
-                            help="host-side memory-controller count "
-                                 "(default: Table 4.1's 4)")
-        parser.add_argument("--link-bandwidth", type=float, default=None,
-                            metavar="BYTES_PER_CYCLE",
-                            help="memory-network link bandwidth in bytes per CPU "
-                                 "cycle (default: Table 4.1's 12.5, i.e. 25 GB/s "
-                                 "per direction)")
-    parser.add_argument("--routing", default=None,
-                        choices=sorted(ROUTING_BACKENDS),
-                        help="routing policy (default: $REPRO_ROUTING or "
-                             "static); static is the byte-stable dense-table "
-                             "default, resilient recomputes around failed "
-                             "links, adaptive also picks the least-backlogged "
-                             "shortest-path hop")
-    parser.add_argument("--failure-rate", type=float, default=None, metavar="RATE",
-                        help="expected random link failures per 10,000 cycles "
-                             "(default: 0 = failure-free; a positive rate "
-                             "needs --routing resilient or adaptive)")
-    parser.add_argument("--failure-seed", type=int, default=None, metavar="SEED",
-                        help="seed of the deterministic failure timeline "
-                             "(default: 0); a fixed seed reproduces the exact "
-                             "same failures — and results — on every run")
-
-
-def _add_traffic_options(parser: argparse.ArgumentParser) -> None:
-    """Traffic-driver knobs (open-loop streams) plus the summary backend."""
-    parser.add_argument("--driver", default=None,
-                        choices=sorted(DRIVER_BACKENDS),
-                        help="traffic driver (default: $REPRO_DRIVER or "
-                             "closed); 'closed' runs the paper's fixed "
-                             "kernels, 'open' synthesizes a seeded open-loop "
-                             "request stream shaped like the workload")
-    parser.add_argument("--arrival-rate", type=float, default=None,
-                        metavar="RATE",
-                        help="open driver: mean requests per thread per 1000 "
-                             "cycles while a burst is on (implies --driver "
-                             "open)")
-    parser.add_argument("--zipf-s", type=float, default=None, metavar="S",
-                        help="open driver: zipfian key-popularity exponent "
-                             "(implies --driver open)")
-    parser.add_argument("--tenant-mix", default=None, metavar="W1,W2,...",
-                        help="open driver: comma-separated workload names "
-                             "whose request shapes share the memory network, "
-                             "e.g. mac,pagerank (implies --driver open)")
-    parser.add_argument("--summary", default=None,
-                        choices=sorted(SUMMARY_BACKENDS),
-                        help="quantile-summary backend for every histogram "
-                             f"(default: $REPRO_SUMMARY or {DEFAULT_SUMMARY}); "
-                             "'reservoir' keeps a bounded sample, 'sketch' a "
-                             "mergeable log-bucketed sketch; means and "
-                             "counts — and thus golden digests — are "
-                             "identical across backends")
-
-
-def _traffic_spec(args: argparse.Namespace) -> TrafficSpec:
-    """The resolved traffic spec from the CLI flags (usage-error on conflicts)."""
+def _traffic_spec(spec: ExperimentSpec) -> TrafficSpec:
+    """The resolved traffic spec from the CLI axes (usage-error on conflicts)."""
     try:
-        return TrafficSpec.from_args(
-            driver=getattr(args, "driver", None),
-            arrival_rate=getattr(args, "arrival_rate", None),
-            zipf_s=getattr(args, "zipf_s", None),
-            tenant_mix=getattr(args, "tenant_mix", None))
+        return spec.traffic_spec()
     except ValueError as exc:
         raise SystemExit(f"repro: {exc}")
 
 
-#: args attributes forwarded verbatim to make_network_config /
-#: make_system_config (argparse turns --num-controllers into num_controllers).
-_NETWORK_ARG_NAMES = ("topology", "num_cubes", "num_controllers",
-                      "link_bandwidth", "routing", "failure_rate",
-                      "failure_seed")
-
-
-def _network_overrides(args: argparse.Namespace) -> dict:
-    """The network override keywords present on ``args`` (missing ones None)."""
-    return {name: getattr(args, name, None) for name in _NETWORK_ARG_NAMES}
-
-
 def _add_suite_options(parser: argparse.ArgumentParser,
-                       network_override: bool = True) -> None:
-    _add_scheduler_option(parser)
-    _add_traffic_options(parser)
+                       command: Optional[str] = None) -> None:
+    """Shared suite knobs; ``command`` adds that subcommand's axis flags.
+
+    The sweep subcommand passes ``command=None`` and adds its axis flags
+    before its own plural network options, so its ``--help`` groups the swept
+    dimensions together.
+    """
+    if command is not None:
+        add_axis_flags(parser, command)
     parser.add_argument("--workers", type=int, default=1,
                         help="worker processes for the (workload x config) suite; "
                              "0 means one per CPU core (each pair is an "
@@ -311,30 +185,21 @@ def _add_suite_options(parser: argparse.ArgumentParser,
                              "$REPRO_CACHE_DIR or ~/.cache/repro)")
     parser.add_argument("--no-cache", action="store_true",
                         help="disable the persistent run cache entirely")
-    if not network_override:
-        return  # the sweep subcommand owns its own network options
-    parser.add_argument("--topology", default=None, choices=sorted(TOPOLOGY_BUILDERS),
-                        help="memory-network topology for every HMC-backed "
-                             "scheme (default: Table 4.1 dragonfly); variant "
-                             "networks get their own run-cache entries")
-    parser.add_argument("--num-cubes", type=int, default=None, metavar="N",
-                        help="memory-network cube count (default: 16)")
-    _add_network_detail_options(parser)
 
 
-def _make_suite(args: argparse.Namespace, workloads: Optional[Sequence[str]] = None,
+def _make_suite(args: argparse.Namespace, spec: ExperimentSpec,
+                workloads: Optional[Sequence[str]] = None,
                 suite_network: bool = True) -> EvaluationSuite:
     cache_dir = None if args.no_cache else (args.cache_dir or default_cache_dir())
     net = None
     # The sweep subcommand has no suite-wide network (its options apply per
     # swept cell instead), so it passes suite_network=False.
-    overrides = _network_overrides(args) if suite_network else {}
-    if any(value is not None for value in overrides.values()):
+    if suite_network and spec.explicit("network"):
         with _network_usage_errors():
-            net = make_network_config(**overrides)
+            net = spec.network_config()
     return EvaluationSuite(args.scale, workloads=workloads, workers=args.workers,
                            cache_dir=cache_dir, net=net,
-                           traffic=_traffic_spec(args))
+                           traffic=_traffic_spec(spec), spec=spec)
 
 
 @contextlib.contextmanager
@@ -351,22 +216,22 @@ def _network_usage_errors():
         raise SystemExit(f"repro: {exc}")
 
 
-def _cmd_run(args: argparse.Namespace) -> int:
+def _cmd_run(args: argparse.Namespace, spec: ExperimentSpec) -> int:
     params = _parse_workload_params(args.param)
     # The driver knobs ride inside the ordinary params dict; run_workload
     # splits them back out (and the closed driver adds zero keys, keeping
     # every existing invocation byte-identical).
-    params.update(_traffic_spec(args).params())
-    overrides = _network_overrides(args)
-    if args.config == "DRAM" and any(v is not None for v in overrides.values()):
+    params.update(_traffic_spec(spec).params())
+    overrides = spec.network_overrides()
+    if args.config == "DRAM" and spec.explicit("network"):
         raise SystemExit("repro: network options (--topology, --num-cubes, "
                          "--num-controllers, --link-bandwidth, --routing, "
                          "--failure-rate, --failure-seed) have no effect on "
                          "the DRAM baseline (it has no memory network); pick "
                          "an HMC-backed configuration")
     with _network_usage_errors():
-        config = make_system_config(args.config, execution=args.execution,
-                                    shards=args.shards, **overrides)
+        config = make_system_config(args.config, execution=spec.execution,
+                                    shards=spec.shards, **overrides)
     result = run_workload(config, args.workload, num_threads=args.threads, **params)
     rows = [
         ["cycles", f"{result.cycles:,.0f}"],
@@ -389,6 +254,14 @@ def _cmd_run(args: argparse.Namespace) -> int:
                      f" / {request_stats['p999']:.1f} cycles"])
         rows.append(["delivered throughput",
                      f"{request_stats['throughput']:.2f} req/kcycle"])
+    if "fairness" in request_stats:
+        tenants = str(result.metadata.get("tenants", "")).split(",")
+        for index, tenant in enumerate(tenants):
+            rows.append([f"tenant {tenant}",
+                         f"{request_stats[f'tenant{index}.throughput']:.2f} "
+                         f"req/kcycle, p99 "
+                         f"{request_stats[f'tenant{index}.p99']:.1f} cycles"])
+        rows.append(["fairness (Jain)", f"{request_stats['fairness']:.3f}"])
     if result.mode == "active":
         rows.append(["update round-trip", f"{result.update_roundtrip:.0f} cycles"])
         checked, mismatched = result.flow_checks
@@ -398,8 +271,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0 if result.flows_verified else 1
 
 
-def _cmd_report(args: argparse.Namespace) -> int:
-    suite = _make_suite(args)
+def _cmd_report(args: argparse.Namespace, spec: ExperimentSpec) -> int:
+    suite = _make_suite(args, spec)
     # full_report prefetches every required pair in one parallel batch; the
     # report itself goes to stdout only, so cold and warm runs are identical.
     report = full_report(suite, include_dynamic_offload=not args.skip_dynamic_offload,
@@ -411,8 +284,8 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0 if suite.verified() else 1
 
 
-def _cmd_prefetch(args: argparse.Namespace) -> int:
-    suite = _make_suite(args, workloads=args.workloads)
+def _cmd_prefetch(args: argparse.Namespace, spec: ExperimentSpec) -> int:
+    suite = _make_suite(args, spec, workloads=args.workloads)
     if args.prune:
         if suite.cache is None:
             raise SystemExit("--prune needs the persistent run cache; drop --no-cache")
@@ -420,6 +293,10 @@ def _cmd_prefetch(args: argparse.Namespace) -> int:
         print(f"pruned {suite.cache.root}: removed {pruned['tmp_removed']} orphaned "
               f"tmp files and {pruned['stale_removed']} stale entries "
               f"({pruned['kept']} kept)")
+        if pruned["cost_other_machines"]:
+            print(f"  cost sidecar: kept {pruned['cost_other_machines']} "
+                  f"wall-time estimates recorded by other machines (shared "
+                  f"cache dir; they never feed this machine's cost model)")
     stats = suite.prefetch(figures=args.figures)
     print(f"prefetch: {stats['pairs']} (workload x configuration) pairs "
           f"at scale {suite.scale.name!r}")
@@ -432,7 +309,7 @@ def _cmd_prefetch(args: argparse.Namespace) -> int:
     return 0 if suite.verified() else 1
 
 
-def _cmd_sweep(args: argparse.Namespace) -> int:
+def _cmd_sweep(args: argparse.Namespace, spec: ExperimentSpec) -> int:
     kinds = []
     for name in args.configs:
         kind = SystemKind.from_name(name)
@@ -442,13 +319,12 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                              f"once as the speedup denominator)")
         if kind not in kinds:
             kinds.append(kind)
-    suite = _make_suite(args, workloads=args.workloads, suite_network=False)
-    # --num-controllers applies to every swept shape; the remaining detail
-    # options ride along to make_network_config uniformly per cell.
-    detail = {name: value for name, value in _network_overrides(args).items()
+    suite = _make_suite(args, spec, workloads=args.workloads, suite_network=False)
+    # --num-controllers/--link-bandwidth are swept value lists; the remaining
+    # network axes ride along to make_network_config uniformly per cell.
+    detail = {name: value for name, value in spec.explicit("network").items()
               if name not in ("topology", "num_cubes", "num_controllers",
-                              "link_bandwidth")
-              and value is not None}
+                              "link_bandwidth")}
     with _network_usage_errors():
         # Planning-time shape validation only; simulation/rendering errors
         # below keep their tracebacks.
@@ -480,22 +356,22 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
-    # --scheduler/--execution/--shards route through their environment
-    # variables for the duration of the command so prefetch worker processes
-    # inherit them too (the run subcommand additionally folds the execution
-    # choice into its config, making it visible in the printed label).
-    with scheduler_env(getattr(args, "scheduler", None)), \
-            execution_env(getattr(args, "execution", None)), \
-            shards_env(getattr(args, "shards", None)), \
-            summary_env(getattr(args, "summary", None)):
+    # One ExperimentSpec carries every axis from here on.  The env-propagated
+    # axes (--scheduler/--execution/--shards/--summary) route through their
+    # environment variables for the duration of the command so prefetch
+    # worker processes inherit them too (the run subcommand additionally
+    # folds the execution choice into its config, making it visible in the
+    # printed label).
+    spec = ExperimentSpec.from_args(args)
+    with spec.env_context():
         if args.command == "run":
-            return _cmd_run(args)
+            return _cmd_run(args, spec)
         if args.command == "report":
-            return _cmd_report(args)
+            return _cmd_report(args, spec)
         if args.command == "prefetch":
-            return _cmd_prefetch(args)
+            return _cmd_prefetch(args, spec)
         if args.command == "sweep":
-            return _cmd_sweep(args)
+            return _cmd_sweep(args, spec)
     raise SystemExit(f"unknown command {args.command!r}")
 
 

@@ -1,0 +1,599 @@
+"""Declarative experiment-axis registry and the :class:`ExperimentSpec`.
+
+Every experiment dimension the reproduction has grown — network shape,
+routing + fault process, link bandwidth, traffic driver, quantile-summary
+backend, event scheduler, execution backend — is declared exactly once here
+as an :class:`Axis`: its CLI flag, ``$REPRO_*`` environment knob, default,
+label-folding rule (with default-elision) and cache-key participation all
+live in the one declaration, gem5-config-style.  The CLI generates its shared
+flag set from this registry (``run``/``report``/``prefetch``/``sweep`` used to
+carry four hand-copied flag blocks), the config labels compose their folded
+fragments from the per-axis rules, and the run cache folds the summary
+backend through the same object.
+
+An :class:`ExperimentSpec` is one immutable choice of axis values — ``None``
+meaning *unset*, so the explicit > environment > default precedence the
+backend registries established stays observable — and is the single object
+flowing CLI → config construction → :class:`~repro.experiments.EvaluationSuite`
+→ run-cache key → worker-process env export.  ``to_json``/``from_json``
+round-trip it losslessly, which is the wire format the ROADMAP's experiment
+service will submit jobs in.
+
+Byte-identity contract: every label, cache key and golden digest produced
+before this layer existed is reproduced byte-for-byte.  Default-valued axes
+elide from labels and keys; the fold fragments (``mesh16c4-resilient-f10s7``,
+``-bw25``, ``%sharded3``) are character-identical to the rules they replaced.
+``tests/test_spec.py`` pins this against a corpus frozen from the
+pre-refactor code.
+
+This module imports only the standard library at module level: the config
+modules that delegate their label folding here sit early in the package's
+import chain, so everything repro-internal (backend tables, constructors) is
+imported late, inside the functions that need it.
+
+``python -m repro.core.spec --table`` renders the axis registry as the
+markdown table embedded in the README (see ``tools/check_docs.py``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import contextlib
+import json
+import os
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterator, Mapping, Optional, Sequence
+
+#: Version tag of the ``to_json`` wire format.
+SPEC_VERSION = 1
+
+#: The CLI subcommands whose axis flags come out of this registry.
+COMMANDS = ("run", "report", "prefetch", "sweep")
+
+
+# --------------------------------------------------------------------- choices
+# Late-bound: the backend tables live in modules that import (transitively)
+# the config modules which delegate their label folding here, so the tables
+# are only consulted when a parser or table is actually built.
+
+def _topology_choices() -> Sequence[str]:
+    from ..network.topology import TOPOLOGY_BUILDERS
+    return sorted(TOPOLOGY_BUILDERS)
+
+
+def _routing_choices() -> Sequence[str]:
+    from ..network.routing import ROUTING_BACKENDS
+    return sorted(ROUTING_BACKENDS)
+
+
+def _driver_choices() -> Sequence[str]:
+    from ..workloads import DRIVER_BACKENDS
+    return sorted(DRIVER_BACKENDS)
+
+
+def _summary_choices() -> Sequence[str]:
+    from ..sim import SUMMARY_BACKENDS
+    return sorted(SUMMARY_BACKENDS)
+
+
+def _scheduler_choices() -> Sequence[str]:
+    from ..sim.event_queue import SCHEDULER_BACKENDS
+    return sorted(SCHEDULER_BACKENDS)
+
+
+def _execution_choices() -> Sequence[str]:
+    from ..system.execution import EXECUTION_BACKENDS
+    return sorted(EXECUTION_BACKENDS)
+
+
+# ---------------------------------------------------------------- env export
+# The four knobs the CLI has always exported to worker processes delegate to
+# the exact env context managers they always used, so export semantics
+# (canonicalization, restore-on-exit) cannot drift.
+
+def _scheduler_env(value):
+    from ..sim.event_queue import scheduler_env
+    return scheduler_env(value)
+
+
+def _execution_env(value):
+    from ..system.execution import execution_env
+    return execution_env(value)
+
+
+def _shards_env(value):
+    from ..system.execution import shards_env
+    return shards_env(value)
+
+
+def _summary_env(value):
+    from ..sim import summary_env
+    return summary_env(value)
+
+
+# -------------------------------------------------------------------- folding
+# Label fragments.  Each fold sees the full value mapping of its group so a
+# rule may consume a sibling axis (the failure seed only appears inside the
+# failure-rate fragment; the shard count only inside the execution one).
+# CHARACTER-IDENTITY MATTERS: these fragments are the pre-spec label rules
+# verbatim, pinned by the frozen corpus in tests/test_spec.py.
+
+def _fold_topology(v: Mapping[str, object]) -> str:
+    return str(v["topology"])
+
+
+def _fold_num_cubes(v: Mapping[str, object]) -> str:
+    return str(v["num_cubes"])
+
+
+def _fold_num_controllers(v: Mapping[str, object]) -> str:
+    return f"c{v['num_controllers']}"
+
+
+def _fold_routing(v: Mapping[str, object]) -> str:
+    routing = v["routing"]
+    return "" if routing == AXES["routing"].default else f"-{routing}"
+
+
+def _fold_failure(v: Mapping[str, object]) -> str:
+    rate = v["failure_rate"]
+    return f"-f{rate:g}s{v['failure_seed']}" if rate else ""
+
+
+def _fold_bandwidth(v: Mapping[str, object]) -> str:
+    bandwidth = v["link_bandwidth"]
+    if bandwidth == AXES["link_bandwidth"].default:
+        return ""
+    return f"-bw{bandwidth:g}"
+
+
+def _fold_execution(v: Mapping[str, object]) -> str:
+    execution = v["execution"]
+    if execution == AXES["execution"].default:
+        return ""
+    return f"%{execution}{v['shards'] or ''}"
+
+
+@dataclass(frozen=True)
+class Axis:
+    """One experiment dimension: flag, env knob, default, fold, cache rule."""
+
+    name: str
+    #: Python value type (also the argparse ``type`` for non-choice axes).
+    type: type
+    default: object
+    flag: str
+    #: Which label/config family the axis belongs to: ``network`` axes fold
+    #: into the HMCNetworkConfig fingerprint, ``execution`` into the
+    #: SystemConfig label suffix, ``traffic`` into the params dict, and
+    #: ``summary``/``scheduler`` are process-wide backend choices.
+    group: str
+    help: str
+    #: ``$REPRO_*`` knob consulted between explicit value and default.
+    env: Optional[str] = None
+    #: Late-bound valid-name provider (backends/topologies); None = free-form.
+    choices: Optional[Callable[[], Sequence[str]]] = None
+    #: Human-readable label rule for the generated axes table.
+    label_form: str = "(never in labels)"
+    #: Label fragment producer over the group's value mapping, or None when
+    #: the axis is folded by a sibling (failure_seed, shards) or never labeled.
+    fold: Optional[Callable[[Mapping[str, object]], str]] = None
+    #: How the axis reaches run-cache keys (documentation for the table; the
+    #: mechanics live in ExperimentSpec.cache_params/cache_key_extras).
+    cache: str = "via the config label"
+    validate: Optional[Callable[[object], Optional[str]]] = None
+    metavar: Optional[str] = None
+    #: Per-subcommand behavior on ``sweep``: ``single`` (same scalar flag),
+    #: ``list`` (becomes a swept value list under ``sweep_dest``) or
+    #: ``exclude`` (sweep owns a plural spelling of its own).
+    sweep: str = "single"
+    sweep_dest: Optional[str] = None
+    sweep_help: Optional[str] = None
+    #: Env context-manager factory for the axes the CLI exports to workers.
+    env_context: Optional[Callable[[object], object]] = None
+
+    def resolve(self, value: object) -> object:
+        """Effective value under explicit > ``$ENV`` > default precedence."""
+        if value is None and self.env:
+            raw = os.environ.get(self.env)
+            if raw:
+                value = raw
+        if value is None:
+            return self.default
+        value = self.type(value)
+        if self.choices is not None:
+            canonical = str(value).strip().lower()
+            if canonical not in self.choices():
+                raise ValueError(
+                    f"unknown {self.name.replace('_', ' ')} {value!r}; choose "
+                    f"from {', '.join(sorted(self.choices()))}")
+            return canonical
+        return value
+
+    def check(self, value: object) -> None:
+        """Raise ``ValueError`` when an explicit value violates the axis."""
+        if value is None:
+            return
+        if self.validate is not None:
+            message = self.validate(self.type(value))
+            if message:
+                raise ValueError(f"--{self.flag.lstrip('-')}: {message}")
+        if self.choices is not None:
+            self.resolve(value)
+
+
+def _positive(value) -> Optional[str]:
+    return None if value > 0 else f"must be > 0, got {value}"
+
+
+def _non_negative(value) -> Optional[str]:
+    return None if value >= 0 else f"must be >= 0, got {value}"
+
+
+def _at_least_one(value) -> Optional[str]:
+    return None if value >= 1 else f"must be >= 1, got {value}"
+
+
+#: The axis registry, in label-fold order within each group.  This order is
+#: also the generated CLI flag order: network shape, routing + faults, link
+#: bandwidth, traffic, summary, scheduler, execution.
+AXES: Dict[str, Axis] = {axis.name: axis for axis in (
+    Axis(name="topology", type=str, default="dragonfly", flag="--topology",
+         group="network", choices=_topology_choices,
+         label_form="leads the network fingerprint (``mesh16c4``)",
+         fold=_fold_topology,
+         help="memory-network topology for every HMC-backed scheme "
+              "(default: Table 4.1 dragonfly); variant networks get their "
+              "own run-cache entries",
+         sweep="exclude"),
+    Axis(name="num_cubes", type=int, default=16, flag="--num-cubes",
+         group="network", metavar="N",
+         label_form="cube count inside the fingerprint (``mesh16c4``)",
+         fold=_fold_num_cubes, validate=_at_least_one,
+         help="memory-network cube count (default: 16); the topology is "
+              "built with exactly this many cubes or the request is "
+              "rejected up front",
+         sweep="exclude"),
+    Axis(name="num_controllers", type=int, default=4, flag="--num-controllers",
+         group="network", metavar="N",
+         label_form="controller count inside the fingerprint (``mesh16c4``)",
+         fold=_fold_num_controllers, validate=_at_least_one,
+         help="host-side memory-controller count (default: Table 4.1's 4)",
+         sweep="list", sweep_dest="controller_counts",
+         sweep_help="host-side memory-controller counts to sweep "
+                    "(default: Table 4.1's 4)"),
+    Axis(name="routing", type=str, default="static", flag="--routing",
+         group="network", env="REPRO_ROUTING", choices=_routing_choices,
+         label_form="``-{routing}`` when non-static (``-resilient``)",
+         fold=_fold_routing,
+         help="routing policy (default: $REPRO_ROUTING or static); static "
+              "is the byte-stable dense-table default, resilient recomputes "
+              "around failed links, adaptive also picks the least-backlogged "
+              "shortest-path hop"),
+    Axis(name="failure_rate", type=float, default=0.0, flag="--failure-rate",
+         group="network", metavar="RATE",
+         label_form="``-f{rate:g}s{seed}`` when positive (``-f10s7``)",
+         fold=_fold_failure, validate=_non_negative,
+         help="expected random link failures per 10,000 cycles (default: "
+              "0 = failure-free; a positive rate needs --routing resilient "
+              "or adaptive)"),
+    Axis(name="failure_seed", type=int, default=0, flag="--failure-seed",
+         group="network", metavar="SEED",
+         label_form="inside the failure fragment (``-f10s7``)",
+         help="seed of the deterministic failure timeline (default: 0); a "
+              "fixed seed reproduces the exact same failures — and results "
+              "— on every run"),
+    Axis(name="link_bandwidth", type=float, default=12.5,
+         flag="--link-bandwidth", group="network", metavar="BYTES_PER_CYCLE",
+         label_form="``-bw{N:g}`` when non-default (``-bw25``)",
+         fold=_fold_bandwidth, validate=_positive,
+         help="memory-network link bandwidth in bytes per CPU cycle "
+              "(default: Table 4.1's 12.5, i.e. 25 GB/s per direction)",
+         sweep="list", sweep_dest="link_bandwidths",
+         sweep_help="memory-network link bandwidths to sweep, in bytes per "
+                    "CPU cycle (default: Table 4.1's 12.5, i.e. 25 GB/s "
+                    "per direction)"),
+    Axis(name="driver", type=str, default="closed", flag="--driver",
+         group="traffic", env="REPRO_DRIVER", choices=_driver_choices,
+         label_form="(never in labels)",
+         cache="full traffic spec in the params dict when open",
+         help="traffic driver (default: $REPRO_DRIVER or closed); 'closed' "
+              "runs the paper's fixed kernels, 'open' synthesizes a seeded "
+              "open-loop request stream shaped like the workload"),
+    Axis(name="arrival_rate", type=float, default=8.0, flag="--arrival-rate",
+         group="traffic", metavar="RATE",
+         cache="in the params dict when the driver is open",
+         validate=_positive,
+         help="open driver: mean requests per thread per 1000 cycles while "
+              "a burst is on (implies --driver open)"),
+    Axis(name="zipf_s", type=float, default=1.1, flag="--zipf-s",
+         group="traffic", metavar="S",
+         cache="in the params dict when the driver is open",
+         validate=_non_negative,
+         help="open driver: zipfian key-popularity exponent (implies "
+              "--driver open)"),
+    Axis(name="tenant_mix", type=str, default="", flag="--tenant-mix",
+         group="traffic", metavar="W1,W2,...",
+         cache="in the params dict when the driver is open",
+         help="open driver: comma-separated workload names whose request "
+              "shapes share the memory network, e.g. mac,pagerank (implies "
+              "--driver open)"),
+    Axis(name="stream_requests", type=int, default=512,
+         flag="--stream-requests", group="traffic", metavar="N",
+         cache="in the params dict when the driver is open",
+         validate=_at_least_one,
+         help="open driver: requests synthesized per thread (default: 512; "
+              "implies --driver open)"),
+    Axis(name="stream_keys", type=int, default=4096, flag="--stream-keys",
+         group="traffic", metavar="N",
+         cache="in the params dict when the driver is open",
+         validate=_at_least_one,
+         help="open driver: keys (elements) per tenant operand array "
+              "(default: 4096; implies --driver open)"),
+    Axis(name="summary", type=str, default="reservoir", flag="--summary",
+         group="summary", env="REPRO_SUMMARY", choices=_summary_choices,
+         label_form="(never in labels)",
+         cache="``summary`` key entry when non-default",
+         env_context=_summary_env,
+         help="quantile-summary backend for every histogram (default: "
+              "$REPRO_SUMMARY or reservoir); 'reservoir' keeps a bounded "
+              "sample, 'sketch' a mergeable log-bucketed sketch; means and "
+              "counts — and thus golden digests — are identical across "
+              "backends"),
+    Axis(name="scheduler", type=str, default="heap", flag="--scheduler",
+         group="scheduler", env="REPRO_SCHEDULER", choices=_scheduler_choices,
+         label_form="(never in labels)",
+         cache="none: results are bit-identical across schedulers",
+         env_context=_scheduler_env,
+         help="event-scheduler backend for every simulation (default: "
+              "$REPRO_SCHEDULER or heap); results are bit-identical across "
+              "backends, only wall time differs"),
+    Axis(name="execution", type=str, default="serial", flag="--execution",
+         group="execution", env="REPRO_EXECUTION", choices=_execution_choices,
+         label_form="``%{execution}{shards}`` when non-serial "
+                    "(``%sharded3``)",
+         fold=_fold_execution,
+         cache="via the run label on explicit configs; suite cells stay "
+               "execution-agnostic (results are bit-identical)",
+         env_context=_execution_env,
+         help="execution backend for every simulation (default: "
+              "$REPRO_EXECUTION or serial); 'sharded' partitions each "
+              "simulation's cube network across worker processes with "
+              "results bit-identical to serial"),
+    Axis(name="shards", type=int, default=0, flag="--shards",
+         group="execution", env="REPRO_SHARDS", metavar="N",
+         label_form="inside the execution fragment (``%sharded3``)",
+         validate=_non_negative, env_context=_shards_env,
+         help="cube-shard count for the sharded execution backend "
+              "(default: $REPRO_SHARDS or 2); ignored under serial "
+              "execution"),
+)}
+
+
+def axes_for(group: str) -> Dict[str, Axis]:
+    """The registry slice for one group, in fold order."""
+    return {name: axis for name, axis in AXES.items() if axis.group == group}
+
+
+def fold_network_label(values: Mapping[str, object]) -> str:
+    """The composed network fingerprint for one network-axis value mapping.
+
+    ``values`` must carry every network axis (``link_bandwidth`` as the plain
+    bytes-per-cycle number).  Produces exactly the pre-spec
+    ``HMCNetworkConfig.label`` base string — the digest suffix for off-axis
+    deviations stays with the config, which alone can see them.
+    """
+    return "".join(axis.fold(values) for axis in AXES.values()
+                   if axis.group == "network" and axis.fold is not None)
+
+
+def fold_execution_label(values: Mapping[str, object]) -> str:
+    """The ``%sharded3``-style system-label suffix ("" when serial)."""
+    return _fold_execution(values)
+
+
+# ---------------------------------------------------------------------- spec
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One immutable choice of experiment-axis values.
+
+    ``None`` means *unset*: the axis resolves through its environment knob to
+    its default, exactly like the CLI flags always have.  Field order is
+    registry order; equality is field-wise, so the Hypothesis round-trip
+    property ``from_json(to_json(spec)) == spec`` is exact.
+    """
+
+    topology: Optional[str] = None
+    num_cubes: Optional[int] = None
+    num_controllers: Optional[int] = None
+    routing: Optional[str] = None
+    failure_rate: Optional[float] = None
+    failure_seed: Optional[int] = None
+    link_bandwidth: Optional[float] = None
+    driver: Optional[str] = None
+    arrival_rate: Optional[float] = None
+    zipf_s: Optional[float] = None
+    tenant_mix: Optional[str] = None
+    stream_requests: Optional[int] = None
+    stream_keys: Optional[int] = None
+    summary: Optional[str] = None
+    scheduler: Optional[str] = None
+    execution: Optional[str] = None
+    shards: Optional[int] = None
+
+    @classmethod
+    def from_args(cls, args: argparse.Namespace) -> "ExperimentSpec":
+        """The spec carried by a parsed CLI namespace (absent attrs = unset)."""
+        return cls(**{name: getattr(args, name, None) for name in AXES})
+
+    # -- precedence and validation ------------------------------------------------
+    def resolved(self, name: str) -> object:
+        """Axis value under explicit > environment > default precedence."""
+        return AXES[name].resolve(getattr(self, name))
+
+    def is_explicit(self, name: str) -> bool:
+        return getattr(self, name) is not None
+
+    def explicit(self, group: Optional[str] = None) -> Dict[str, object]:
+        """The explicitly-set axis values, optionally for one group only."""
+        return {name: getattr(self, name) for name, axis in AXES.items()
+                if (group is None or axis.group == group)
+                and getattr(self, name) is not None}
+
+    def validate(self) -> "ExperimentSpec":
+        """Check every explicit value against its axis; returns self."""
+        for name, axis in AXES.items():
+            axis.check(getattr(self, name))
+        return self
+
+    # -- derived configuration objects ----------------------------------------------
+    def network_overrides(self) -> Dict[str, object]:
+        """Network-axis values as ``make_network_config`` keywords (None=unset)."""
+        return {name: getattr(self, name) for name in axes_for("network")}
+
+    def network_config(self):
+        """The validated :class:`HMCNetworkConfig` for the network axes."""
+        from ..system.config import make_network_config
+        return make_network_config(**self.network_overrides())
+
+    def traffic_spec(self):
+        """The resolved :class:`~repro.workloads.TrafficSpec` (may raise)."""
+        from ..workloads import TrafficSpec
+        return TrafficSpec.from_args(
+            driver=self.driver, arrival_rate=self.arrival_rate,
+            zipf_s=self.zipf_s, tenant_mix=self.tenant_mix,
+            stream_requests=self.stream_requests, stream_keys=self.stream_keys)
+
+    # -- cache-key participation ----------------------------------------------------
+    def cache_params(self) -> Dict[str, object]:
+        """The traffic axes' contribution to a cell's run/cache params dict.
+
+        Empty under the default closed driver — every pre-driver cache key
+        stays byte-identical — and the full effective traffic spec when open,
+        so no knob change can alias a cached result.
+        """
+        return self.traffic_spec().params()
+
+    def cache_key_extras(self) -> Dict[str, object]:
+        """Key entries beyond scale/workload/params/config/profile/threads.
+
+        Today: the summary backend, only when non-default (non-default
+        summaries change percentile fields; eliding the default keeps every
+        pre-existing key byte-identical).  The scheduler and execution axes
+        deliberately contribute nothing — their results are bit-identical.
+        """
+        from ..sim import DEFAULT_SUMMARY
+        summary = self.resolved("summary")
+        if summary != DEFAULT_SUMMARY:
+            return {"summary": summary}
+        return {}
+
+    # -- worker-process propagation ---------------------------------------------------
+    @contextlib.contextmanager
+    def env_context(self) -> Iterator[None]:
+        """Export the env-propagated axes through their ``$REPRO_*`` knobs.
+
+        Exactly the scheduler/execution/shards/summary exports the CLI has
+        always performed (worker processes inherit the environment); unset
+        axes leave the environment untouched, and previous values are
+        restored on exit.  Network and traffic axes are *not* exported: they
+        flow through configs and params dicts instead.
+        """
+        with contextlib.ExitStack() as stack:
+            for name, axis in AXES.items():
+                if axis.env_context is not None:
+                    stack.enter_context(axis.env_context(getattr(self, name)))
+            yield
+
+    # -- wire format --------------------------------------------------------------
+    def to_json(self) -> str:
+        """Canonical JSON wire form (explicit axes only; unset axes elide)."""
+        axes = {name: getattr(self, name) for name in AXES
+                if getattr(self, name) is not None}
+        return json.dumps({"spec": SPEC_VERSION, "axes": axes},
+                          sort_keys=True, separators=(",", ":"))
+
+    @classmethod
+    def from_json(cls, text: str) -> "ExperimentSpec":
+        """Parse :meth:`to_json` output; rejects unknown versions and axes."""
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"not a JSON experiment spec: {exc}") from exc
+        if not isinstance(data, dict) or data.get("spec") != SPEC_VERSION:
+            raise ValueError(
+                f"unsupported experiment-spec payload (want "
+                f"{{'spec': {SPEC_VERSION}, 'axes': ...}}), got {data!r}")
+        axes = data.get("axes", {})
+        if not isinstance(axes, dict):
+            raise ValueError(f"spec axes must be an object, got {axes!r}")
+        unknown = sorted(set(axes) - set(AXES))
+        if unknown:
+            raise ValueError(f"unknown experiment axes {unknown}; known: "
+                             f"{sorted(AXES)}")
+        return cls(**axes)
+
+
+# ------------------------------------------------------------- CLI generation
+def add_axis_flags(parser: argparse.ArgumentParser, command: str) -> None:
+    """Add every axis flag the subcommand takes, straight from the registry.
+
+    ``sweep`` swaps its ``list`` axes for plural value-list flags (landing
+    under ``sweep_dest``) and skips its ``exclude`` axes (it owns plural
+    spellings of the topology/cube-count dimensions).
+    """
+    if command not in COMMANDS:
+        raise ValueError(f"unknown subcommand {command!r}; one of {COMMANDS}")
+    for axis in AXES.values():
+        if command == "sweep" and axis.sweep == "exclude":
+            continue
+        if command == "sweep" and axis.sweep == "list":
+            parser.add_argument(axis.flag, dest=axis.sweep_dest, nargs="+",
+                                type=axis.type, default=None,
+                                metavar=axis.metavar, help=axis.sweep_help)
+            continue
+        kwargs: Dict[str, object] = {"default": None, "help": axis.help}
+        if axis.choices is not None:
+            kwargs["choices"] = sorted(axis.choices())
+        else:
+            kwargs["type"] = axis.type
+            kwargs["metavar"] = axis.metavar
+        parser.add_argument(axis.flag, **kwargs)
+
+
+# ----------------------------------------------------------------- axes table
+def render_axes_table() -> str:
+    """The registry as a markdown table (README "Experiment axes" section)."""
+    rows = [("Axis", "Flag", "Env knob", "Default", "Label form"),
+            ("---", "---", "---", "---", "---")]
+    for axis in AXES.values():
+        default = axis.default if axis.default != "" else "(empty)"
+        # label_form strings use RST-style double backticks (they also land
+        # in docstrings); markdown wants single ones.
+        rows.append((f"`{axis.name}`", f"`{axis.flag}`",
+                     f"`${axis.env}`" if axis.env else "—",
+                     f"`{default}`", axis.label_form.replace("``", "`")))
+    return "\n".join("| " + " | ".join(row) + " |" for row in rows)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.core.spec",
+        description="Render the declarative experiment-axis registry.")
+    parser.add_argument("--table", action="store_true",
+                        help="print the markdown axes table")
+    parser.add_argument("--json", action="store_true",
+                        help="print the registry as JSON (name, flag, env, "
+                             "default, group per axis)")
+    args = parser.parse_args(argv)
+    if args.json:
+        print(json.dumps({name: {"flag": axis.flag, "env": axis.env,
+                                 "default": axis.default, "group": axis.group}
+                          for name, axis in AXES.items()}, indent=1))
+        return 0
+    print(render_axes_table())
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -28,6 +28,7 @@ try:
 except ImportError:  # pragma: no cover - non-POSIX platforms
     fcntl = None  # type: ignore[assignment]
 
+from ..core.spec import ExperimentSpec
 from ..sim import DEFAULT_SUMMARY, resolve_summary
 from ..system import RunResult
 
@@ -115,7 +116,8 @@ class RunCache:
 
     @staticmethod
     def make_key(*, scale: str, workload: str, params: Dict[str, object],
-                 config_label: str, profile: str, num_threads: int) -> Key:
+                 config_label: str, profile: str, num_threads: int,
+                 spec: "ExperimentSpec | None" = None) -> Key:
         key = {
             "digest": code_digest(),
             "scale": scale,
@@ -128,9 +130,15 @@ class RunCache:
         # Summaries other than the default reservoir change the result's
         # percentile fields, so the backend is folded into the key — but only
         # when non-default, keeping every pre-existing key byte-identical.
-        summary = resolve_summary()
-        if summary != DEFAULT_SUMMARY:
-            key["summary"] = summary
+        # With a spec the extras resolve through its axes (explicit > env >
+        # default — identical bytes, since the CLI exports explicit choices
+        # into the environment anyway); without one, straight from the env.
+        if spec is not None:
+            key.update(spec.cache_key_extras())
+        else:
+            summary = resolve_summary()
+            if summary != DEFAULT_SUMMARY:
+                key["summary"] = summary
         return key
 
     def path_for(self, key: Key) -> Path:
@@ -301,8 +309,16 @@ class RunCache:
         than the current one (those can never hit again).  The sidecar's
         ``.lock`` file is deliberately left in place: processes must always
         lock the same inode.  Returns removal counts.
+
+        Cost-sidecar sections recorded by *other* machine fingerprints are
+        counted (``cost_other_machines``) but kept: a cache directory shared
+        across machines is legitimate, and since estimates never cross
+        fingerprints (see :meth:`measured_cost`) foreign sections no longer
+        blend into this machine's cost model — they are just invisible here.
+        Reporting them makes that visible instead of silently skipping them.
         """
-        summary = {"tmp_removed": 0, "stale_removed": 0, "kept": 0}
+        summary = {"tmp_removed": 0, "stale_removed": 0, "kept": 0,
+                   "cost_other_machines": 0}
         if not self.root.is_dir():
             return summary
         digest = code_digest()
@@ -331,6 +347,10 @@ class RunCache:
                     pass
             else:
                 summary["kept"] += 1
+        mine = machine_fingerprint()
+        summary["cost_other_machines"] = sum(
+            len(section) for fingerprint, section in self._read_costs_file().items()
+            if fingerprint != mine)
         return summary
 
     def __len__(self) -> int:

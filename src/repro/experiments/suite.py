@@ -28,6 +28,7 @@ import os
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Optional, Set, Tuple
 
+from ..core.spec import ExperimentSpec
 from ..hmc.config import HMCNetworkConfig
 from ..isa import ProgramTrace
 from ..network.topology import build_network_topology
@@ -160,7 +161,8 @@ class EvaluationSuite:
                  workers: int = 1,
                  cache_dir: "str | os.PathLike | None" = None,
                  net: Optional[HMCNetworkConfig] = None,
-                 traffic: Optional[TrafficSpec] = None) -> None:
+                 traffic: Optional[TrafficSpec] = None,
+                 spec: Optional[ExperimentSpec] = None) -> None:
         if isinstance(scale, str):
             scale = SCALES[scale]
         self.scale = scale
@@ -179,11 +181,24 @@ class EvaluationSuite:
             build_network_topology(net.topology, num_cubes=net.num_cubes,
                                    num_controllers=net.num_controllers)
         self.net = net
+        #: The experiment spec behind this suite.  CLI entry points hand the
+        #: parsed spec in; direct constructions fall back to an all-default
+        #: one, whose axes resolve through the same env > default chain the
+        #: pre-spec code used — cache keys come out byte-identical.
+        self.spec = spec if spec is not None else ExperimentSpec()
         #: Traffic driver for every matrix cell.  The default closed driver
         #: adds zero parameters, so labels and cache keys are byte-identical
         #: to a suite without a traffic spec; the open driver folds its full
         #: effective spec into every cell's params (and therefore disk key).
-        self.traffic = traffic if traffic is not None else TrafficSpec()
+        #: An explicit ``traffic`` wins; a given spec's traffic axes resolve
+        #: it next (the CLI path); a bare construction keeps the closed
+        #: default exactly as before.
+        if traffic is not None:
+            self.traffic = traffic
+        elif spec is not None:
+            self.traffic = spec.traffic_spec()
+        else:
+            self.traffic = TrafficSpec()
         self._results: Dict[Tuple[str, str], RunResult] = {}
         #: kind -> config label under the suite-wide network; building a
         #: SystemConfig just to read its label is the expensive part of key
@@ -232,7 +247,8 @@ class EvaluationSuite:
         return RunCache.make_key(scale=self.scale.name, workload=workload,
                                  params=params, config_label=config_label,
                                  profile=self.profile,
-                                 num_threads=self.scale.num_threads)
+                                 num_threads=self.scale.num_threads,
+                                 spec=self.spec)
 
     def _cache_get(self, workload: str, config_label: str,
                    params: Dict[str, object]) -> Optional[RunResult]:

@@ -72,16 +72,24 @@ class HMCNetworkConfig:
         bandwidth deviating on its own is likewise spelled out
         (``dragonfly16c4-bw25``) rather than hidden in the digest: bandwidth
         is a sweep axis and its rows should be readable in figure tables.
+
+        The per-axis fragments (what elides, how values render) are declared
+        in :data:`repro.core.spec.AXES`; this property only supplies the
+        values and the off-axis digest fallback, which the registry cannot
+        see.
         """
-        base = f"{self.topology}{self.num_cubes}c{self.num_controllers}"
-        if self.routing != "static":
-            base += f"-{self.routing}"
-        if self.failure_rate:
-            base += f"-f{self.failure_rate:g}s{self.failure_seed}"
-        default_link = default_network().link
+        from ..core.spec import fold_network_label
         bandwidth = self.link.bandwidth_bytes_per_cycle
-        if bandwidth != default_link.bandwidth_bytes_per_cycle:
-            base += f"-bw{bandwidth:g}"
+        base = fold_network_label({
+            "topology": self.topology,
+            "num_cubes": self.num_cubes,
+            "num_controllers": self.num_controllers,
+            "routing": self.routing,
+            "failure_rate": self.failure_rate,
+            "failure_seed": self.failure_seed,
+            "link_bandwidth": bandwidth,
+        })
+        default_link = default_network().link
         # Only the bandwidth field of the link is spelled out: any *other*
         # link deviation (latency, energy) must still fall through to the
         # digest below or two different networks could share a label.

@@ -15,7 +15,7 @@ from .operations import (
     count_instructions,
     count_kinds,
 )
-from .program import ProgramTrace, TraceBuilder, make_program
+from .program import ChunkedThreadTrace, ProgramTrace, TraceBuilder, make_program
 
 __all__ = [
     "ArrivalOp",
@@ -31,6 +31,7 @@ __all__ = [
     "UpdateOp",
     "count_instructions",
     "count_kinds",
+    "ChunkedThreadTrace",
     "ProgramTrace",
     "TraceBuilder",
     "make_program",

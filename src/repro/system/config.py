@@ -108,13 +108,14 @@ class SystemConfig:
         scheme can never collide.  A non-default execution backend appends a
         ``%sharded4``-style suffix (backend + shard count) — only when
         non-default, so every pre-existing label and cache key stays
-        byte-identical.
+        byte-identical.  The suffix rule is the execution axis's fold in
+        :data:`repro.core.spec.AXES`.
         """
+        from ..core.spec import fold_execution_label
         network = self.network_label
         label = self.kind.value if network is None else f"{self.kind.value}@{network}"
-        if self.execution != "serial":
-            label += f"%{self.execution}{self.shards or ''}"
-        return label
+        return label + fold_execution_label({"execution": self.execution,
+                                             "shards": self.shards})
 
     def with_kind(self, kind: SystemKind) -> "SystemConfig":
         """The same machine with a different memory/offload configuration."""

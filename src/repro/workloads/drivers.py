@@ -25,12 +25,14 @@ tail percentiles are meant to expose (coordinated omission).
 from __future__ import annotations
 
 import bisect
+import functools
 import random
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from ..core.backends import BackendRegistry
-from ..isa import TraceBuilder
+from ..isa import (ArrivalOp, ChunkedThreadTrace, ComputeOp, GatherOp, LoadOp,
+                   Operation, ProgramTrace, StoreOp, TraceBuilder, UpdateOp)
 from .base import ELEMENT_SIZE, Workload, WorkloadConfig, make_workload, workload_names
 
 #: Mean requests per thread per 1000 cycles while a burst is ON.
@@ -48,6 +50,10 @@ DEFAULT_STREAM_KEYS = 4096
 #: Mean ON / OFF period lengths (cycles) of the bursty arrival process.
 DEFAULT_BURST_ON = 2000.0
 DEFAULT_BURST_OFF = 500.0
+
+#: Operations held in memory per thread while a chunked open stream executes
+#: (see OpenStreamWorkload.chunk_ops; 0 materializes the whole trace).
+DEFAULT_CHUNK_OPS = 4096
 
 #: Request shape by tenant kernel: (operand streams, writes an output word).
 #: One-operand tenants reduce into their accumulator ("add" updates / one
@@ -243,7 +249,8 @@ class OpenStreamWorkload(Workload):
                  stream_requests: int = DEFAULT_STREAM_REQUESTS,
                  stream_keys: int = DEFAULT_STREAM_KEYS,
                  burst_on: float = DEFAULT_BURST_ON,
-                 burst_off: float = DEFAULT_BURST_OFF) -> None:
+                 burst_off: float = DEFAULT_BURST_OFF,
+                 chunk_ops: int = DEFAULT_CHUNK_OPS) -> None:
         if not tenants:
             raise ValueError("open driver needs at least one tenant workload")
         if arrival_rate <= 0:
@@ -257,6 +264,10 @@ class OpenStreamWorkload(Workload):
         self.stream_keys = int(stream_keys)
         self.burst_on = float(burst_on)
         self.burst_off = float(burst_off)
+        #: Memory bound (operations) of the lazily-synthesized per-thread
+        #: traces; ``0`` materializes each trace as a plain list instead.
+        #: The two paths are bit-identical (pinned by test).
+        self.chunk_ops = int(chunk_ops)
         super().__init__(config)
         self.name = "open:" + "+".join(self.tenants)
 
@@ -303,7 +314,18 @@ class OpenStreamWorkload(Workload):
         })
         return meta
 
-    def _generate_thread(self, builder: TraceBuilder, thread_id: int, mode: str) -> None:
+    def _thread_ops(self, thread_id: int, mode: str,
+                    record: bool = True) -> Iterator[Operation]:
+        """Yield one thread's operations in order, one at a time.
+
+        The sequence is a pure function of the workload knobs and seed, so
+        the chunked path can replay it from scratch whenever the executing
+        core's sliding window needs refilling.  ``record`` accumulates the
+        expected reduction results; replays pass ``False`` so flows are not
+        double-counted.  Every request starts with an :class:`ArrivalOp`, so
+        adjacent ComputeOps (the one case TraceBuilder coalesces) never occur
+        and emitting raw operations is bit-identical to building through it.
+        """
         tenant_index = thread_id % len(self.tenants)
         stream = self._streams[tenant_index]
         rng = random.Random(self.config.seed * 100003 + thread_id * 257 + 1)
@@ -324,29 +346,67 @@ class OpenStreamWorkload(Workload):
             now += gap
             remaining_on -= gap
             key = stream.draw_key(rng)
-            builder.arrival(now)
+            yield ArrivalOp(now)
             if mode == "active":
                 if len(stream.sources) >= 2:
                     value0 = stream.source_values[0][key]
                     value1 = stream.source_values[1][key]
-                    builder.update("mac", stream.sources[0].addr(key),
+                    yield UpdateOp("mac", stream.sources[0].addr(key),
                                    stream.sources[1].addr(key), stream.target,
                                    src1_value=value0, src2_value=value1)
-                    self.record_expected(stream.target, value0 * value1)
+                    if record:
+                        self.record_expected(stream.target, value0 * value1)
                 else:
                     value0 = stream.source_values[0][key]
-                    builder.update("add", stream.sources[0].addr(key), None,
+                    yield UpdateOp("add", stream.sources[0].addr(key), None,
                                    stream.target, src1_value=value0)
-                    self.record_expected(stream.target, value0)
+                    if record:
+                        self.record_expected(stream.target, value0)
                 issued_updates = True
             else:
                 for source in stream.sources:
-                    builder.load(source.addr(key))
-                builder.compute(0.5, instructions=len(stream.sources))
+                    yield LoadOp(source.addr(key))
+                yield ComputeOp(0.5, instructions=len(stream.sources))
                 if stream.dst is not None:
-                    builder.store(stream.dst.addr(key))
+                    yield StoreOp(stream.dst.addr(key))
         if mode == "active" and issued_updates:
-            builder.gather(stream.target, self._tenant_thread_count[tenant_index])
+            yield GatherOp(stream.target, self._tenant_thread_count[tenant_index])
+
+    def _generate_thread(self, builder: TraceBuilder, thread_id: int, mode: str) -> None:
+        builder.ops.extend(self._thread_ops(thread_id, mode))
+
+    def generate(self, mode: str = "baseline") -> ProgramTrace:
+        """Chunked synthesis: bounded memory per thread instead of full lists.
+
+        One streaming pass counts each thread's operations and accumulates the
+        expected reduction results; execution then re-synthesizes operations
+        on demand through :class:`ChunkedThreadTrace`, holding at most
+        ``chunk_ops`` of them at a time.  ``chunk_ops=0`` falls back to the
+        materialized base-class path — the traces are bit-identical either
+        way, only peak memory differs.
+        """
+        if self.chunk_ops <= 0:
+            return super().generate(mode)
+        if mode not in ("baseline", "active"):
+            raise ValueError(f"unknown mode {mode!r}")
+        self._expected = {}
+        threads = []
+        for tid in range(self.num_threads):
+            length = sum(1 for _ in self._thread_ops(tid, mode, record=True))
+            threads.append(ChunkedThreadTrace(
+                functools.partial(self._thread_ops, tid, mode, False),
+                length, chunk=self.chunk_ops))
+        unknown = sorted(set(self.config.extra) - self._params_read)
+        if unknown:
+            valid = ", ".join(sorted(self._params_read)) or "(none)"
+            raise ValueError(
+                f"unknown parameter(s) {', '.join(repr(n) for n in unknown)} "
+                f"for workload {self.name!r}; valid parameters: {valid}")
+        program = ProgramTrace(name=self.name, mode=mode, threads=threads,
+                               metadata=self.metadata(),
+                               expected_results=dict(self._expected))
+        program.validate()
+        return program
 
 
 # ---------------------------------------------------------------------- drivers

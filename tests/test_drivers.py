@@ -206,6 +206,74 @@ def test_saturation_raises_tail_latency():
 
 
 # ---------------------------------------------------------------------------
+# Chunked trace synthesis (bounded memory) and per-tenant fairness
+# ---------------------------------------------------------------------------
+
+def test_chunked_and_materialized_traces_bit_identical():
+    """chunk_ops>0 (lazy, bounded window) and chunk_ops=0 (full lists) must
+    synthesize character-identical operation streams in both modes."""
+    for mode in ("baseline", "active"):
+        lazy = _open_stream().generate(mode)
+        full = _open_stream(chunk_ops=0).generate(mode)
+        assert lazy.expected_results == full.expected_results
+        for a, b in zip(lazy.threads, full.threads):
+            assert type(a).__name__ == "ChunkedThreadTrace"
+            assert isinstance(b, list)
+            assert len(a) == len(b)
+            assert [repr(op) for op in a] == [repr(op) for op in b]
+            # Monotone indexed access — the pattern the cores use — too.
+            assert [repr(a[i]) for i in range(len(a))] == [repr(op) for op in b]
+
+
+def test_chunked_window_stays_bounded_and_replays_backwards():
+    workload = _open_stream(tenants=("mac",), stream_requests=200, chunk_ops=8)
+    trace = workload.generate("baseline").threads[0]
+    reference = [repr(op) for op in trace]
+    assert [repr(trace[i]) for i in range(len(trace))] == reference
+    assert len(trace._window) <= 8 + 1
+    # An index behind the window restarts the seeded generator correctly.
+    assert repr(trace[0]) == reference[0]
+    assert repr(trace[3]) == reference[3]
+
+
+def test_chunked_trace_pickles_without_its_generator():
+    import pickle
+    trace = _open_stream(tenants=("mac",), chunk_ops=16).generate("baseline").threads[0]
+    reference = [repr(op) for op in trace]
+    clone = pickle.loads(pickle.dumps(trace))
+    assert [repr(op) for op in clone] == reference
+
+
+def test_chunked_run_matches_materialized_run():
+    chunked = run_workload("ARF-tid", _open_stream())
+    materialized = run_workload("ARF-tid", _open_stream(chunk_ops=0))
+    assert _fingerprint(chunked) == _fingerprint(materialized)
+    assert chunked.request_stats == materialized.request_stats
+
+
+def test_multi_tenant_open_run_reports_fairness():
+    result = run_workload("HMC", "mac", num_threads=4, driver="open",
+                          arrival_rate=20.0, tenant_mix="mac,pagerank",
+                          stream_requests=64, stream_keys=256)
+    stats = result.request_stats
+    # Two tenants, two threads each: 128 requests per tenant.
+    assert stats["tenant0.count"] == stats["tenant1.count"] == 2 * 64
+    assert stats["tenant0.throughput"] > 0 and stats["tenant1.throughput"] > 0
+    assert stats["tenant0.p99"] >= 0 and stats["tenant1.p99"] >= 0
+    assert 0.0 < stats["fairness"] <= 1.0
+    # Symmetric tenants at a gentle rate split throughput near-evenly.
+    assert stats["fairness"] > 0.9
+
+
+def test_single_tenant_runs_grow_no_fairness_keys():
+    result = run_workload("HMC", "mac", num_threads=4, driver="open",
+                          arrival_rate=20.0, stream_requests=64,
+                          stream_keys=256)
+    assert "fairness" not in result.request_stats
+    assert not any(k.startswith("tenant") for k in result.request_stats)
+
+
+# ---------------------------------------------------------------------------
 # Unknown-parameter fail-fast (regression for the make_workload satellite)
 # ---------------------------------------------------------------------------
 

@@ -91,16 +91,39 @@ def test_prune_drops_orphaned_tmp_and_stale_entries(tmp_path):
     live.write_bytes(b"in flight")
 
     summary = cache.prune()
-    assert summary == {"tmp_removed": 2, "stale_removed": 2, "kept": 1}
+    assert summary == {"tmp_removed": 2, "stale_removed": 2, "kept": 1,
+                       "cost_other_machines": 0}
     assert cache.get(_key()) == "fresh"      # the current-digest entry survives
     assert live.exists()                     # a live writer's tmp file is left alone
     assert sorted(p.name for p in tmp_path.glob("*.tmp*")) == [live.name]
-    assert cache.prune() == {"tmp_removed": 0, "stale_removed": 0, "kept": 1}
+    assert cache.prune() == {"tmp_removed": 0, "stale_removed": 0, "kept": 1,
+                             "cost_other_machines": 0}
 
 
 def test_prune_on_missing_directory_is_a_noop(tmp_path):
     cache = RunCache(tmp_path / "never-created")
-    assert cache.prune() == {"tmp_removed": 0, "stale_removed": 0, "kept": 0}
+    assert cache.prune() == {"tmp_removed": 0, "stale_removed": 0, "kept": 0,
+                             "cost_other_machines": 0}
+
+
+def test_prune_reports_foreign_cost_sections_but_keeps_them(tmp_path):
+    """Wall-time estimates recorded by other machine fingerprints are counted
+    in the prune summary yet left on disk: a shared cache directory is
+    legitimate, and foreign sections never feed this machine's cost model."""
+    import json
+
+    cache = RunCache(tmp_path)
+    cache.record_cost(_key(), 2.5)
+    data = json.loads((tmp_path / "costs.json").read_text())
+    data["feedfacefeedface0"] = {"job-a": 9.0, "job-b": 1.0}
+    data["deadbeefdeadbeef0"] = {"job-c": 4.0}
+    (tmp_path / "costs.json").write_text(json.dumps(data))
+
+    summary = cache.prune()
+    assert summary["cost_other_machines"] == 3
+    after = json.loads((tmp_path / "costs.json").read_text())
+    assert after == data                     # reported, not removed
+    assert RunCache(tmp_path).measured_cost(_key()) == 2.5
 
 
 # -- measured-cost sidecar -------------------------------------------------------
